@@ -1,0 +1,53 @@
+//! E10: Corollary 1.3 — solvability decision on the restricted family's
+//! systems (rank-based and elimination-based oracles).
+
+use ccmx_bench::{random_c_e, random_instance, rng_for};
+use ccmx_core::{lemma35, reductions, Params};
+use ccmx_linalg::solve;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_solvability");
+    for params in [Params::new(5, 2), Params::new(7, 3), Params::new(9, 4)] {
+        let mut rng = rng_for("e10");
+        let systems: Vec<_> = (0..4)
+            .map(|i| {
+                let inst = if i % 2 == 0 {
+                    let (cb, eb) = random_c_e(params, &mut rng);
+                    lemma35::complete(params, &cb, &eb).unwrap()
+                } else {
+                    random_instance(params, &mut rng)
+                };
+                reductions::solvability_system(&inst)
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("elimination_n{}_k{}", params.n, params.k)),
+            &systems,
+            |b, systems| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    let (m, rhs) = &systems[i % systems.len()];
+                    solve::is_solvable(m, rhs)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rank_oracle_n{}_k{}", params.n, params.k)),
+            &systems,
+            |b, systems| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    let (m, rhs) = &systems[i % systems.len()];
+                    solve::is_solvable_by_rank(m, rhs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E11: the VLSI side — cycle-accurate systolic runs (metered mesh) and
+//! the Thompson-cut computation on explicit chips.
+
+use ccmx_bench::rng_for;
+use ccmx_linalg::Matrix;
+use ccmx_vlsi::{Chip, SystolicMatMul};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_vlsi");
+    group.sample_size(10);
+    let p = 8191u64;
+    for n in [8usize, 16, 32] {
+        let mut rng = rng_for("e11");
+        let a = Matrix::from_fn(n, n, |_, _| rng.gen_range(0..p));
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(0..p));
+        let mesh = SystolicMatMul::new(p, 13);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("systolic_n{n}")),
+            &(a, b),
+            |bch, (a, b)| bch.iter(|| mesh.run(a, b)),
+        );
+    }
+    for side in [32usize, 128] {
+        let chip = Chip::uniform(side, side, (side * side * 8) as u64);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("thompson_cut_{side}x{side}")),
+            &chip,
+            |b, chip| b.iter(|| chip.thompson_cut()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E12: the vector-space span problem — the union-spans decision and the
+//! canonical-form message of the fixed-partition protocol.
+
+use ccmx_bench::{random_matrix, rng_for};
+use ccmx_core::span_problem;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_span_problem");
+    for dim in [4usize, 8, 12] {
+        let mut rng = rng_for("e12");
+        let m = random_matrix(dim, 3, &mut rng);
+        let (v1, v2) = span_problem::singularity_as_span_instance(&m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("union_spans_dim{dim}")),
+            &(v1.clone(), v2),
+            |b, (v1, v2)| b.iter(|| span_problem::union_spans_all(v1, v2)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("canonical_message_dim{dim}")),
+            &v1,
+            |b, v1| b.iter(|| span_problem::canonical_message(v1)),
+        );
+    }
+    group.sample_size(10);
+    group.bench_function("lattice_count_5_vectors", |b| {
+        let x: Vec<Vec<ccmx_bigint::Integer>> = (0..5)
+            .map(|i| (0..3).map(|j| ccmx_bigint::Integer::from(((i * j + i) % 3) as i64)).collect())
+            .collect();
+        b.iter(|| span_problem::count_subspace_lattice(&x, 1 << 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E1: the deterministic send-all protocol — full run cost (encode,
+//! split, transmit, decode, exact Bareiss decision) across (2n, k).
+
+use ccmx_bench::{pi_zero, protocol_inputs, rng_for, singularity};
+use ccmx_comm::protocols::SendAll;
+use ccmx_comm::run_sequential;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_send_all");
+    for &(dim, k) in &[(4usize, 2u32), (8, 2), (8, 8), (16, 8)] {
+        let mut rng = rng_for("e1");
+        let p = pi_zero(dim, k);
+        let proto = SendAll::new(singularity(dim, k));
+        let inputs = protocol_inputs(dim, k, 8, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dim{dim}_k{k}")),
+            &inputs,
+            |b, inputs| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let input = &inputs[i % inputs.len()];
+                    i += 1;
+                    run_sequential(&proto, &p, input, i as u64)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

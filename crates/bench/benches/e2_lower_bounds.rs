@@ -1,0 +1,43 @@
+//! E2: the lower-bound machinery — truth-matrix enumeration (serial vs
+//! parallel) and the certified bound computation (rank + fooling set).
+
+use ccmx_bench::{pi_zero, singularity};
+use ccmx_comm::bounds::{fooling_set_greedy, lower_bounds, rank_gf2};
+use ccmx_comm::truth::TruthMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_truth_and_bounds");
+    group.sample_size(10);
+    for &(dim, k) in &[(2usize, 3u32), (4, 1)] {
+        let f = singularity(dim, k);
+        let p = pi_zero(dim, k);
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("enumerate_dim{dim}_k{k}_t{threads}")),
+                &threads,
+                |b, &threads| b.iter(|| TruthMatrix::enumerate(&f, &p, threads)),
+            );
+        }
+        let tm = TruthMatrix::enumerate(&f, &p, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rank_gf2_dim{dim}_k{k}")),
+            &tm,
+            |b, tm| b.iter(|| rank_gf2(tm)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("fooling_dim{dim}_k{k}")),
+            &tm,
+            |b, tm| b.iter(|| fooling_set_greedy(tm).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("full_report_dim{dim}_k{k}")),
+            &tm,
+            |b, tm| b.iter(|| lower_bounds(tm)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E3: Lemma 3.2 — the two sides of the equivalence as computational
+//! kernels: exact 2n×2n Bareiss singularity vs the (n×(n−1)) span
+//! membership test.
+
+use ccmx_bench::{random_instance, rng_for};
+use ccmx_core::{lemma32, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_lemma32");
+    for params in [Params::new(5, 2), Params::new(7, 3), Params::new(9, 4), Params::new(13, 4)] {
+        let mut rng = rng_for("e3");
+        let insts: Vec<_> = (0..4).map(|_| random_instance(params, &mut rng)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("singular_side_n{}_k{}", params.n, params.k)),
+            &insts,
+            |b, insts| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    lemma32::m_is_singular(&insts[i % insts.len()])
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("span_side_n{}_k{}", params.n, params.k)),
+            &insts,
+            |b, insts| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    lemma32::bu_in_span_a(&insts[i % insts.len()])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

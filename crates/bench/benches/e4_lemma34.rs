@@ -1,0 +1,34 @@
+//! E4: Lemma 3.4 — span canonicalization: the cost of the
+//! `C ↦ canonical_form(Span(A(C)))` map that counts the truth matrix's
+//! rows, plus the exhaustive tiny-family injectivity check.
+
+use ccmx_bench::{random_c_e, rng_for};
+use ccmx_core::{lemma34, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_lemma34");
+    for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 3), Params::new(13, 4)] {
+        let mut rng = rng_for("e4");
+        let cs: Vec<_> = (0..4).map(|_| random_c_e(params, &mut rng).0).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("canonical_span_n{}_k{}", params.n, params.k)),
+            &cs,
+            |b, cs| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    lemma34::span_canonical(params, &cs[i % cs.len()])
+                });
+            },
+        );
+    }
+    group.sample_size(10);
+    group.bench_function("exhaustive_injectivity_n5_k2", |b| {
+        b.iter(|| lemma34::verify_injectivity_exhaustive(Params::new(5, 2), 100).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5: Lemma 3.5 — the completion algorithm (find D, y for given C, E)
+//! and its verification (exact singularity of the completed instance).
+
+use ccmx_bench::{random_c_e, rng_for};
+use ccmx_core::{lemma35, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_completion");
+    for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 4), Params::new(13, 4), Params::new(17, 4)] {
+        let mut rng = rng_for("e5");
+        let blocks: Vec<_> = (0..4).map(|_| random_c_e(params, &mut rng)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("complete_n{}_k{}", params.n, params.k)),
+            &blocks,
+            |b, blocks| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    let (c, e) = &blocks[i % blocks.len()];
+                    lemma35::complete(params, c, e).expect("Lemma 3.5")
+                });
+            },
+        );
+        let completed: Vec<_> = blocks
+            .iter()
+            .map(|(c, e)| lemma35::complete(params, c, e).unwrap())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("verify_n{}_k{}", params.n, params.k)),
+            &completed,
+            |b, insts| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    assert!(ccmx_core::lemma32::m_is_singular(&insts[i % insts.len()]));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

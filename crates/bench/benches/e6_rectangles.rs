@@ -1,0 +1,37 @@
+//! E6: Lemmas 3.3/3.6/3.7 — exact span-intersection bases over growing
+//! row sets, and greedy rectangle search in enumerated truth matrices.
+
+use ccmx_bench::{pi_zero, random_c_e, rng_for, singularity};
+use ccmx_comm::bounds::largest_one_rectangle_greedy;
+use ccmx_comm::truth::TruthMatrix;
+use ccmx_core::{rectangles, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_rectangles");
+    group.sample_size(10);
+    let params = Params::new(9, 2);
+    let mut rng = rng_for("e6");
+    for rows in [2usize, 4, 6] {
+        let cs: Vec<_> = (0..rows).map(|_| random_c_e(params, &mut rng).0).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("intersection_{rows}_rows")),
+            &cs,
+            |b, cs| b.iter(|| rectangles::intersection_dimension(params, cs)),
+        );
+    }
+    for &(dim, k) in &[(2usize, 2u32), (4, 1)] {
+        let f = singularity(dim, k);
+        let p = pi_zero(dim, k);
+        let tm = TruthMatrix::enumerate(&f, &p, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("greedy_rectangle_dim{dim}_k{k}")),
+            &tm,
+            |b, tm| b.iter(|| largest_one_rectangle_greedy(tm)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

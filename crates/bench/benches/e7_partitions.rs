@@ -1,0 +1,39 @@
+//! E7: Lemma 3.9 — the partition normalizer on random even partitions,
+//! and the properness checker itself.
+
+use ccmx_bench::rng_for;
+use ccmx_comm::Partition;
+use ccmx_core::{proper, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_proper_partitions");
+    group.sample_size(10);
+    for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 3)] {
+        let enc = params.encoding();
+        let mut rng = rng_for("e7");
+        let parts: Vec<Partition> =
+            (0..4).map(|_| Partition::random_even(enc.total_bits(), &mut rng)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("normalize_n{}_k{}", params.n, params.k)),
+            &parts,
+            |b, parts| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    proper::normalize(&parts[i % parts.len()], params).expect("Lemma 3.9")
+                });
+            },
+        );
+        let pi0 = Partition::pi_zero(&enc);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("is_proper_n{}_k{}", params.n, params.k)),
+            &pi0,
+            |b, pi0| b.iter(|| proper::is_proper(pi0, params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E8: the randomized mod-prime protocol — full runs (prime sampling,
+//! residue shipping, GF(p) elimination) vs the deterministic protocol on
+//! identical inputs; wall-clock counterpart of the bit-cost separation.
+
+use ccmx_bench::{pi_zero, protocol_inputs, rng_for, singularity};
+use ccmx_comm::protocols::{ModPrimeSingularity, SendAll};
+use ccmx_comm::run_sequential;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_randomized_vs_deterministic");
+    for &(dim, k) in &[(8usize, 8u32), (8, 48), (16, 16)] {
+        let mut rng = rng_for("e8");
+        let p = pi_zero(dim, k);
+        let inputs = protocol_inputs(dim, k, 6, &mut rng);
+        let det = SendAll::new(singularity(dim, k));
+        let prob = ModPrimeSingularity::new(dim, k, 20);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("send_all_dim{dim}_k{k}")),
+            &inputs,
+            |b, inputs| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    run_sequential(&det, &p, &inputs[i % inputs.len()], i as u64)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("mod_prime_dim{dim}_k{k}")),
+            &inputs,
+            |b, inputs| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    run_sequential(&prob, &p, &inputs[i % inputs.len()], i as u64)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

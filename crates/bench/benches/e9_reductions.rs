@@ -1,0 +1,45 @@
+//! E9: Corollary 1.2 — the decompositions as kernels: det, rank, QR,
+//! SVD structure, LUP, and the `[[I,B],[A,C]]` rank trick.
+
+use ccmx_bench::{random_matrix, rng_for};
+use ccmx_bigint::Rational;
+use ccmx_core::reductions;
+use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::{bareiss, lup, qr, svd};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_decompositions");
+    let f = RationalField;
+    for n in [4usize, 6, 8] {
+        let mut rng = rng_for("e9");
+        let m = random_matrix(n, 8, &mut rng);
+        let mq = m.map(|e| Rational::from(e.clone()));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("det_bareiss_n{n}")), &m, |b, m| {
+            b.iter(|| bareiss::det(m))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("rank_n{n}")), &m, |b, m| {
+            b.iter(|| bareiss::rank(m))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("qr_n{n}")), &mq, |b, mq| {
+            b.iter(|| qr::qr(mq))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("svd_structure_n{n}")), &m, |b, m| {
+            b.iter(|| svd::svd_structure(m))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("lup_n{n}")), &mq, |b, mq| {
+            b.iter(|| lup::lup(&f, mq))
+        });
+        let a = random_matrix(n, 4, &mut rng);
+        let bm = random_matrix(n, 4, &mut rng);
+        let zz = ccmx_linalg::ring::IntegerRing;
+        let prod = a.mul(&zz, &bm);
+        group.bench_function(format!("product_trick_n{n}"), |bch| {
+            bch.iter(|| reductions::product_check_via_rank(&a, &bm, &prod))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

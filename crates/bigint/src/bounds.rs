@@ -1,0 +1,108 @@
+//! Magnitude bounds used throughout the reproduction.
+//!
+//! The key quantity is the **Hadamard bound**: for an `n × n` matrix `M`
+//! with `|M[i][j]| <= B`, `|det M| <= B^n · n^{n/2}`. The randomized
+//! protocol sizes its prime window from this bound, and the exact solvers
+//! use it to size CRT moduli.
+
+use crate::{Integer, Natural};
+
+/// Hadamard bound for an `n × n` matrix with entries of magnitude at most
+/// `entry_bound`: `entry_bound^n * ceil(sqrt(n))^n >= entry_bound^n * n^{n/2}`.
+///
+/// We over-approximate `n^{n/2}` by `ceil(sqrt(n))^n`, keeping everything
+/// in exact integer arithmetic (an upper bound is all the callers need).
+pub fn hadamard_bound(n: usize, entry_bound: &Natural) -> Natural {
+    if n == 0 {
+        return Natural::one();
+    }
+    let sqrt_ceil = {
+        let s = Natural::from(n as u64).isqrt();
+        if (&s * &s) == Natural::from(n as u64) {
+            s
+        } else {
+            s + Natural::one()
+        }
+    };
+    entry_bound.pow(n as u64) * sqrt_ceil.pow(n as u64)
+}
+
+/// Hadamard bound for a matrix of `k`-bit entries (entries in
+/// `[0, 2^k - 1]`), the paper's input model.
+pub fn hadamard_bound_k_bits(n: usize, k: u32) -> Natural {
+    let entry_bound = Natural::power_of_two(k as u64) - Natural::one();
+    hadamard_bound(n, &entry_bound)
+}
+
+/// `q = 2^k - 1`, the paper's distinguished constant (the largest `k`-bit
+/// value; Fig. 1 places `q` on the anti-diagonal of the B-side block and
+/// Definition 3.1 builds the vector `u` from powers of `-q`).
+pub fn q_of_k(k: u32) -> Integer {
+    assert!(k >= 1, "k must be at least 1");
+    Integer::from(Natural::power_of_two(k as u64) - Natural::one())
+}
+
+/// Number of bits needed to encode an integer in `[0, bound]`.
+pub fn bits_to_encode(bound: &Natural) -> u64 {
+    bound.bit_len().max(1)
+}
+
+/// Total input bits of the paper's `2n × 2n` instance of `k`-bit entries:
+/// `k · (2n)²`. The communication bounds are stated against this quantity.
+pub fn input_bits(two_n: usize, k: u32) -> u64 {
+    (two_n as u64) * (two_n as u64) * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_trivial_sizes() {
+        assert_eq!(hadamard_bound(0, &Natural::from(5u64)), Natural::one());
+        assert_eq!(hadamard_bound(1, &Natural::from(5u64)), Natural::from(5u64));
+    }
+
+    #[test]
+    fn hadamard_dominates_actual_determinants() {
+        // Our bound for n=2 is B^2 * ceil(sqrt 2)^2 = 4 B^2, which dominates
+        // the true Hadamard value 2 B^2 and every actual 2x2 determinant.
+        let b = Natural::from(7u64);
+        let bound = hadamard_bound(2, &b);
+        assert_eq!(bound, Natural::from(4u64 * 49));
+        // Worst 2x2 det with entries in [0,7]: 7*7 - 0 = 49 <= 196.
+        assert!(Natural::from(49u64) <= bound);
+    }
+
+    #[test]
+    fn hadamard_k_bits_growth() {
+        // For fixed n the bound grows like 2^{kn}: doubling k roughly
+        // squares the entry part.
+        let b1 = hadamard_bound_k_bits(4, 4);
+        let b2 = hadamard_bound_k_bits(4, 8);
+        assert!(b2 > b1);
+        assert!(b2.bit_len() >= b1.bit_len() + 4 * 3);
+    }
+
+    #[test]
+    fn q_values() {
+        assert_eq!(q_of_k(1), Integer::from(1i64));
+        assert_eq!(q_of_k(2), Integer::from(3i64));
+        assert_eq!(q_of_k(8), Integer::from(255i64));
+        assert_eq!(q_of_k(32), Integer::from((1i64 << 32) - 1));
+    }
+
+    #[test]
+    fn input_bits_formula() {
+        assert_eq!(input_bits(2, 1), 4);
+        assert_eq!(input_bits(10, 8), 800);
+    }
+
+    #[test]
+    fn bits_to_encode_edge_cases() {
+        assert_eq!(bits_to_encode(&Natural::zero()), 1);
+        assert_eq!(bits_to_encode(&Natural::one()), 1);
+        assert_eq!(bits_to_encode(&Natural::from(255u64)), 8);
+        assert_eq!(bits_to_encode(&Natural::from(256u64)), 9);
+    }
+}

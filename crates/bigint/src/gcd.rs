@@ -1,0 +1,167 @@
+//! Greatest common divisors and the extended Euclidean algorithm.
+
+use crate::{Integer, Natural};
+use crate::integer::Sign;
+
+/// Euclidean GCD of two naturals (`gcd(0, 0) = 0`).
+pub fn gcd(a: &Natural, b: &Natural) -> Natural {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// GCD of two integers, always non-negative.
+pub fn gcd_integer(a: &Integer, b: &Integer) -> Integer {
+    Integer::from(gcd(a.magnitude(), b.magnitude()))
+}
+
+/// Least common multiple (`lcm(0, x) = 0`).
+pub fn lcm(a: &Natural, b: &Natural) -> Natural {
+    if a.is_zero() || b.is_zero() {
+        return Natural::zero();
+    }
+    let g = gcd(a, b);
+    &(a / &g) * b
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with
+/// `a*x + b*y = g = gcd(a, b)` and `g >= 0`.
+pub fn extended_gcd(a: &Integer, b: &Integer) -> (Integer, Integer, Integer) {
+    let (mut old_r, mut r) = (a.clone(), b.clone());
+    let (mut old_s, mut s) = (Integer::one(), Integer::zero());
+    let (mut old_t, mut t) = (Integer::zero(), Integer::one());
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        let ns = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, ns);
+        let nt = &old_t - &(&q * &t);
+        old_t = std::mem::replace(&mut t, nt);
+    }
+    if old_r.is_negative() {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+/// Modular inverse of `a` modulo `m` (m > 1): `Some(x)` with
+/// `a*x ≡ 1 (mod m)` and `0 <= x < m`, or `None` if `gcd(a, m) != 1`.
+pub fn mod_inverse(a: &Integer, m: &Integer) -> Option<Integer> {
+    assert!(m > &Integer::one(), "modulus must exceed 1");
+    let (g, x, _) = extended_gcd(a, m);
+    if g.is_one() {
+        Some(x.rem_euclid(m))
+    } else {
+        None
+    }
+}
+
+/// Remove all factors of `p` from `n`, returning `(n / p^e, e)`.
+pub fn remove_factor(n: &Natural, p: &Natural) -> (Natural, u64) {
+    assert!(p > &Natural::one());
+    let mut n = n.clone();
+    let mut e = 0;
+    if n.is_zero() {
+        return (n, 0);
+    }
+    loop {
+        let (q, r) = n.div_rem(p);
+        if r.is_zero() {
+            n = q;
+            e += 1;
+        } else {
+            return (n, e);
+        }
+    }
+}
+
+/// Sign-aware helper: `Integer` from a `Sign` and `u64`.
+pub fn signed(sign: Sign, magnitude: u64) -> Integer {
+    Integer::from_sign_magnitude(
+        if magnitude == 0 { Sign::Zero } else { sign },
+        Natural::from(magnitude),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Natural {
+        Natural::from(v)
+    }
+    fn z(v: i64) -> Integer {
+        Integer::from(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&n(12), &n(18)), n(6));
+        assert_eq!(gcd(&n(0), &n(5)), n(5));
+        assert_eq!(gcd(&n(5), &n(0)), n(5));
+        assert_eq!(gcd(&n(0), &n(0)), n(0));
+        assert_eq!(gcd(&n(17), &n(13)), n(1));
+    }
+
+    #[test]
+    fn gcd_large_fibonacci_worst_case() {
+        // Consecutive Fibonacci numbers are the Euclid worst case.
+        let mut a = Natural::one();
+        let mut b = Natural::one();
+        for _ in 0..200 {
+            let c = &a + &b;
+            a = b;
+            b = c;
+        }
+        assert_eq!(gcd(&a, &b), Natural::one());
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(&n(4), &n(6)), n(12));
+        assert_eq!(lcm(&n(0), &n(6)), n(0));
+        assert_eq!(lcm(&n(7), &n(7)), n(7));
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let cases = [(240i64, 46), (-240, 46), (240, -46), (-240, -46), (0, 5), (5, 0), (1, 1)];
+        for (a, b) in cases {
+            let (g, x, y) = extended_gcd(&z(a), &z(b));
+            assert_eq!(&(&z(a) * &x) + &(&z(b) * &y), g, "bezout for {a},{b}");
+            assert!(!g.is_negative());
+            assert_eq!(g, gcd_integer(&z(a), &z(b)));
+        }
+    }
+
+    #[test]
+    fn mod_inverse_exists_for_coprime() {
+        let m = z(97);
+        for a in 1..97 {
+            let inv = mod_inverse(&z(a), &m).unwrap();
+            assert_eq!((&z(a) * &inv).rem_euclid(&m), Integer::one());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_absent_for_shared_factor() {
+        assert!(mod_inverse(&z(6), &z(9)).is_none());
+        assert!(mod_inverse(&z(0), &z(9)).is_none());
+    }
+
+    #[test]
+    fn remove_factor_counts() {
+        let (rest, e) = remove_factor(&n(360), &n(2));
+        assert_eq!((rest, e), (n(45), 3));
+        let (rest, e) = remove_factor(&n(7), &n(2));
+        assert_eq!((rest, e), (n(7), 0));
+        let (rest, e) = remove_factor(&n(0), &n(3));
+        assert_eq!((rest, e), (n(0), 0));
+    }
+}

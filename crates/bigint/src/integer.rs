@@ -1,0 +1,591 @@
+//! Signed arbitrary-precision integers.
+//!
+//! [`Integer`] is a sign-magnitude wrapper around [`Natural`] with the
+//! invariant that zero always has [`Sign::Zero`] (so representations are
+//! unique and `Eq`/`Hash` derive correctly).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+use crate::natural::Natural;
+
+/// The sign of an [`Integer`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Flip the sign (zero stays zero).
+    #[inline]
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// Product-of-signs rule.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Integer {
+    sign: Sign,
+    magnitude: Natural,
+}
+
+impl Integer {
+    /// The value 0.
+    #[inline]
+    pub fn zero() -> Self {
+        Integer { sign: Sign::Zero, magnitude: Natural::zero() }
+    }
+
+    /// The value 1.
+    #[inline]
+    pub fn one() -> Self {
+        Integer { sign: Sign::Positive, magnitude: Natural::one() }
+    }
+
+    /// The value -1.
+    #[inline]
+    pub fn neg_one() -> Self {
+        Integer { sign: Sign::Negative, magnitude: Natural::one() }
+    }
+
+    /// Build from sign and magnitude (sign is corrected if magnitude is 0).
+    pub fn from_sign_magnitude(sign: Sign, magnitude: Natural) -> Self {
+        if magnitude.is_zero() {
+            Integer::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            Integer { sign, magnitude }
+        }
+    }
+
+    /// The sign.
+    #[inline]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|` as a [`Natural`].
+    #[inline]
+    pub fn magnitude(&self) -> &Natural {
+        &self.magnitude
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Integer {
+        Integer {
+            sign: if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            magnitude: self.magnitude.clone(),
+        }
+    }
+
+    /// Is this zero?
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Is this one?
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.magnitude.is_one()
+    }
+
+    /// Is this strictly negative?
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Is this strictly positive?
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Is this an even number?
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.magnitude.is_even()
+    }
+
+    /// Bits in the magnitude (0 for zero).
+    #[inline]
+    pub fn bit_len(&self) -> u64 {
+        self.magnitude.bit_len()
+    }
+
+    /// Convert to [`Natural`] if non-negative.
+    pub fn to_natural(&self) -> Option<Natural> {
+        if self.is_negative() {
+            None
+        } else {
+            Some(self.magnitude.clone())
+        }
+    }
+
+    /// Convert to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => (m <= i64::MAX as u128).then_some(m as i64),
+            Sign::Negative => (m <= i64::MAX as u128 + 1).then(|| (m as u64).wrapping_neg() as i64),
+        }
+    }
+
+    /// Convert to `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => (m <= i128::MAX as u128).then_some(m as i128),
+            Sign::Negative => (m <= i128::MAX as u128 + 1).then(|| m.wrapping_neg() as i128),
+        }
+    }
+
+    /// Approximate `f64` value (for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        let m = self.magnitude.to_f64();
+        if self.is_negative() {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Truncated division: quotient rounds toward zero; remainder has the
+    /// sign of the dividend (matching Rust's `/` and `%` on primitives).
+    pub fn div_rem(&self, other: &Integer) -> (Integer, Integer) {
+        let (q, r) = self.magnitude.div_rem(&other.magnitude);
+        let qs = self.sign.mul(other.sign);
+        (
+            Integer::from_sign_magnitude(if q.is_zero() { Sign::Zero } else { qs }, q),
+            Integer::from_sign_magnitude(if r.is_zero() { Sign::Zero } else { self.sign }, r),
+        )
+    }
+
+    /// Euclidean remainder in `[0, |other|)`.
+    pub fn rem_euclid(&self, other: &Integer) -> Integer {
+        let r = self.div_rem(other).1;
+        if r.is_negative() {
+            r + other.abs()
+        } else {
+            r
+        }
+    }
+
+    /// Does `other` divide `self` exactly?
+    pub fn divisible_by(&self, other: &Integer) -> bool {
+        !other.is_zero() && self.div_rem(other).1.is_zero()
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(&self, exp: u64) -> Integer {
+        let mag = self.magnitude.pow(exp);
+        let sign = match self.sign {
+            Sign::Zero => {
+                if exp == 0 {
+                    Sign::Positive
+                } else {
+                    Sign::Zero
+                }
+            }
+            Sign::Positive => Sign::Positive,
+            Sign::Negative => {
+                if exp.is_multiple_of(2) {
+                    Sign::Positive
+                } else {
+                    Sign::Negative
+                }
+            }
+        };
+        Integer::from_sign_magnitude(sign, mag)
+    }
+
+    /// `self * 2^bits`.
+    pub fn shl(&self, bits: u64) -> Integer {
+        Integer::from_sign_magnitude(self.sign, &self.magnitude << bits)
+    }
+
+    /// Parse a decimal string with optional leading `-`.
+    pub fn from_decimal_str(s: &str) -> Option<Integer> {
+        if let Some(rest) = s.strip_prefix('-') {
+            let m = Natural::from_decimal_str(rest)?;
+            Some(Integer::from_sign_magnitude(
+                if m.is_zero() { Sign::Zero } else { Sign::Negative },
+                m,
+            ))
+        } else {
+            let m = Natural::from_decimal_str(s)?;
+            Some(Integer::from_sign_magnitude(
+                if m.is_zero() { Sign::Zero } else { Sign::Positive },
+                m,
+            ))
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Conversions
+// ----------------------------------------------------------------------
+
+impl From<Natural> for Integer {
+    fn from(n: Natural) -> Self {
+        let sign = if n.is_zero() { Sign::Zero } else { Sign::Positive };
+        Integer::from_sign_magnitude(sign, n)
+    }
+}
+
+impl From<i64> for Integer {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Integer::zero(),
+            Ordering::Greater => Integer::from_sign_magnitude(Sign::Positive, Natural::from(v as u64)),
+            Ordering::Less => {
+                Integer::from_sign_magnitude(Sign::Negative, Natural::from(v.unsigned_abs()))
+            }
+        }
+    }
+}
+
+impl From<i32> for Integer {
+    fn from(v: i32) -> Self {
+        Integer::from(v as i64)
+    }
+}
+
+impl From<u64> for Integer {
+    fn from(v: u64) -> Self {
+        Integer::from(Natural::from(v))
+    }
+}
+
+impl From<i128> for Integer {
+    fn from(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Integer::zero(),
+            Ordering::Greater => Integer::from_sign_magnitude(Sign::Positive, Natural::from(v as u128)),
+            Ordering::Less => {
+                Integer::from_sign_magnitude(Sign::Negative, Natural::from(v.unsigned_abs()))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Comparison
+// ----------------------------------------------------------------------
+
+impl Ord for Integer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Negative, Negative) => other.magnitude.cmp(&self.magnitude),
+            (Negative, _) => Ordering::Less,
+            (Zero, Negative) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Positive) => Ordering::Less,
+            (Positive, Positive) => self.magnitude.cmp(&other.magnitude),
+            (Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for Integer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Arithmetic
+// ----------------------------------------------------------------------
+
+fn add_signed(a: &Integer, b: &Integer) -> Integer {
+    use Sign::*;
+    match (a.sign, b.sign) {
+        (Zero, _) => b.clone(),
+        (_, Zero) => a.clone(),
+        (x, y) if x == y => Integer::from_sign_magnitude(x, &a.magnitude + &b.magnitude),
+        _ => match a.magnitude.cmp(&b.magnitude) {
+            Ordering::Equal => Integer::zero(),
+            Ordering::Greater => Integer::from_sign_magnitude(a.sign, &a.magnitude - &b.magnitude),
+            Ordering::Less => Integer::from_sign_magnitude(b.sign, &b.magnitude - &a.magnitude),
+        },
+    }
+}
+
+impl<'b> Add<&'b Integer> for &Integer {
+    type Output = Integer;
+    fn add(self, rhs: &'b Integer) -> Integer {
+        add_signed(self, rhs)
+    }
+}
+impl Add for Integer {
+    type Output = Integer;
+    fn add(self, rhs: Integer) -> Integer {
+        add_signed(&self, &rhs)
+    }
+}
+impl<'b> Add<&'b Integer> for Integer {
+    type Output = Integer;
+    fn add(self, rhs: &'b Integer) -> Integer {
+        add_signed(&self, rhs)
+    }
+}
+impl AddAssign<&Integer> for Integer {
+    fn add_assign(&mut self, rhs: &Integer) {
+        *self = add_signed(self, rhs);
+    }
+}
+impl AddAssign for Integer {
+    fn add_assign(&mut self, rhs: Integer) {
+        *self = add_signed(self, &rhs);
+    }
+}
+
+impl Neg for Integer {
+    type Output = Integer;
+    fn neg(self) -> Integer {
+        Integer { sign: self.sign.negate(), magnitude: self.magnitude }
+    }
+}
+impl Neg for &Integer {
+    type Output = Integer;
+    fn neg(self) -> Integer {
+        Integer { sign: self.sign.negate(), magnitude: self.magnitude.clone() }
+    }
+}
+
+impl<'b> Sub<&'b Integer> for &Integer {
+    type Output = Integer;
+    fn sub(self, rhs: &'b Integer) -> Integer {
+        add_signed(self, &-rhs)
+    }
+}
+impl Sub for Integer {
+    type Output = Integer;
+    fn sub(self, rhs: Integer) -> Integer {
+        add_signed(&self, &-rhs)
+    }
+}
+impl<'b> Sub<&'b Integer> for Integer {
+    type Output = Integer;
+    fn sub(self, rhs: &'b Integer) -> Integer {
+        add_signed(&self, &-rhs)
+    }
+}
+impl SubAssign<&Integer> for Integer {
+    fn sub_assign(&mut self, rhs: &Integer) {
+        *self = add_signed(self, &-rhs);
+    }
+}
+impl SubAssign for Integer {
+    fn sub_assign(&mut self, rhs: Integer) {
+        *self = add_signed(self, &-rhs);
+    }
+}
+
+impl<'b> Mul<&'b Integer> for &Integer {
+    type Output = Integer;
+    fn mul(self, rhs: &'b Integer) -> Integer {
+        Integer::from_sign_magnitude(self.sign.mul(rhs.sign), &self.magnitude * &rhs.magnitude)
+    }
+}
+impl Mul for Integer {
+    type Output = Integer;
+    fn mul(self, rhs: Integer) -> Integer {
+        &self * &rhs
+    }
+}
+impl<'b> Mul<&'b Integer> for Integer {
+    type Output = Integer;
+    fn mul(self, rhs: &'b Integer) -> Integer {
+        &self * rhs
+    }
+}
+impl MulAssign<&Integer> for Integer {
+    fn mul_assign(&mut self, rhs: &Integer) {
+        *self = &*self * rhs;
+    }
+}
+
+impl<'b> Div<&'b Integer> for &Integer {
+    type Output = Integer;
+    fn div(self, rhs: &'b Integer) -> Integer {
+        self.div_rem(rhs).0
+    }
+}
+impl Div for Integer {
+    type Output = Integer;
+    fn div(self, rhs: Integer) -> Integer {
+        self.div_rem(&rhs).0
+    }
+}
+impl<'b> Rem<&'b Integer> for &Integer {
+    type Output = Integer;
+    fn rem(self, rhs: &'b Integer) -> Integer {
+        self.div_rem(rhs).1
+    }
+}
+
+// ----------------------------------------------------------------------
+// Formatting
+// ----------------------------------------------------------------------
+
+impl fmt::Display for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+impl fmt::Debug for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Integer({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(v: i128) -> Integer {
+        Integer::from(v)
+    }
+
+    #[test]
+    fn sign_rules() {
+        assert_eq!(Sign::Negative.mul(Sign::Negative), Sign::Positive);
+        assert_eq!(Sign::Negative.mul(Sign::Positive), Sign::Negative);
+        assert_eq!(Sign::Zero.mul(Sign::Negative), Sign::Zero);
+        assert_eq!(Sign::Positive.negate(), Sign::Negative);
+        assert_eq!(Sign::Zero.negate(), Sign::Zero);
+    }
+
+    #[test]
+    fn add_sub_mixed_signs_matches_i128() {
+        let cases = [-100i128, -37, -1, 0, 1, 9, 64, 100_000, -(1i128 << 90), 1i128 << 90];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(z(a) + z(b), z(a + b), "{a} + {b}");
+                assert_eq!(z(a) - z(b), z(a - b), "{a} - {b}");
+                if let Some(p) = a.checked_mul(b) {
+                    assert_eq!(z(a) * z(b), z(p), "{a} * {b}");
+                }
+            }
+        }
+        // Products beyond i128: verify via magnitude arithmetic.
+        let big = z(1i128 << 90);
+        let prod = &big * &big;
+        assert_eq!(prod.magnitude().bit_len(), 181);
+        assert!(prod.is_positive());
+        assert_eq!((&big * &-&big).sign(), Sign::Negative);
+    }
+
+    #[test]
+    fn division_matches_i128_truncation() {
+        let cases = [-100i128, -37, -7, -1, 1, 7, 37, 100];
+        for &a in &cases {
+            for &b in &cases {
+                let (q, r) = z(a).div_rem(&z(b));
+                assert_eq!(q, z(a / b), "{a} / {b}");
+                assert_eq!(r, z(a % b), "{a} % {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rem_euclid_nonnegative() {
+        for a in -20i128..20 {
+            for b in [-7i128, -3, 3, 7] {
+                let r = z(a).rem_euclid(&z(b)).to_i128().unwrap();
+                assert_eq!(r, a.rem_euclid(b), "{a} rem_euclid {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(z(-2).pow(3), z(-8));
+        assert_eq!(z(-2).pow(4), z(16));
+        assert_eq!(z(0).pow(0), z(1));
+        assert_eq!(z(0).pow(5), z(0));
+        assert_eq!(z(-3).pow(0), z(1));
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        let sorted = [z(-10), z(-2), z(0), z(1), z(5)];
+        for w in sorted.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn to_i64_boundaries() {
+        assert_eq!(z(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(z(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(z(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(z(i64::MIN as i128 - 1).to_i64(), None);
+    }
+
+    #[test]
+    fn to_i128_boundaries() {
+        assert_eq!(z(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(z(i128::MIN).to_i128(), Some(i128::MIN));
+        let too_big = Integer::from(Natural::power_of_two(127));
+        assert_eq!(too_big.to_i128(), None);
+        assert_eq!((-too_big).to_i128(), Some(i128::MIN));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for v in [-123456789012345678901234567890i128 % i128::MAX, -5, 0, 5, i128::MAX] {
+            let i = z(v);
+            assert_eq!(Integer::from_decimal_str(&i.to_string()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn divisible_by() {
+        assert!(z(12).divisible_by(&z(-4)));
+        assert!(!z(12).divisible_by(&z(5)));
+        assert!(!z(12).divisible_by(&z(0)));
+        assert!(z(0).divisible_by(&z(7)));
+    }
+
+    #[test]
+    fn zero_has_zero_sign_always() {
+        let a = z(5) - z(5);
+        assert_eq!(a.sign(), Sign::Zero);
+        let b = z(-5) + z(5);
+        assert_eq!(b.sign(), Sign::Zero);
+        let c = z(5) * z(0);
+        assert_eq!(c.sign(), Sign::Zero);
+    }
+}

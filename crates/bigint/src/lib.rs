@@ -1,0 +1,61 @@
+//! # ccmx-bigint
+//!
+//! Arbitrary-precision integer and rational arithmetic, implemented from
+//! scratch for the `ccmx` reproduction of Chu & Schnitger (SPAA 1989,
+//! *J. Complexity* 1991).
+//!
+//! Exact arithmetic is a hard requirement of the reproduction: the hard
+//! instances of the paper are `2n × 2n` matrices of `k`-bit integers whose
+//! determinants are bounded only by the Hadamard bound
+//! `(2^k · sqrt(2n))^{2n}`, which overflows `i128` already for tiny
+//! parameters. No bignum crate is available in the offline dependency set,
+//! so this crate provides:
+//!
+//! * [`Natural`] — unsigned arbitrary-precision integers (little-endian
+//!   `u64` limbs, schoolbook + Karatsuba multiplication, Knuth Algorithm D
+//!   division),
+//! * [`Integer`] — signed arbitrary-precision integers,
+//! * [`Rational`] — always-normalized fractions of [`Integer`]s,
+//! * modular arithmetic ([`modular`]), primality testing and prime windows
+//!   ([`prime`]), random sampling ([`random`]) and the Hadamard-style
+//!   magnitude bounds the paper's analysis relies on ([`bounds`]).
+//!
+//! The crate is deliberately dependency-light (only `rand`, optional
+//! `serde`) and allocation-conscious in its inner loops, following the
+//! hpc-parallel guidance used across the workspace.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bounds;
+pub mod gcd;
+pub mod integer;
+pub mod modular;
+pub mod natural;
+pub mod prime;
+pub mod random;
+pub mod rational;
+
+pub use integer::Integer;
+pub use natural::Natural;
+pub use rational::Rational;
+
+/// The limb type used throughout the crate: 64-bit little-endian digits.
+pub type Limb = u64;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: u32 = 64;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn reexports_are_usable() {
+        let a = Integer::from(-7i64);
+        let b = Natural::from(7u64);
+        assert_eq!((-a).to_natural().unwrap(), b);
+        let r = Rational::new(Integer::from(1i64), Integer::from(2i64));
+        assert_eq!(r + Rational::new(Integer::from(1i64), Integer::from(2i64)), Rational::one());
+    }
+}

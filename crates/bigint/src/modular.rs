@@ -1,0 +1,252 @@
+//! Modular arithmetic on naturals and integers.
+//!
+//! The randomized singularity protocol (`ccmx-comm`) and the modular rank
+//! engine (`ccmx-linalg`) both reduce `k`-bit matrix entries modulo a prime
+//! and work in `Z_p`. This module provides the scalar kernels: modular
+//! reduction, exponentiation, and inversion, for both `u64` moduli (hot
+//! path, `u128` intermediates) and big moduli.
+
+use crate::gcd::mod_inverse;
+use crate::{Integer, Natural};
+
+/// `a * b mod m` for `u64` operands, exact via `u128` intermediates.
+#[inline]
+pub fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a + b mod m` for `u64` operands.
+#[inline]
+pub fn add_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    let (s, carry) = a.overflowing_add(b);
+    if carry || s >= m {
+        s.wrapping_sub(m)
+    } else {
+        s
+    }
+}
+
+/// `a - b mod m` for `u64` operands.
+#[inline]
+pub fn sub_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_sub(b).wrapping_add(m)
+    }
+}
+
+/// `base^exp mod m` for `u64` operands.
+pub fn pow_mod_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    base %= m;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_u64(acc, base, m);
+        }
+        exp >>= 1;
+        base = mul_mod_u64(base, base, m);
+    }
+    acc
+}
+
+/// Modular inverse in `Z_m` for `u64` operands; `None` when not coprime.
+pub fn inv_mod_u64(a: u64, m: u64) -> Option<u64> {
+    assert!(m > 1);
+    // Extended Euclid on i128 (m < 2^64 so all intermediates fit).
+    let (mut old_r, mut r) = (a as i128 % m as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        let tmp = old_r - q * r;
+        old_r = std::mem::replace(&mut r, tmp);
+        let tmp = old_s - q * s;
+        old_s = std::mem::replace(&mut s, tmp);
+    }
+    if old_r.abs() != 1 {
+        return None;
+    }
+    let mut x = old_s * old_r.signum();
+    x %= m as i128;
+    if x < 0 {
+        x += m as i128;
+    }
+    Some(x as u64)
+}
+
+/// Reduce an [`Integer`] into `[0, m)` for a `u64` modulus.
+pub fn reduce_integer_u64(a: &Integer, m: u64) -> u64 {
+    assert!(m > 0);
+    let r = (a.magnitude() % &Natural::from(m)).to_u64().expect("residue fits u64");
+    if a.is_negative() && r != 0 {
+        m - r
+    } else {
+        r
+    }
+}
+
+/// `base^exp mod m` with big modulus.
+pub fn pow_mod(base: &Natural, exp: &Natural, m: &Natural) -> Natural {
+    assert!(!m.is_zero());
+    if m.is_one() {
+        return Natural::zero();
+    }
+    let mut acc = Natural::one();
+    let mut base = base % m;
+    let bits = exp.bit_len();
+    for i in 0..bits {
+        if exp.bit(i) {
+            acc = &(&acc * &base) % m;
+        }
+        if i + 1 < bits {
+            base = &(&base * &base) % m;
+        }
+    }
+    acc
+}
+
+/// Modular inverse of an [`Integer`] mod a big modulus (`None` if not
+/// coprime).
+pub fn inv_mod(a: &Integer, m: &Natural) -> Option<Integer> {
+    mod_inverse(a, &Integer::from(m.clone()))
+}
+
+/// Chinese remainder theorem for a pair: find `x mod m1*m2` with
+/// `x ≡ r1 (mod m1)`, `x ≡ r2 (mod m2)`. Moduli must be coprime.
+pub fn crt_pair(r1: &Natural, m1: &Natural, r2: &Natural, m2: &Natural) -> Natural {
+    // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2)
+    let m1_int = Integer::from(m1.clone());
+    let inv = inv_mod(&m1_int, m2).expect("CRT moduli must be coprime");
+    let diff = &Integer::from(r2.clone()) - &Integer::from(r1.clone());
+    let t = (&diff * &inv).rem_euclid(&Integer::from(m2.clone()));
+    let t = t.to_natural().expect("rem_euclid is non-negative");
+    r1 + &(m1 * &t)
+}
+
+/// Combine a list of residues `(r_i, m_i)` with pairwise-coprime moduli
+/// into `(x, M)` with `x ≡ r_i (mod m_i)` and `M = prod m_i`.
+pub fn crt(residues: &[(Natural, Natural)]) -> (Natural, Natural) {
+    assert!(!residues.is_empty());
+    let mut x = residues[0].0.clone();
+    let mut m = residues[0].1.clone();
+    for (r, mi) in &residues[1..] {
+        x = crt_pair(&x, &m, r, mi);
+        m = &m * mi;
+    }
+    (x, m)
+}
+
+/// Interpret a CRT residue `x mod m` as a symmetric representative in
+/// `(-m/2, m/2]`, as an [`Integer`]. This recovers signed determinants from
+/// modular computations once `m` exceeds twice the Hadamard bound.
+pub fn symmetric_representative(x: &Natural, m: &Natural) -> Integer {
+    let half = m >> 1u64;
+    if x > &half {
+        Integer::from(x.clone()) - Integer::from(m.clone())
+    } else {
+        Integer::from(x.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_kernels_match_naive() {
+        let m = 1_000_000_007u64;
+        for a in [0u64, 1, 5, m - 1] {
+            for b in [0u64, 1, 7, m - 1] {
+                assert_eq!(add_mod_u64(a, b, m), ((a as u128 + b as u128) % m as u128) as u64);
+                assert_eq!(
+                    sub_mod_u64(a, b, m),
+                    ((a as i128 - b as i128).rem_euclid(m as i128)) as u64
+                );
+                assert_eq!(mul_mod_u64(a, b, m), ((a as u128 * b as u128) % m as u128) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn add_mod_near_u64_max() {
+        let m = u64::MAX - 58; // large modulus: the overflowing path
+        let a = m - 1;
+        let b = m - 2;
+        assert_eq!(add_mod_u64(a, b, m), ((a as u128 + b as u128) % m as u128) as u64);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let p = 1_000_000_007u64;
+        for a in [2u64, 3, 65537, 999_999_999] {
+            assert_eq!(pow_mod_u64(a, p - 1, p), 1);
+        }
+    }
+
+    #[test]
+    fn inv_mod_u64_roundtrip() {
+        let p = 97u64;
+        for a in 1..p {
+            let inv = inv_mod_u64(a, p).unwrap();
+            assert_eq!(mul_mod_u64(a, inv, p), 1);
+        }
+        assert_eq!(inv_mod_u64(6, 9), None);
+    }
+
+    #[test]
+    fn reduce_integer_signs() {
+        assert_eq!(reduce_integer_u64(&Integer::from(-1i64), 7), 6);
+        assert_eq!(reduce_integer_u64(&Integer::from(-7i64), 7), 0);
+        assert_eq!(reduce_integer_u64(&Integer::from(15i64), 7), 1);
+        assert_eq!(reduce_integer_u64(&Integer::from(0i64), 7), 0);
+    }
+
+    #[test]
+    fn big_pow_mod_matches_u64() {
+        let m = 1_000_003u64;
+        for (b, e) in [(2u64, 100u64), (3, 64), (12345, 6789)] {
+            let big = pow_mod(&Natural::from(b), &Natural::from(e), &Natural::from(m));
+            assert_eq!(big.to_u64().unwrap(), pow_mod_u64(b, e, m));
+        }
+    }
+
+    #[test]
+    fn crt_reconstruction() {
+        let residues = vec![
+            (Natural::from(2u64), Natural::from(3u64)),
+            (Natural::from(3u64), Natural::from(5u64)),
+            (Natural::from(2u64), Natural::from(7u64)),
+        ];
+        let (x, m) = crt(&residues);
+        assert_eq!(m, Natural::from(105u64));
+        assert_eq!(x, Natural::from(23u64));
+    }
+
+    #[test]
+    fn symmetric_representatives() {
+        let m = Natural::from(100u64);
+        assert_eq!(symmetric_representative(&Natural::from(3u64), &m), Integer::from(3i64));
+        assert_eq!(symmetric_representative(&Natural::from(97u64), &m), Integer::from(-3i64));
+        assert_eq!(symmetric_representative(&Natural::from(50u64), &m), Integer::from(50i64));
+        assert_eq!(symmetric_representative(&Natural::from(51u64), &m), Integer::from(-49i64));
+    }
+
+    #[test]
+    fn crt_recovers_negative_determinant() {
+        // Simulate recovering -42 from residues mod 97 and 101.
+        let v = -42i64;
+        let p1 = 97u64;
+        let p2 = 101u64;
+        let r1 = Natural::from(v.rem_euclid(p1 as i64) as u64);
+        let r2 = Natural::from(v.rem_euclid(p2 as i64) as u64);
+        let (x, m) = crt(&[(r1, Natural::from(p1)), (r2, Natural::from(p2))]);
+        assert_eq!(symmetric_representative(&x, &m), Integer::from(v));
+    }
+}

@@ -1,0 +1,267 @@
+//! Primality testing and prime generation.
+//!
+//! The randomized singularity-testing protocol needs a *prime window*: the
+//! set of primes in `[2^{b-1}, 2^b)` for a bit size `b` chosen so that a
+//! nonzero determinant (bounded by the Hadamard bound) has few prime
+//! divisors in the window relative to the window's size. This module
+//! provides a deterministic Miller–Rabin test for `u64`, a sieve, random
+//! prime sampling, and the window-size estimates used by the protocol's
+//! error analysis.
+
+use rand::Rng;
+
+use crate::modular::{mul_mod_u64, pow_mod_u64};
+use crate::Natural;
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`,
+/// which is known to be exact for all `n < 3.3 * 10^24` (far beyond `u64`).
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let s = d.trailing_zeros();
+    d >>= s;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_u64(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod_u64(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// All primes `< limit` by a simple sieve of Eratosthenes.
+pub fn sieve(limit: usize) -> Vec<u64> {
+    if limit < 3 {
+        return if limit > 2 { vec![2] } else { Vec::new() };
+    }
+    let mut is_comp = vec![false; limit];
+    let mut primes = Vec::new();
+    for i in 2..limit {
+        if !is_comp[i] {
+            primes.push(i as u64);
+            let mut j = i * i;
+            while j < limit {
+                is_comp[j] = true;
+                j += i;
+            }
+        }
+    }
+    primes
+}
+
+/// The first prime `>= n` (`n <= u64::MAX - small slack`).
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    loop {
+        if is_prime_u64(n) {
+            return n;
+        }
+        n = n.checked_add(2).expect("prime search overflowed u64");
+    }
+}
+
+/// A half-open window `[2^{bits-1}, 2^bits)` from which the randomized
+/// protocol samples primes. `bits` must be in `2..=63`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrimeWindow {
+    /// The bit size `b`; primes are drawn from `[2^{b-1}, 2^b)`.
+    pub bits: u32,
+}
+
+impl PrimeWindow {
+    /// Construct a window of the given bit size.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=63).contains(&bits), "PrimeWindow bits must be in 2..=63");
+        PrimeWindow { bits }
+    }
+
+    /// Lower end (inclusive).
+    pub fn lo(&self) -> u64 {
+        1u64 << (self.bits - 1)
+    }
+
+    /// Upper end (exclusive).
+    pub fn hi(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Sample a uniformly random prime from the window by rejection.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let candidate = rng.gen_range(self.lo()..self.hi()) | 1;
+            if is_prime_u64(candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Lower bound on the number of primes in the window, from the
+    /// Rosser–Schoenfeld-style bound `pi(x) > x / ln x` for `x >= 17`.
+    ///
+    /// For the window `[2^{b-1}, 2^b)` this gives
+    /// `pi(2^b) - pi(2^{b-1}) > 2^b / (b ln 2) - 2^{b-1} * 1.26 / ((b-1) ln 2)`
+    /// (using `pi(x) < 1.26 x / ln x`), which is positive and of order
+    /// `2^{b-1} / (b ln 2)` for every `b >= 4`.
+    pub fn count_lower_bound(&self) -> f64 {
+        let b = self.bits as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let upper = (2f64).powf(b) / (b * ln2);
+        let lower_overcount = 1.26 * (2f64).powf(b - 1.0) / ((b - 1.0) * ln2);
+        (upper - lower_overcount).max(1.0)
+    }
+
+    /// Exact prime count in the window (only feasible for small windows;
+    /// used by tests to validate `count_lower_bound`).
+    pub fn count_exact(&self) -> u64 {
+        assert!(self.bits <= 24, "exact count only supported for small windows");
+        let primes = sieve(self.hi() as usize);
+        primes.iter().filter(|&&p| p >= self.lo()).count() as u64
+    }
+}
+
+/// Given a bound `|d| <= magnitude_bound` on a nonzero integer `d`, the
+/// number of *distinct* primes `>= 2^{bits-1}` dividing `d` is at most
+/// `log_{2^{bits-1}}(magnitude_bound) = bit_len(bound) / (bits - 1)`.
+///
+/// Together with [`PrimeWindow::count_lower_bound`] this yields the
+/// one-sided error probability of the randomized singularity protocol.
+pub fn max_prime_divisors_in_window(magnitude_bound: &Natural, window: PrimeWindow) -> u64 {
+    let bits = magnitude_bound.bit_len();
+    bits.div_ceil((window.bits - 1) as u64)
+}
+
+/// Pick a window size (in bits) so that the randomized protocol errs with
+/// probability at most `2^-security`: the window must contain at least
+/// `2^security` times as many primes as any admissible nonzero determinant
+/// can have divisors in it.
+pub fn window_for_error(magnitude_bound: &Natural, security: u32) -> PrimeWindow {
+    for bits in 8..=62u32 {
+        let w = PrimeWindow::new(bits);
+        let bad = max_prime_divisors_in_window(magnitude_bound, w) as f64;
+        let total = w.count_lower_bound();
+        if bad * (2f64).powi(security as i32) <= total {
+            return w;
+        }
+    }
+    PrimeWindow::new(62)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime_u64(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn miller_rabin_agrees_with_sieve() {
+        let limit = 10_000;
+        let sieved: std::collections::HashSet<u64> = sieve(limit).into_iter().collect();
+        for n in 0..limit as u64 {
+            assert_eq!(is_prime_u64(n), sieved.contains(&n), "disagreement at {n}");
+        }
+    }
+
+    #[test]
+    fn large_known_primes_and_composites() {
+        assert!(is_prime_u64(2_147_483_647)); // 2^31 - 1, Mersenne
+        assert!(is_prime_u64(1_000_000_007));
+        assert!(is_prime_u64(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime_u64(3_215_031_751)); // strong pseudoprime to 2,3,5,7
+        assert!(!is_prime_u64(u64::MAX));
+        let carmichael = 561u64;
+        assert!(!is_prime_u64(carmichael));
+    }
+
+    #[test]
+    fn next_prime_steps() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(1_000_000_000), 1_000_000_007);
+    }
+
+    #[test]
+    fn window_sampling_in_range_and_prime() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = PrimeWindow::new(20);
+        for _ in 0..50 {
+            let p = w.sample(&mut rng);
+            assert!(p >= w.lo() && p < w.hi());
+            assert!(is_prime_u64(p));
+        }
+    }
+
+    #[test]
+    fn window_lower_bound_is_a_lower_bound() {
+        for bits in [12u32, 16, 20, 24] {
+            let w = PrimeWindow::new(bits);
+            let exact = w.count_exact() as f64;
+            let bound = w.count_lower_bound();
+            assert!(
+                bound <= exact,
+                "bits={bits}: claimed lower bound {bound} exceeds exact count {exact}"
+            );
+            assert!(bound >= 1.0);
+        }
+    }
+
+    #[test]
+    fn divisor_bound_is_correct_for_known_value() {
+        // d = product of three 15-bit primes. In a 16-bit window it has
+        // exactly 3 prime divisors; the bound must be >= 3.
+        let p1 = 16411u64;
+        let p2 = 16417;
+        let p3 = 16421;
+        assert!(is_prime_u64(p1) && is_prime_u64(p2) && is_prime_u64(p3));
+        let d = Natural::from(p1) * Natural::from(p2) * Natural::from(p3);
+        let bound = max_prime_divisors_in_window(&d, PrimeWindow::new(15));
+        assert!(bound >= 3, "bound {bound} misses actual divisor count 3");
+    }
+
+    #[test]
+    fn window_for_error_scales_with_security() {
+        let bound = Natural::power_of_two(1 << 12); // a 4096-bit determinant bound
+        let w10 = window_for_error(&bound, 10);
+        let w20 = window_for_error(&bound, 20);
+        assert!(w20.bits >= w10.bits);
+        // Sanity: claimed error is met by the returned window.
+        let bad = max_prime_divisors_in_window(&bound, w20) as f64;
+        assert!(bad * (2f64).powi(20) <= w20.count_lower_bound());
+    }
+}

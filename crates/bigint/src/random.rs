@@ -1,0 +1,150 @@
+//! Random sampling of naturals and integers.
+//!
+//! The paper's input model is matrices of `k`-bit integers in
+//! `[0, 2^k - 1]`; the restricted blocks of Fig. 3 draw entries from
+//! `[0, q - 1]` with `q = 2^k - 1`. These samplers feed both the instance
+//! generators and the property-based tests.
+
+use rand::Rng;
+
+use crate::integer::Sign;
+use crate::{Integer, Natural, LIMB_BITS};
+
+/// Uniform natural in `[0, 2^bits)`.
+pub fn natural_with_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Natural {
+    if bits == 0 {
+        return Natural::zero();
+    }
+    let limbs = bits.div_ceil(LIMB_BITS as u64) as usize;
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    let excess = (limbs as u64 * LIMB_BITS as u64) - bits;
+    if excess > 0 {
+        let last = v.last_mut().expect("limbs >= 1");
+        *last >>= excess;
+    }
+    Natural::from_limbs(v)
+}
+
+/// Uniform natural in `[0, bound)`; panics if `bound` is zero.
+pub fn natural_below<R: Rng + ?Sized>(rng: &mut R, bound: &Natural) -> Natural {
+    assert!(!bound.is_zero(), "empty sampling range");
+    let bits = bound.bit_len();
+    // Rejection sampling: expected < 2 iterations.
+    loop {
+        let candidate = natural_with_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Uniform integer in `[lo, hi]` (inclusive).
+pub fn integer_in_range<R: Rng + ?Sized>(rng: &mut R, lo: &Integer, hi: &Integer) -> Integer {
+    assert!(lo <= hi, "empty range");
+    let span = hi - lo + Integer::one();
+    let offset = natural_below(rng, span.magnitude());
+    lo + &Integer::from(offset)
+}
+
+/// A uniform `k`-bit matrix entry in `[0, 2^k - 1]`, the paper's input
+/// alphabet.
+pub fn k_bit_entry<R: Rng + ?Sized>(rng: &mut R, k: u32) -> Integer {
+    Integer::from(natural_with_bits(rng, k as u64))
+}
+
+/// A uniform restricted-block entry in `[0, q - 1]` with `q = 2^k - 1`
+/// (the alphabet of the C, D, E, y blocks in Fig. 3).
+pub fn restricted_entry<R: Rng + ?Sized>(rng: &mut R, k: u32) -> Integer {
+    let q = (Natural::power_of_two(k as u64)) - Natural::one();
+    assert!(!q.is_zero(), "k must be >= 1");
+    Integer::from(natural_below(rng, &q))
+}
+
+/// Random nonzero integer with magnitude below `2^bits`.
+pub fn nonzero_integer<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Integer {
+    loop {
+        let m = natural_with_bits(rng, bits);
+        if !m.is_zero() {
+            let sign = if rng.gen::<bool>() { Sign::Positive } else { Sign::Negative };
+            return Integer::from_sign_magnitude(sign, m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bits_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [0u64, 1, 7, 63, 64, 65, 200] {
+            for _ in 0..20 {
+                let n = natural_with_bits(&mut rng, bits);
+                assert!(n.bit_len() <= bits, "bits={bits} produced {}", n.bit_len());
+            }
+        }
+    }
+
+    #[test]
+    fn below_bound_respected_and_covers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = Natural::from(10u64);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let n = natural_below(&mut rng, &bound);
+            let v = n.to_u64().unwrap() as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampler missed a value in [0,10)");
+    }
+
+    #[test]
+    fn integer_range_inclusive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lo = Integer::from(-3i64);
+        let hi = Integer::from(3i64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = integer_in_range(&mut rng, &lo, &hi).to_i64().unwrap();
+            assert!((-3..=3).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn k_bit_entries_in_paper_alphabet() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for k in 1..=8u32 {
+            let max = (1u64 << k) - 1;
+            for _ in 0..50 {
+                let e = k_bit_entry(&mut rng, k).to_i64().unwrap();
+                assert!((0..=max as i64).contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_entries_strictly_below_q() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in 1..=8u32 {
+            let q = (1i64 << k) - 1;
+            for _ in 0..50 {
+                let e = restricted_entry(&mut rng, k).to_i64().unwrap();
+                assert!((0..q).contains(&e), "k={k}: entry {e} not in [0, q-1]");
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_is_nonzero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            assert!(!nonzero_integer(&mut rng, 3).is_zero());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests for the arbitrary-precision arithmetic:
+//! ring/field axioms, division invariants, gcd laws, and agreement with
+//! native `u128`/`i128` arithmetic on the representable range.
+
+use ccmx_bigint::gcd::{extended_gcd, gcd, lcm};
+use ccmx_bigint::modular::{inv_mod_u64, mul_mod_u64, pow_mod_u64};
+use ccmx_bigint::prime::is_prime_u64;
+use ccmx_bigint::{Integer, Natural, Rational};
+use proptest::prelude::*;
+
+fn arb_natural() -> impl Strategy<Value = Natural> {
+    prop::collection::vec(any::<u64>(), 0..6).prop_map(Natural::from_limbs)
+}
+
+fn arb_integer() -> impl Strategy<Value = Integer> {
+    (arb_natural(), any::<bool>()).prop_map(|(m, neg)| {
+        let i = Integer::from(m);
+        if neg {
+            -i
+        } else {
+            i
+        }
+    })
+}
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1..=u32::MAX).prop_map(|(n, d)| Rational::new(Integer::from(n), Integer::from(d as i64)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ------------------------- Natural -------------------------
+
+    #[test]
+    fn natural_add_commutes(a in arb_natural(), b in arb_natural()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn natural_add_associates(a in arb_natural(), b in arb_natural(), c in arb_natural()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn natural_mul_commutes(a in arb_natural(), b in arb_natural()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn natural_mul_associates(a in arb_natural(), b in arb_natural(), c in arb_natural()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn natural_distributive(a in arb_natural(), b in arb_natural(), c in arb_natural()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn natural_add_sub_roundtrip(a in arb_natural(), b in arb_natural()) {
+        let s = &a + &b;
+        prop_assert_eq!(&s - &b, a);
+    }
+
+    #[test]
+    fn natural_div_rem_invariant(a in arb_natural(), b in arb_natural()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn natural_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (na, nb) = (Natural::from(a), Natural::from(b));
+        prop_assert_eq!((&na + &nb).to_string(), (a.checked_add(b).map(|s| s.to_string())).unwrap_or_else(|| (&na + &nb).to_string()));
+        if b != 0 {
+            let (q, r) = na.div_rem(&nb);
+            prop_assert_eq!(q.to_u128().unwrap(), a / b);
+            prop_assert_eq!(r.to_u128().unwrap(), a % b);
+        }
+    }
+
+    #[test]
+    fn natural_shift_is_power_of_two_mul(a in arb_natural(), s in 0u64..200) {
+        prop_assert_eq!(&a << s, &a * &Natural::power_of_two(s));
+    }
+
+    #[test]
+    fn natural_isqrt_bounds(a in arb_natural()) {
+        let s = a.isqrt();
+        prop_assert!(&(&s * &s) <= &a);
+        let s1 = &s + &Natural::one();
+        prop_assert!(&(&s1 * &s1) > &a);
+    }
+
+    #[test]
+    fn natural_display_parse_roundtrip(a in arb_natural()) {
+        let s = a.to_string();
+        prop_assert_eq!(Natural::from_decimal_str(&s).unwrap(), a);
+    }
+
+    // ------------------------- Integer -------------------------
+
+    #[test]
+    fn integer_ring_axioms(a in arb_integer(), b in arb_integer(), c in arb_integer()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a + &Integer::zero(), a.clone());
+        prop_assert_eq!(&a * &Integer::one(), a.clone());
+        prop_assert_eq!(&a + &(-&a), Integer::zero());
+    }
+
+    #[test]
+    fn integer_div_rem_truncates(a in arb_integer(), b in arb_integer()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.magnitude() < b.magnitude());
+        // Remainder sign matches the dividend (or is zero).
+        if !r.is_zero() {
+            prop_assert_eq!(r.is_negative(), a.is_negative());
+        }
+    }
+
+    #[test]
+    fn integer_rem_euclid_in_range(a in arb_integer(), b in arb_integer()) {
+        prop_assume!(!b.is_zero());
+        let r = a.rem_euclid(&b);
+        prop_assert!(!r.is_negative());
+        prop_assert!(r.magnitude() < b.magnitude());
+        prop_assert!((&a - &r).divisible_by(&b));
+    }
+
+    #[test]
+    fn integer_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ia, ib) = (Integer::from(a), Integer::from(b));
+        prop_assert_eq!((&ia + &ib).to_i128(), Some(a as i128 + b as i128));
+        prop_assert_eq!((&ia * &ib).to_i128(), Some(a as i128 * b as i128));
+        prop_assert_eq!((&ia - &ib).to_i128(), Some(a as i128 - b as i128));
+    }
+
+    // ------------------------- GCD -------------------------
+
+    #[test]
+    fn gcd_divides_both(a in arb_natural(), b in arb_natural()) {
+        let g = gcd(&a, &b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn gcd_lcm_product_law(a in any::<u64>(), b in any::<u64>()) {
+        let (na, nb) = (Natural::from(a), Natural::from(b));
+        let g = gcd(&na, &nb);
+        let l = lcm(&na, &nb);
+        prop_assert_eq!(&g * &l, &na * &nb);
+    }
+
+    #[test]
+    fn bezout_identity(a in arb_integer(), b in arb_integer()) {
+        let (g, x, y) = extended_gcd(&a, &b);
+        prop_assert_eq!(&(&a * &x) + &(&b * &y), g.clone());
+        prop_assert!(!g.is_negative());
+    }
+
+    // ------------------------- Rational -------------------------
+
+    #[test]
+    fn rational_field_axioms(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_sub_div_inverses(a in arb_rational(), b in arb_rational()) {
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a * &b) / &b, a);
+        }
+    }
+
+    #[test]
+    fn rational_always_normalized(a in arb_rational(), b in arb_rational()) {
+        let s = &a + &b;
+        let g = gcd(s.numerator().magnitude(), s.denominator());
+        prop_assert!(g.is_one() || s.is_zero());
+        prop_assert!(!s.denominator().is_zero());
+    }
+
+    // ------------------------- Modular -------------------------
+
+    #[test]
+    fn modular_inverse_law(a in 1u64..u32::MAX as u64, bump in 0u64..1000) {
+        let p = ccmx_bigint::prime::next_prime(u32::MAX as u64 + bump);
+        prop_assume!(a % p != 0);
+        let inv = inv_mod_u64(a % p, p).unwrap();
+        prop_assert_eq!(mul_mod_u64(a % p, inv, p), 1);
+    }
+
+    #[test]
+    fn fermat_on_random_primes(seed in any::<u64>(), a in 2u64..1_000_000) {
+        let p = ccmx_bigint::prime::next_prime(1_000_000 + (seed % 1_000_000));
+        prop_assert!(is_prime_u64(p));
+        prop_assert_eq!(pow_mod_u64(a % p, p - 1, p), if a % p == 0 { 0 } else { 1 });
+    }
+}

@@ -1,0 +1,191 @@
+//! Bit strings and agent shares.
+
+use std::fmt;
+
+/// A fixed-length string of bits, the raw input object of the model.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitString {
+    bits: Vec<bool>,
+}
+
+impl BitString {
+    /// All-zero string of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitString { bits: vec![false; len] }
+    }
+
+    /// From a `Vec<bool>`.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        BitString { bits }
+    }
+
+    /// The low `len` bits of `value`, LSB first.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64);
+        BitString { bits: (0..len).map(|i| (value >> i) & 1 == 1).collect() }
+    }
+
+    /// Interpret as an integer, LSB first. Panics if longer than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.bits.len() <= 64, "BitString too long for u64");
+        self.bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Is this empty?
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit at position `i`.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        self.bits[i] = v;
+    }
+
+    /// Borrow the underlying bits.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, v: bool) {
+        self.bits.push(v);
+    }
+
+    /// Concatenate another bit string.
+    pub fn extend(&mut self, other: &BitString) {
+        self.bits.extend_from_slice(&other.bits);
+    }
+
+    /// Number of ones.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(")?;
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An agent's share of the input: the (sorted) bit positions it owns and
+/// their values. An agent sees *nothing else* of the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Share {
+    positions: Vec<usize>,
+    values: Vec<bool>,
+}
+
+impl Share {
+    /// Build a share; `positions` must be strictly increasing and aligned
+    /// with `values`.
+    pub fn new(positions: Vec<usize>, values: Vec<bool>) -> Self {
+        assert_eq!(positions.len(), values.len(), "share positions/values mismatch");
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "share positions must be strictly increasing");
+        Share { positions, values }
+    }
+
+    /// The owned bit positions (sorted).
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// The values, aligned with [`Self::positions`].
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Number of owned bits.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Is the share empty?
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Value of global bit position `pos`, if owned.
+    pub fn get(&self, pos: usize) -> Option<bool> {
+        self.positions.binary_search(&pos).ok().map(|i| self.values[i])
+    }
+
+    /// Does this share own position `pos`?
+    pub fn owns(&self, pos: usize) -> bool {
+        self.positions.binary_search(&pos).is_ok()
+    }
+
+    /// The values as a [`BitString`] in position order (the canonical
+    /// serialization used by the send-everything protocol).
+    pub fn to_bitstring(&self) -> BitString {
+        BitString::from_bits(self.values.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 5, 0b1011, u32::MAX as u64] {
+            let b = BitString::from_u64(v, 40);
+            assert_eq!(b.to_u64(), v);
+            assert_eq!(b.len(), 40);
+        }
+    }
+
+    #[test]
+    fn lsb_first_order() {
+        let b = BitString::from_u64(0b110, 3);
+        assert!(!b.get(0));
+        assert!(b.get(1));
+        assert!(b.get(2));
+    }
+
+    #[test]
+    fn push_extend_count() {
+        let mut b = BitString::zeros(2);
+        b.push(true);
+        b.extend(&BitString::from_u64(0b11, 2));
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn share_lookup() {
+        let s = Share::new(vec![1, 4, 7], vec![true, false, true]);
+        assert_eq!(s.get(1), Some(true));
+        assert_eq!(s.get(4), Some(false));
+        assert_eq!(s.get(2), None);
+        assert!(s.owns(7));
+        assert!(!s.owns(0));
+        assert_eq!(s.to_bitstring().as_slice(), &[true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn share_rejects_unsorted() {
+        let _ = Share::new(vec![4, 1], vec![true, false]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let b = BitString::from_u64(0b101, 3);
+        assert_eq!(format!("{b:?}"), "BitString(101)");
+    }
+}

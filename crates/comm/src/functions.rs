@@ -1,0 +1,292 @@
+//! The Boolean functions whose communication complexity the paper studies.
+//!
+//! Each function fixes an input length and an exact evaluator (the ground
+//! truth every protocol is checked against):
+//!
+//! * [`Singularity`] — Theorem 1.1: "is the `2n × 2n` matrix of `k`-bit
+//!   integers singular?",
+//! * [`Solvability`] — Corollary 1.3: "does `A·x = b` have a solution?",
+//! * [`ProductCheck`] — the Lin–Wu decision problem the paper quotes:
+//!   "given `A`, `B`, `C`, is `A·B = C`?",
+//! * [`RankAtMost`] — "is rank(M) ≤ r?" (the rank problems of Cor. 1.2),
+//! * [`Equality`] — the identity problem driving Vuillemin's transitivity
+//!   technique, which the paper explains does *not* suffice for
+//!   singularity.
+
+use ccmx_bigint::{Integer, Natural};
+use ccmx_linalg::{bareiss, solve, Matrix};
+
+use crate::bits::BitString;
+use crate::encoding::MatrixEncoding;
+
+/// A Boolean function on bit strings of a fixed length.
+pub trait BooleanFunction: Sync {
+    /// Number of input bits.
+    fn num_bits(&self) -> usize;
+    /// Evaluate on a full input.
+    fn eval(&self, input: &BitString) -> bool;
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ----------------------------------------------------------------------
+// Singularity (Theorem 1.1)
+// ----------------------------------------------------------------------
+
+/// "Is the matrix singular?" over the paper's encoding.
+#[derive(Clone, Copy, Debug)]
+pub struct Singularity {
+    /// The input encoding.
+    pub enc: MatrixEncoding,
+}
+
+impl Singularity {
+    /// Singularity of `dim × dim` matrices of `k`-bit entries.
+    pub fn new(dim: usize, k: u32) -> Self {
+        Singularity { enc: MatrixEncoding::new(dim, k) }
+    }
+}
+
+impl BooleanFunction for Singularity {
+    fn num_bits(&self) -> usize {
+        self.enc.total_bits()
+    }
+    fn eval(&self, input: &BitString) -> bool {
+        bareiss::is_singular(&self.enc.decode(input))
+    }
+    fn name(&self) -> &'static str {
+        "singularity"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Linear-system solvability (Corollary 1.3)
+// ----------------------------------------------------------------------
+
+/// "Does `A·x = b` have a (rational) solution?" The input encodes the
+/// `dim × dim` matrix `A` row-major followed by the `dim`-vector `b`, each
+/// value a `k`-bit non-negative integer.
+#[derive(Clone, Copy, Debug)]
+pub struct Solvability {
+    /// Encoding of the `A` part.
+    pub enc: MatrixEncoding,
+}
+
+impl Solvability {
+    /// Solvability for `dim × dim` systems of `k`-bit integers.
+    pub fn new(dim: usize, k: u32) -> Self {
+        Solvability { enc: MatrixEncoding::new(dim, k) }
+    }
+
+    /// Split an input into `(A, b)`.
+    pub fn decode(&self, input: &BitString) -> (Matrix<Integer>, Vec<Integer>) {
+        let k = self.enc.k as usize;
+        let a_bits = self.enc.total_bits();
+        let a = self
+            .enc
+            .decode(&BitString::from_bits(input.as_slice()[..a_bits].to_vec()));
+        let mut b = Vec::with_capacity(self.enc.dim);
+        for i in 0..self.enc.dim {
+            let mut v = Natural::zero();
+            for bit in 0..k {
+                if input.get(a_bits + i * k + bit) {
+                    v.set_bit(bit as u64, true);
+                }
+            }
+            b.push(Integer::from(v));
+        }
+        (a, b)
+    }
+
+    /// Encode `(A, b)` into an input.
+    pub fn encode(&self, a: &Matrix<Integer>, b: &[Integer]) -> BitString {
+        assert_eq!(b.len(), self.enc.dim);
+        let mut bits = self.enc.encode(a);
+        for e in b {
+            assert!(!e.is_negative() && e.bit_len() <= self.enc.k as u64);
+            for bit in 0..self.enc.k {
+                bits.push(e.magnitude().bit(bit as u64));
+            }
+        }
+        bits
+    }
+}
+
+impl BooleanFunction for Solvability {
+    fn num_bits(&self) -> usize {
+        self.enc.total_bits() + self.enc.dim * self.enc.k as usize
+    }
+    fn eval(&self, input: &BitString) -> bool {
+        let (a, b) = self.decode(input);
+        solve::is_solvable(&a, &b)
+    }
+    fn name(&self) -> &'static str {
+        "solvability"
+    }
+}
+
+// ----------------------------------------------------------------------
+// A·B = C (Lin–Wu / Savage problem quoted in Section 1)
+// ----------------------------------------------------------------------
+
+/// "Is `A·B = C`?" for three `dim × dim` matrices of `k`-bit entries,
+/// serialized consecutively.
+#[derive(Clone, Copy, Debug)]
+pub struct ProductCheck {
+    /// Encoding of each of the three operands.
+    pub enc: MatrixEncoding,
+}
+
+impl ProductCheck {
+    /// Product check for `dim × dim` matrices of `k`-bit entries.
+    pub fn new(dim: usize, k: u32) -> Self {
+        ProductCheck { enc: MatrixEncoding::new(dim, k) }
+    }
+
+    /// Split the input into `(A, B, C)`.
+    pub fn decode(&self, input: &BitString) -> (Matrix<Integer>, Matrix<Integer>, Matrix<Integer>) {
+        let per = self.enc.total_bits();
+        let part = |i: usize| {
+            self.enc
+                .decode(&BitString::from_bits(input.as_slice()[i * per..(i + 1) * per].to_vec()))
+        };
+        (part(0), part(1), part(2))
+    }
+
+    /// Encode `(A, B, C)`.
+    pub fn encode(&self, a: &Matrix<Integer>, b: &Matrix<Integer>, c: &Matrix<Integer>) -> BitString {
+        let mut bits = self.enc.encode(a);
+        bits.extend(&self.enc.encode(b));
+        bits.extend(&self.enc.encode(c));
+        bits
+    }
+}
+
+impl BooleanFunction for ProductCheck {
+    fn num_bits(&self) -> usize {
+        3 * self.enc.total_bits()
+    }
+    fn eval(&self, input: &BitString) -> bool {
+        let (a, b, c) = self.decode(input);
+        let zz = ccmx_linalg::ring::IntegerRing;
+        a.mul(&zz, &b) == c
+    }
+    fn name(&self) -> &'static str {
+        "product-check"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rank threshold (Corollary 1.2(b))
+// ----------------------------------------------------------------------
+
+/// "Is rank(M) ≤ r?"
+#[derive(Clone, Copy, Debug)]
+pub struct RankAtMost {
+    /// Input encoding.
+    pub enc: MatrixEncoding,
+    /// The rank threshold.
+    pub r: usize,
+}
+
+impl BooleanFunction for RankAtMost {
+    fn num_bits(&self) -> usize {
+        self.enc.total_bits()
+    }
+    fn eval(&self, input: &BitString) -> bool {
+        bareiss::rank(&self.enc.decode(input)) <= self.r
+    }
+    fn name(&self) -> &'static str {
+        "rank-at-most"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Equality
+// ----------------------------------------------------------------------
+
+/// "Are the two halves of the input identical?" — the identity problem
+/// underlying Vuillemin's transitivity technique.
+#[derive(Clone, Copy, Debug)]
+pub struct Equality {
+    /// Bits per half.
+    pub half_bits: usize,
+}
+
+impl BooleanFunction for Equality {
+    fn num_bits(&self) -> usize {
+        2 * self.half_bits
+    }
+    fn eval(&self, input: &BitString) -> bool {
+        (0..self.half_bits).all(|i| input.get(i) == input.get(self.half_bits + i))
+    }
+    fn name(&self) -> &'static str {
+        "equality"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmx_linalg::matrix::int_matrix;
+
+    #[test]
+    fn singularity_eval() {
+        let f = Singularity::new(2, 2);
+        let sing = f.enc.encode(&int_matrix(&[&[1, 2], &[1, 2]]));
+        let nonsing = f.enc.encode(&int_matrix(&[&[1, 2], &[3, 1]]));
+        assert!(f.eval(&sing));
+        assert!(!f.eval(&nonsing));
+        assert_eq!(f.num_bits(), 8);
+    }
+
+    #[test]
+    fn solvability_roundtrip_and_eval() {
+        let f = Solvability::new(2, 2);
+        let a = int_matrix(&[&[1, 1], &[2, 2]]);
+        let consistent = f.encode(&a, &[Integer::from(1i64), Integer::from(2i64)]);
+        let inconsistent = f.encode(&a, &[Integer::from(1i64), Integer::from(3i64)]);
+        assert!(f.eval(&consistent));
+        assert!(!f.eval(&inconsistent));
+        let (a2, b2) = f.decode(&consistent);
+        assert_eq!(a2, a);
+        assert_eq!(b2, vec![Integer::from(1i64), Integer::from(2i64)]);
+        assert_eq!(f.num_bits(), 8 + 4);
+    }
+
+    #[test]
+    fn product_check_eval() {
+        let f = ProductCheck::new(2, 3);
+        let a = int_matrix(&[&[1, 2], &[0, 1]]);
+        let b = int_matrix(&[&[1, 0], &[1, 1]]);
+        let zz = ccmx_linalg::ring::IntegerRing;
+        let c = a.mul(&zz, &b);
+        assert!(f.eval(&f.encode(&a, &b, &c)));
+        let wrong = int_matrix(&[&[3, 2], &[1, 2]]);
+        assert!(!f.eval(&f.encode(&a, &b, &wrong)));
+        let (a2, b2, c2) = f.decode(&f.encode(&a, &b, &c));
+        assert_eq!((a2, b2, c2), (a, b, c));
+    }
+
+    #[test]
+    fn rank_at_most_eval() {
+        let enc = MatrixEncoding::new(2, 2);
+        let f1 = RankAtMost { enc, r: 1 };
+        let rank2 = enc.encode(&int_matrix(&[&[1, 2], &[2, 0]]));
+        // [[1,2],[2,0]] has det -4: rank 2.
+        assert!(!f1.eval(&rank2));
+        let r1 = enc.encode(&int_matrix(&[&[1, 2], &[1, 2]]));
+        assert!(f1.eval(&r1));
+        let zero = enc.encode(&int_matrix(&[&[0, 0], &[0, 0]]));
+        assert!(f1.eval(&zero));
+        assert!(!RankAtMost { enc, r: 0 }.eval(&r1));
+    }
+
+    #[test]
+    fn equality_eval() {
+        let f = Equality { half_bits: 3 };
+        assert!(f.eval(&BitString::from_u64(0b101_101, 6)));
+        assert!(!f.eval(&BitString::from_u64(0b101_100, 6)));
+        assert_eq!(f.num_bits(), 6);
+    }
+}

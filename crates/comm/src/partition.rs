@@ -1,0 +1,293 @@
+//! Partitions of the input bits between the two agents.
+//!
+//! A [`Partition`] assigns every bit position to agent A or agent B. The
+//! model quantifies over *even* partitions (each agent gets half the bits,
+//! ±1 for odd lengths); the paper fixes `π₀` first (Definition 2.1: agent
+//! A reads the first `n` columns of the `2n × 2n` input) and then reduces
+//! arbitrary even partitions to *proper* ones by row/column permutation
+//! (Lemma 3.9 — implemented in `ccmx-core`).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bits::{BitString, Share};
+use crate::encoding::MatrixEncoding;
+
+/// Which agent a bit belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// The first agent.
+    A,
+    /// The second agent.
+    B,
+}
+
+/// An assignment of each input bit position to one of the two agents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    owners: Vec<Owner>,
+}
+
+impl Partition {
+    /// Build from an ownership vector.
+    pub fn new(owners: Vec<Owner>) -> Self {
+        assert!(!owners.is_empty(), "empty partition");
+        Partition { owners }
+    }
+
+    /// Total number of input bits.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Never empty (constructor enforces it), provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Owner of bit position `pos`.
+    pub fn owner(&self, pos: usize) -> Owner {
+        self.owners[pos]
+    }
+
+    /// Number of bits owned by A.
+    pub fn count_a(&self) -> usize {
+        self.owners.iter().filter(|&&o| o == Owner::A).count()
+    }
+
+    /// Number of bits owned by B.
+    pub fn count_b(&self) -> usize {
+        self.len() - self.count_a()
+    }
+
+    /// Is the partition even (shares differ by at most one bit)?
+    pub fn is_even(&self) -> bool {
+        let a = self.count_a();
+        let b = self.count_b();
+        a.abs_diff(b) <= 1
+    }
+
+    /// Positions owned by the given agent, sorted.
+    pub fn positions_of(&self, who: Owner) -> Vec<usize> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| (o == who).then_some(i))
+            .collect()
+    }
+
+    /// Split a full input into the two agents' shares.
+    pub fn split(&self, input: &BitString) -> (Share, Share) {
+        assert_eq!(input.len(), self.len(), "input length mismatch");
+        let (mut ap, mut av, mut bp, mut bv) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for (i, &o) in self.owners.iter().enumerate() {
+            match o {
+                Owner::A => {
+                    ap.push(i);
+                    av.push(input.get(i));
+                }
+                Owner::B => {
+                    bp.push(i);
+                    bv.push(input.get(i));
+                }
+            }
+        }
+        (Share::new(ap, av), Share::new(bp, bv))
+    }
+
+    /// The paper's `π₀` (Definition 2.1): for a `2m × 2m` matrix, agent A
+    /// reads all bits of the first `m` columns, agent B the rest.
+    pub fn pi_zero(enc: &MatrixEncoding) -> Partition {
+        assert!(enc.dim.is_multiple_of(2), "π₀ requires even matrix dimension");
+        let half = enc.dim / 2;
+        let mut owners = vec![Owner::B; enc.total_bits()];
+        for col in 0..half {
+            for pos in enc.column_positions(col) {
+                owners[pos] = Owner::A;
+            }
+        }
+        Partition::new(owners)
+    }
+
+    /// A uniformly random even partition of `len` bits.
+    pub fn random_even<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Partition {
+        let mut owners: Vec<Owner> = (0..len)
+            .map(|i| if i < len / 2 { Owner::A } else { Owner::B })
+            .collect();
+        owners.shuffle(rng);
+        Partition::new(owners)
+    }
+
+    /// The row-split partition: A owns the top half of the rows. (Used as
+    /// an alternative fixed partition in the metering experiments.)
+    pub fn row_split(enc: &MatrixEncoding) -> Partition {
+        assert!(enc.dim.is_multiple_of(2), "row split requires even dimension");
+        let half = enc.dim / 2;
+        let mut owners = vec![Owner::B; enc.total_bits()];
+        for row in 0..half {
+            for pos in enc.row_positions(row) {
+                owners[pos] = Owner::A;
+            }
+        }
+        Partition::new(owners)
+    }
+
+    /// Apply a matrix row/column permutation to this partition: the new
+    /// partition assigns to position `(r, c, b)` the owner of
+    /// `(row_perm[r], col_perm[c], b)` in `self`.
+    ///
+    /// This is the transformation Lemma 3.9 is allowed to make: permuting
+    /// rows and columns of the input matrix does not change its rank, and
+    /// relabels which bit positions each agent reads.
+    pub fn permuted(&self, enc: &MatrixEncoding, row_perm: &[usize], col_perm: &[usize]) -> Partition {
+        assert_eq!(self.len(), enc.total_bits());
+        assert_eq!(row_perm.len(), enc.dim);
+        assert_eq!(col_perm.len(), enc.dim);
+        let mut owners = vec![Owner::A; self.len()];
+        for (pos, slot) in owners.iter_mut().enumerate() {
+            let (r, c, b) = enc.coordinates(pos);
+            *slot = self.owner(enc.position(row_perm[r], col_perm[c], b));
+        }
+        Partition::new(owners)
+    }
+
+    /// Swap the two agents' roles.
+    pub fn swapped(&self) -> Partition {
+        Partition::new(
+            self.owners
+                .iter()
+                .map(|o| match o {
+                    Owner::A => Owner::B,
+                    Owner::B => Owner::A,
+                })
+                .collect(),
+        )
+    }
+
+    /// Fraction of the bits of the `rows × cols` sub-rectangle (given by
+    /// row/col index sets) owned by agent `who` — the "domination"
+    /// predicate of Lemma 3.9's proof.
+    pub fn owned_fraction(
+        &self,
+        enc: &MatrixEncoding,
+        rows: &[usize],
+        cols: &[usize],
+        who: Owner,
+    ) -> f64 {
+        let mut owned = 0usize;
+        let mut total = 0usize;
+        for &r in rows {
+            for &c in cols {
+                for pos in enc.entry_positions(r, c) {
+                    total += 1;
+                    if self.owner(pos) == who {
+                        owned += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            owned as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pi_zero_columns() {
+        let enc = MatrixEncoding::new(4, 2);
+        let p = Partition::pi_zero(&enc);
+        assert!(p.is_even());
+        assert_eq!(p.count_a(), p.count_b());
+        // Entry (3, 0) belongs to A; (0, 2) to B.
+        for pos in enc.entry_positions(3, 0) {
+            assert_eq!(p.owner(pos), Owner::A);
+        }
+        for pos in enc.entry_positions(0, 2) {
+            assert_eq!(p.owner(pos), Owner::B);
+        }
+    }
+
+    #[test]
+    fn row_split_rows() {
+        let enc = MatrixEncoding::new(4, 1);
+        let p = Partition::row_split(&enc);
+        assert!(p.is_even());
+        for pos in enc.row_positions(0) {
+            assert_eq!(p.owner(pos), Owner::A);
+        }
+        for pos in enc.row_positions(3) {
+            assert_eq!(p.owner(pos), Owner::B);
+        }
+    }
+
+    #[test]
+    fn random_even_is_even() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [2usize, 5, 10, 101] {
+            let p = Partition::random_even(len, &mut rng);
+            assert!(p.is_even(), "len={len}");
+            assert_eq!(p.len(), len);
+        }
+    }
+
+    #[test]
+    fn split_partitions_input() {
+        let enc = MatrixEncoding::new(2, 1);
+        let p = Partition::pi_zero(&enc);
+        let input = BitString::from_u64(0b1011, 4);
+        let (a, b) = p.split(&input);
+        assert_eq!(a.len() + b.len(), 4);
+        for pos in 0..4 {
+            let v = input.get(pos);
+            match p.owner(pos) {
+                Owner::A => assert_eq!(a.get(pos), Some(v)),
+                Owner::B => assert_eq!(b.get(pos), Some(v)),
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_flips_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Partition::random_even(11, &mut rng);
+        let q = p.swapped();
+        assert_eq!(p.count_a(), q.count_b());
+        assert_eq!(p.count_b(), q.count_a());
+        assert_eq!(q.swapped(), p);
+    }
+
+    #[test]
+    fn permuted_tracks_coordinates() {
+        let enc = MatrixEncoding::new(2, 1);
+        let p = Partition::pi_zero(&enc); // A owns column 0
+        // Swap the two columns: now A's bits sit where column 1 is.
+        let q = p.permuted(&enc, &[0, 1], &[1, 0]);
+        for r in 0..2 {
+            for pos in enc.entry_positions(r, 0) {
+                assert_eq!(q.owner(pos), Owner::B);
+            }
+            for pos in enc.entry_positions(r, 1) {
+                assert_eq!(q.owner(pos), Owner::A);
+            }
+        }
+        // Permutation preserves evenness.
+        assert!(q.is_even());
+    }
+
+    #[test]
+    fn owned_fraction_extremes() {
+        let enc = MatrixEncoding::new(2, 3);
+        let p = Partition::pi_zero(&enc);
+        assert_eq!(p.owned_fraction(&enc, &[0, 1], &[0], Owner::A), 1.0);
+        assert_eq!(p.owned_fraction(&enc, &[0, 1], &[1], Owner::A), 0.0);
+        assert_eq!(p.owned_fraction(&enc, &[0, 1], &[0, 1], Owner::A), 0.5);
+    }
+}

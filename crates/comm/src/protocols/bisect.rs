@@ -1,0 +1,263 @@
+//! A genuinely multi-round protocol: binary-search equality.
+//!
+//! Where [`crate::protocols::FingerprintEquality`] decides equality in a
+//! single message, this protocol *finds the first differing position* of
+//! the two halves (or certifies equality) by fingerprint bisection:
+//! each round, A fingerprints the left half of the current candidate
+//! range; B answers with one bit ("your left half matches mine /
+//! doesn't"), halving the range. After `⌈log₂ L⌉` rounds the range is a
+//! single position and B announces.
+//!
+//! Its purpose in the reproduction is architectural: the protocol
+//! machinery must support *stateless multi-round interaction* — each
+//! `step` call reconstructs the current search range purely from the
+//! public transcript, exactly as the theory model demands (agents have
+//! no hidden state beyond their input share).
+//!
+//! Cost: `O(log L · (64 + w) )` bits where `w` is the fingerprint width —
+//! exponentially better than the deterministic `L`, and it delivers a
+//! *witness position*, not just the bit.
+
+use ccmx_bigint::prime::{window_for_error, PrimeWindow};
+use ccmx_bigint::Natural;
+use rand::rngs::StdRng;
+
+use crate::bits::BitString;
+use crate::protocol::{AgentCtx, Step, Turn, TwoPartyProtocol};
+
+/// Bisection equality over the fixed left/right partition.
+#[derive(Clone, Copy, Debug)]
+pub struct BisectEquality {
+    /// Bits per half.
+    pub half_bits: usize,
+    /// Fingerprint window.
+    pub window: PrimeWindow,
+}
+
+impl BisectEquality {
+    /// Window sized for per-round error `<= 2^-security`.
+    pub fn new(half_bits: usize, security: u32) -> Self {
+        assert!(half_bits >= 1);
+        let bound = Natural::power_of_two(half_bits as u64);
+        BisectEquality { half_bits, window: window_for_error(&bound, security) }
+    }
+
+    /// Number of bisection rounds for the full search.
+    pub fn rounds(&self) -> usize {
+        (usize::BITS - (self.half_bits - 1).leading_zeros()) as usize
+    }
+
+    /// Worst-case cost: one (prime, residue) message plus a 1-bit reply
+    /// per bisection round, then the final literal-bit message (the
+    /// output announcement itself is free in our accounting).
+    pub fn predicted_max_cost(&self) -> usize {
+        self.rounds() * (64 + self.window.bits as usize + 1) + 1
+    }
+
+    /// My half's value restricted to `[lo, hi)`, as a natural.
+    fn segment_value(&self, ctx: &AgentCtx<'_>, lo: usize, hi: usize) -> Natural {
+        let offset = match ctx.turn {
+            Turn::A => 0,
+            Turn::B => self.half_bits,
+        };
+        let mut v = Natural::zero();
+        for (out_bit, i) in (lo..hi).enumerate() {
+            if ctx.share.get(offset + i).expect("fixed partition") {
+                v.set_bit(out_bit as u64, true);
+            }
+        }
+        v
+    }
+
+    /// Replay the transcript to recover the current search state:
+    /// `(range, done)` where `range` is the candidate `[lo, hi)` known to
+    /// contain a difference — or the whole string if none found yet.
+    ///
+    /// Protocol invariant: messages alternate A: (prime, fingerprint of
+    /// left half of range), B: 1 bit (1 = left halves differ).
+    fn replay(&self, ctx: &AgentCtx<'_>) -> (usize, usize, bool) {
+        let mut lo = 0usize;
+        let mut hi = self.half_bits;
+        let mut difference_known = false;
+        let msgs = ctx.transcript.messages();
+        let mut i = 0;
+        while i + 1 < msgs.len() {
+            // msgs[i] is A's fingerprint message; msgs[i+1] is B's bit.
+            debug_assert_eq!(msgs[i].from, Turn::A);
+            debug_assert_eq!(msgs[i + 1].from, Turn::B);
+            let differs_left = msgs[i + 1].bits.get(0);
+            let mid = lo + (hi - lo).div_ceil(2);
+            if differs_left {
+                hi = mid;
+                difference_known = true;
+            } else {
+                lo = mid;
+                // If no difference was ever confirmed, the right half is
+                // only *suspected*; equality overall is still possible.
+            }
+            i += 2;
+        }
+        (lo, hi, difference_known)
+    }
+}
+
+impl TwoPartyProtocol for BisectEquality {
+    fn step(&self, ctx: &AgentCtx<'_>, rng: &mut StdRng) -> Step {
+        let (lo, hi, difference_known) = self.replay(ctx);
+        match ctx.turn {
+            Turn::A => {
+                // Range of one: send that single bit directly.
+                if hi - lo == 1 {
+                    let offset = 0;
+                    let bit = ctx.share.get(offset + lo).expect("fixed partition");
+                    return Step::Send(BitString::from_bits(vec![bit]));
+                }
+                let mid = lo + (hi - lo).div_ceil(2);
+                let p = self.window.sample(rng);
+                let val = self.segment_value(ctx, lo, mid);
+                let res = (&val % &Natural::from(p)).to_u64().expect("residue fits");
+                let mut msg = BitString::from_u64(p, 64);
+                msg.extend(&BitString::from_u64(res, self.window.bits as usize));
+                Step::Send(msg)
+            }
+            Turn::B => {
+                let last = ctx.transcript.messages().last().expect("A spoke first");
+                debug_assert_eq!(last.from, Turn::A);
+                if hi - lo == 1 {
+                    // A sent the literal bit; compare and announce.
+                    let a_bit = last.bits.get(0);
+                    let b_bit = ctx.share.get(self.half_bits + lo).expect("fixed partition");
+                    if a_bit != b_bit {
+                        return Step::Output(false); // found the difference
+                    }
+                    // Positions match. If a difference was known to exist
+                    // in this range, fingerprints misled us — but with
+                    // one-sided fingerprints (differences are never
+                    // faked), reaching here with difference_known means
+                    // the difference was real but pinned to this exact
+                    // bit... which matched: declare equal (the fingerprint
+                    // collision case, probability <= 2^-security).
+                    let _ = difference_known;
+                    return Step::Output(true);
+                }
+                let p = BitString::from_bits(last.bits.as_slice()[..64].to_vec()).to_u64();
+                let a_res = BitString::from_bits(last.bits.as_slice()[64..].to_vec()).to_u64();
+                let mid = lo + (hi - lo).div_ceil(2);
+                let val = self.segment_value(ctx, lo, mid);
+                let b_res = (&val % &Natural::from(p)).to_u64().expect("residue fits");
+                let differs_left = a_res != b_res;
+                Step::Send(BitString::from_bits(vec![differs_left]))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bisect-equality"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{BooleanFunction, Equality};
+    use crate::protocol::{run_sequential, run_threaded};
+    use crate::protocols::fingerprint::fixed_partition;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn make_input(x: u64, y: u64, half: usize) -> BitString {
+        let mut input = BitString::from_u64(x, half);
+        input.extend(&BitString::from_u64(y, half));
+        input
+    }
+
+    #[test]
+    fn equal_inputs_accepted() {
+        let half = 32;
+        let proto = BisectEquality::new(half, 25);
+        let p = fixed_partition(half);
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in 0..20u64 {
+            let x: u64 = rng.gen::<u64>() & ((1 << half) - 1);
+            let r = run_sequential(&proto, &p, &make_input(x, x, half), t);
+            assert!(r.output, "equal strings rejected at t={t}");
+            assert!(r.cost_bits() <= proto.predicted_max_cost());
+        }
+    }
+
+    #[test]
+    fn unequal_inputs_rejected_and_multi_round() {
+        let half = 32;
+        let proto = BisectEquality::new(half, 30);
+        let p = fixed_partition(half);
+        let f = Equality { half_bits: half };
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in 0..30u64 {
+            let x: u64 = rng.gen::<u64>() & ((1 << half) - 1);
+            let flip = rng.gen_range(0..half);
+            let y = x ^ (1 << flip);
+            let input = make_input(x, y, half);
+            let r = run_sequential(&proto, &p, &input, t);
+            assert_eq!(r.output, f.eval(&input), "t={t}");
+            assert!(!r.output);
+            // Genuinely interactive: at least 2·log₂(32) = 10 messages.
+            assert!(
+                r.transcript.rounds() >= 2 * proto.rounds() - 1,
+                "expected a full bisection, got {} rounds",
+                r.transcript.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_difference_at_every_position() {
+        let half = 16;
+        let proto = BisectEquality::new(half, 30);
+        let p = fixed_partition(half);
+        let x = 0xA5C3u64;
+        for flip in 0..half {
+            let y = x ^ (1 << flip);
+            let r = run_sequential(&proto, &p, &make_input(x, y, half), flip as u64);
+            assert!(!r.output, "missed difference at bit {flip}");
+        }
+    }
+
+    #[test]
+    fn threaded_runner_handles_many_rounds() {
+        let half = 16;
+        let proto = BisectEquality::new(half, 25);
+        let p = fixed_partition(half);
+        for (x, y) in [(0xFFFFu64, 0xFFFFu64), (0xFFFF, 0xFFFE), (0, 0x8000)] {
+            let input = make_input(x, y, half);
+            assert_eq!(
+                run_sequential(&proto, &p, &input, 9),
+                run_threaded(&proto, &p, &input, 9)
+            );
+        }
+    }
+
+    #[test]
+    fn cost_scales_logarithmically() {
+        let c16 = BisectEquality::new(1 << 16, 20).predicted_max_cost();
+        let c20 = BisectEquality::new(1 << 20, 20).predicted_max_cost();
+        // Quadrupling... 16x-ing the input multiplies cost by ~20/16.
+        assert!(c20 < c16 * 2, "cost not logarithmic: {c16} -> {c20}");
+        // And wildly below the deterministic L.
+        assert!(c20 < (1 << 20) / 100);
+    }
+
+    #[test]
+    fn tiny_half_sizes() {
+        for half in [1usize, 2, 3] {
+            let proto = BisectEquality::new(half, 20);
+            let p = fixed_partition(half);
+            for x in 0..(1u64 << half) {
+                for y in 0..(1u64 << half) {
+                    let input = make_input(x, y, half);
+                    let r = run_sequential(&proto, &p, &input, x * 8 + y);
+                    assert_eq!(r.output, x == y, "half={half}, x={x:b}, y={y:b}");
+                }
+            }
+        }
+    }
+}

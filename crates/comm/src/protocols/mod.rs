@@ -1,0 +1,27 @@
+//! Concrete protocols.
+//!
+//! * [`send_all`] — the deterministic upper bound: one agent ships its
+//!   whole share (`Θ(k n²)` bits for the paper's inputs). Theorem 1.1 says
+//!   this is optimal up to constants for singularity testing.
+//! * [`mod_prime`] — the randomized protocol behind the
+//!   `O(n² max(log n, log k))` bound (Leighton 1987, quoted in Section 1):
+//!   reduce every entry modulo a random prime and decide singularity in
+//!   GF(p). One-sided error, analyzed in code.
+//! * [`bisect`] — multi-round binary-search equality: finds the first
+//!   differing position in O(log L) interactive rounds (exercises the
+//!   stateless multi-round protocol machinery).
+//! * [`fingerprint`] — randomized equality via modular fingerprints, the
+//!   classic `O(log)` contrast to deterministic equality (context for the
+//!   paper's discussion of Vuillemin's technique).
+
+pub mod bisect;
+pub mod fingerprint;
+pub mod mod_prime;
+pub mod mod_prime_solvability;
+pub mod send_all;
+
+pub use bisect::BisectEquality;
+pub use fingerprint::FingerprintEquality;
+pub use mod_prime::ModPrimeSingularity;
+pub use mod_prime_solvability::ModPrimeSolvability;
+pub use send_all::SendAll;

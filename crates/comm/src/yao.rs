@@ -1,0 +1,238 @@
+//! Yao's fundamental lemma, executable: the inputs that produce the same
+//! transcript under a deterministic protocol form a **monochromatic
+//! combinatorial rectangle**, so a protocol of cost `c` partitions the
+//! truth matrix into at most `2^{c+1}` monochromatic rectangles — which
+//! is why `Comm(f, π) ≥ log₂ d(f) − O(1)` (the paper's Section 2).
+//!
+//! [`transcript_partition`] runs a protocol on *every* input of a small
+//! domain, groups inputs by transcript, and verifies both halves of the
+//! lemma on the actual system: every class is a rectangle
+//! (`rows × cols` product structure) and every class is monochromatic.
+
+use std::collections::HashMap;
+
+use crate::bits::BitString;
+use crate::functions::BooleanFunction;
+use crate::partition::{Owner, Partition};
+use crate::protocol::{run_sequential, TwoPartyProtocol};
+
+/// One transcript-equivalence class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TranscriptClass {
+    /// Row indices (assignments to A's bits) appearing in the class.
+    pub rows: Vec<usize>,
+    /// Column indices (assignments to B's bits).
+    pub cols: Vec<usize>,
+    /// The (input, output) pairs actually observed, as `(row, col)`.
+    pub members: Vec<(usize, usize)>,
+    /// The common output.
+    pub output: bool,
+    /// The common transcript cost in bits.
+    pub cost_bits: usize,
+}
+
+impl TranscriptClass {
+    /// Is this class a full combinatorial rectangle (`members` =
+    /// `rows × cols`)?
+    pub fn is_rectangle(&self) -> bool {
+        if self.members.len() != self.rows.len() * self.cols.len() {
+            return false;
+        }
+        let set: std::collections::HashSet<(usize, usize)> =
+            self.members.iter().copied().collect();
+        self.rows.iter().all(|&r| self.cols.iter().all(|&c| set.contains(&(r, c))))
+    }
+}
+
+/// The result of a full transcript-partition sweep.
+#[derive(Clone, Debug)]
+pub struct TranscriptPartition {
+    /// The classes, one per distinct transcript.
+    pub classes: Vec<TranscriptClass>,
+    /// The worst-case protocol cost observed.
+    pub max_cost_bits: usize,
+}
+
+impl TranscriptPartition {
+    /// Every class is a monochromatic rectangle (Yao's lemma).
+    pub fn all_monochromatic_rectangles(&self) -> bool {
+        self.classes.iter().all(|c| c.is_rectangle())
+    }
+
+    /// The implied lower bound `log₂(#classes)` compared against the
+    /// protocol's cost: a protocol of cost `c` has at most `2^{c+1}`
+    /// transcript classes (each round's bits plus the 1-bit output).
+    pub fn class_count_consistent_with_cost(&self) -> bool {
+        (self.classes.len() as f64).log2() <= (self.max_cost_bits + 1) as f64
+    }
+}
+
+/// Run the protocol on every input of `f`'s (small) domain and partition
+/// the domain by transcript. `seed` fixes the protocol's coins, making
+/// randomized protocols deterministic for the sweep (the lemma applies
+/// per coin setting).
+pub fn transcript_partition(
+    proto: &dyn TwoPartyProtocol,
+    partition: &Partition,
+    f: &dyn BooleanFunction,
+    seed: u64,
+) -> TranscriptPartition {
+    let n = f.num_bits();
+    assert!(n <= 20, "transcript sweep capped at 20 input bits");
+    assert_eq!(partition.len(), n);
+    let a_pos = partition.positions_of(Owner::A);
+    let b_pos = partition.positions_of(Owner::B);
+    let rows = 1usize << a_pos.len();
+    let cols = 1usize << b_pos.len();
+
+    #[derive(Default)]
+    struct Acc {
+        rows: std::collections::BTreeSet<usize>,
+        cols: std::collections::BTreeSet<usize>,
+        members: Vec<(usize, usize)>,
+        output: bool,
+        cost: usize,
+    }
+    let mut groups: HashMap<String, Acc> = HashMap::new();
+    let mut max_cost = 0usize;
+
+    for x in 0..rows {
+        for y in 0..cols {
+            let mut input = BitString::zeros(n);
+            for (i, &pos) in a_pos.iter().enumerate() {
+                input.set(pos, (x >> i) & 1 == 1);
+            }
+            for (i, &pos) in b_pos.iter().enumerate() {
+                input.set(pos, (y >> i) & 1 == 1);
+            }
+            // IMPORTANT: same seed for every input — the coins are part
+            // of the (now deterministic) protocol.
+            let run = run_sequential(proto, partition, &input, seed);
+            max_cost = max_cost.max(run.cost_bits());
+            let key = format!("{:?}|{}", run.transcript, run.output);
+            let acc = groups.entry(key).or_default();
+            acc.rows.insert(x);
+            acc.cols.insert(y);
+            acc.members.push((x, y));
+            acc.output = run.output;
+            acc.cost = run.cost_bits();
+        }
+    }
+
+    let classes = groups
+        .into_values()
+        .map(|a| TranscriptClass {
+            rows: a.rows.into_iter().collect(),
+            cols: a.cols.into_iter().collect(),
+            members: a.members,
+            output: a.output,
+            cost_bits: a.cost,
+        })
+        .collect();
+    TranscriptPartition { classes, max_cost_bits: max_cost }
+}
+
+/// Check monochromaticity against the function itself (stronger than
+/// output-agreement: the protocol might be *wrong*; a correct protocol's
+/// classes agree with `f` everywhere).
+pub fn classes_match_function(
+    tp: &TranscriptPartition,
+    partition: &Partition,
+    f: &dyn BooleanFunction,
+) -> bool {
+    let a_pos = partition.positions_of(Owner::A);
+    let b_pos = partition.positions_of(Owner::B);
+    for class in &tp.classes {
+        for &(x, y) in &class.members {
+            let mut input = BitString::zeros(f.num_bits());
+            for (i, &pos) in a_pos.iter().enumerate() {
+                input.set(pos, (x >> i) & 1 == 1);
+            }
+            for (i, &pos) in b_pos.iter().enumerate() {
+                input.set(pos, (y >> i) & 1 == 1);
+            }
+            if f.eval(&input) != class.output {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{Equality, Singularity};
+    use crate::protocols::{FingerprintEquality, ModPrimeSingularity, SendAll};
+
+    #[test]
+    fn send_all_classes_are_monochromatic_rectangles() {
+        let f = Singularity::new(2, 2);
+        let enc = f.enc;
+        let p = Partition::pi_zero(&enc);
+        let proto = SendAll::new(f);
+        let tp = transcript_partition(&proto, &p, &Singularity::new(2, 2), 0);
+        assert!(tp.all_monochromatic_rectangles(), "Yao's lemma violated");
+        assert!(tp.class_count_consistent_with_cost());
+        assert!(classes_match_function(&tp, &p, &Singularity::new(2, 2)));
+        // Send-all: every row is its own message → #classes = rows × {outputs per row}.
+        // At minimum there are as many classes as distinct rows... at
+        // least 2^{|A|} classes since A's message enumerates its share.
+        assert!(tp.classes.len() >= 16);
+    }
+
+    #[test]
+    fn classes_cover_domain_disjointly() {
+        let f = Equality { half_bits: 3 };
+        let p = crate::protocols::fingerprint::fixed_partition(3);
+        let proto = SendAll::new(Equality { half_bits: 3 });
+        let tp = transcript_partition(&proto, &p, &f, 1);
+        let total: usize = tp.classes.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, 64, "classes must partition the 8x8 domain");
+        let mut seen = std::collections::HashSet::new();
+        for c in &tp.classes {
+            for &m in &c.members {
+                assert!(seen.insert(m), "overlapping classes");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_protocols_form_rectangles_per_seed() {
+        // With coins fixed, a randomized protocol is deterministic and
+        // Yao's lemma applies to it as well.
+        let proto = ModPrimeSingularity::new(2, 2, 10);
+        let enc = proto.enc;
+        let p = Partition::pi_zero(&enc);
+        for seed in [0u64, 1, 99] {
+            let tp = transcript_partition(&proto, &p, &Singularity::new(2, 2), seed);
+            assert!(tp.all_monochromatic_rectangles(), "seed {seed}");
+            assert!(tp.class_count_consistent_with_cost(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_equality_classes() {
+        let f = Equality { half_bits: 4 };
+        let p = crate::protocols::fingerprint::fixed_partition(4);
+        let proto = FingerprintEquality::new(4, 25);
+        let tp = transcript_partition(&proto, &p, &f, 3);
+        assert!(tp.all_monochromatic_rectangles());
+        // A correct run (high security, tiny domain): classes also match f.
+        assert!(classes_match_function(&tp, &p, &f));
+    }
+
+    #[test]
+    fn class_count_lower_bounds_cost() {
+        // The cheapest possible protocol for equality on 4+4 bits still
+        // needs ≥ log2(#classes) − 1 bits; send-all's class count must
+        // certify a cost within its actual budget.
+        let f = Equality { half_bits: 4 };
+        let p = crate::protocols::fingerprint::fixed_partition(4);
+        let proto = SendAll::new(Equality { half_bits: 4 });
+        let tp = transcript_partition(&proto, &p, &f, 0);
+        let implied = (tp.classes.len() as f64).log2() - 1.0;
+        assert!(implied <= tp.max_cost_bits as f64);
+        assert!(implied > 0.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! The restricted input format of Figs. 1 and 3.
+//!
+//! The hard instances are `2n × 2n` matrices `M` (entries in
+//! `[0, 2^k − 1]`, `n` odd) with everything fixed except four blocks of
+//! free entries, all ranging over `[0, q − 1]` with `q = 2^k − 1`:
+//!
+//! * `C` — `h × h` (`h = (n−1)/2`), inside `A`; parameterizes the row of
+//!   the truth matrix (agent A's half under `π₀`),
+//! * `D` (`h × (L+2)`), `E` (`h × (n−3−L)`) and the row `y` (`n−1`
+//!   entries) — inside `B`; parameterize the column.
+//!
+//! Layout of `M` (0-indexed; paper is 1-indexed):
+//!
+//! ```text
+//!        col 0   cols 1..n-1         cols n..2n-1
+//! row 0   [1]    [    0    ]   [ anti-diagonal of 1s with a
+//!  ...    [0]    [    0    ]     parallel sub-diagonal of qs ]   rows 0..n-1
+//! row n-1 [0]    [    0    ]
+//! row n   [0]    [         ]   [0 |                         ]
+//!  ...    [0]    [    A    ]   [0 |           B             ]   rows n..2n-1
+//! row 2n-1[0]    [         ]   [0 |                         ]
+//! ```
+//!
+//! `A` (`n × (n−1)`): ones on the diagonal, `q` on the superdiagonal of
+//! the first `h` columns, `C` in rows `0..h` × columns `h..n−1`, a `1` at
+//! `(n−1, 0)`, zeros elsewhere.
+//!
+//! `B` (`n × (n−1)`): rows `0..h` hold `D` in the first `L+2` columns;
+//! rows `h..n−1` hold `E` in the last `n−3−L` columns; row `n−1` is `y`.
+
+use ccmx_bigint::{Integer, Natural};
+use ccmx_linalg::Matrix;
+use rand::Rng;
+
+use crate::negaq::{dot, power_vector};
+use crate::params::Params;
+
+/// One member of the restricted family: the four free blocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RestrictedInstance {
+    /// Parameters.
+    pub params: Params,
+    /// The `h × h` block `C` (rows of the restricted truth matrix).
+    pub c: Matrix<Integer>,
+    /// The `h × (L+2)` block `D`.
+    pub d: Matrix<Integer>,
+    /// The `h × (n−3−L)` block `E`.
+    pub e: Matrix<Integer>,
+    /// The `n−1` row vector `y`.
+    pub y: Vec<Integer>,
+}
+
+fn check_range(name: &str, it: impl IntoIterator<Item = Integer>, q: &Integer) {
+    for v in it {
+        assert!(
+            !v.is_negative() && &v < q,
+            "{name} entry {v} outside the restricted range [0, q-1]"
+        );
+    }
+}
+
+impl RestrictedInstance {
+    /// Build from explicit blocks, validating shapes and ranges.
+    pub fn new(
+        params: Params,
+        c: Matrix<Integer>,
+        d: Matrix<Integer>,
+        e: Matrix<Integer>,
+        y: Vec<Integer>,
+    ) -> Self {
+        let h = params.h();
+        assert_eq!((c.rows(), c.cols()), (h, h), "C must be h × h");
+        assert_eq!((d.rows(), d.cols()), (h, params.d_width()), "D must be h × (L+2)");
+        assert_eq!((e.rows(), e.cols()), (h, params.e_width()), "E must be h × (n-3-L)");
+        assert_eq!(y.len(), params.n - 1, "y must have n-1 entries");
+        let q = params.q();
+        check_range("C", c.data().iter().cloned(), &q);
+        check_range("D", d.data().iter().cloned(), &q);
+        check_range("E", e.data().iter().cloned(), &q);
+        check_range("y", y.iter().cloned(), &q);
+        RestrictedInstance { params, c, d, e, y }
+    }
+
+    /// Uniformly random instance (all blocks uniform in `[0, q−1]`).
+    pub fn random<R: Rng + ?Sized>(params: Params, rng: &mut R) -> Self {
+        let h = params.h();
+        let q = params.q_u64();
+        let mut gen = |_: usize, _: usize| Integer::from(rng.gen_range(0..q) as i64);
+        let c = Matrix::from_fn(h, h, &mut gen);
+        let d = Matrix::from_fn(h, params.d_width(), &mut gen);
+        let e = Matrix::from_fn(h, params.e_width(), &mut gen);
+        let y = (0..params.n - 1).map(|_| Integer::from(rng.gen_range(0..q) as i64)).collect();
+        RestrictedInstance::new(params, c, d, e, y)
+    }
+
+    /// The all-zeros instance.
+    pub fn zero(params: Params) -> Self {
+        let h = params.h();
+        let z = |r, c| Matrix::from_fn(r, c, |_, _| Integer::zero());
+        RestrictedInstance::new(
+            params,
+            z(h, h),
+            z(h, params.d_width()),
+            z(h, params.e_width()),
+            vec![Integer::zero(); params.n - 1],
+        )
+    }
+
+    /// Definition 3.1's vector `u = [(−q)^{n−2}, …, (−q), 1]ᵀ`.
+    pub fn u(&self) -> Vec<Integer> {
+        power_vector(self.params.q_u64(), self.params.n - 1)
+    }
+
+    /// Lemma 3.7's vector `w = [(−q)^{n−4−L}, …, 1]ᵀ`.
+    pub fn w(&self) -> Vec<Integer> {
+        power_vector(self.params.q_u64(), self.params.e_width())
+    }
+
+    /// The `n × (n−1)` submatrix `A` (Fig. 3 restrictions applied).
+    pub fn matrix_a(&self) -> Matrix<Integer> {
+        let n = self.params.n;
+        let h = self.params.h();
+        let q = self.params.q();
+        Matrix::from_fn(n, n - 1, |i, j| {
+            if i < n - 1 && i == j {
+                Integer::one() // diagonal
+            } else if i + 1 == j && j < h {
+                q.clone() // superdiagonal within the first h columns
+            } else if i < h && j >= h {
+                self.c[(i, j - h)].clone() // C block
+            } else if i == n - 1 && j == 0 {
+                Integer::one() // the lone 1 in the last row
+            } else {
+                Integer::zero()
+            }
+        })
+    }
+
+    /// The `n × (n−1)` submatrix `B` (Fig. 3 restrictions applied).
+    pub fn matrix_b(&self) -> Matrix<Integer> {
+        let n = self.params.n;
+        let h = self.params.h();
+        let dw = self.params.d_width();
+        Matrix::from_fn(n, n - 1, |i, j| {
+            if i < h {
+                if j < dw {
+                    self.d[(i, j)].clone()
+                } else {
+                    Integer::zero()
+                }
+            } else if i < n - 1 {
+                if j >= dw {
+                    self.e[(i - h, j - dw)].clone()
+                } else {
+                    Integer::zero()
+                }
+            } else {
+                self.y[j].clone()
+            }
+        })
+    }
+
+    /// The vector `B·u` (the column object of Lemma 3.2).
+    pub fn b_dot_u(&self) -> Vec<Integer> {
+        let b = self.matrix_b();
+        let u = self.u();
+        (0..b.rows()).map(|i| dot(b.row(i), &u)).collect()
+    }
+
+    /// Assemble the full `2n × 2n` matrix `M` of Fig. 1.
+    pub fn assemble(&self) -> Matrix<Integer> {
+        let n = self.params.n;
+        let q = self.params.q();
+        let a = self.matrix_a();
+        let b = self.matrix_b();
+        Matrix::from_fn(2 * n, 2 * n, |i, j| {
+            if j == 0 {
+                // First column: e_0.
+                if i == 0 {
+                    Integer::one()
+                } else {
+                    Integer::zero()
+                }
+            } else if j < n {
+                // Columns 1..n-1: zeros on top, A below.
+                if i < n {
+                    Integer::zero()
+                } else {
+                    a[(i - n, j - 1)].clone()
+                }
+            } else if i < n {
+                // Top-right block: anti-diagonal of 1s (i + c = n-1) and a
+                // parallel line of qs (i + c = n), c = j - n.
+                let c = j - n;
+                if i + c == n - 1 {
+                    Integer::one()
+                } else if i + c == n {
+                    q.clone()
+                } else {
+                    Integer::zero()
+                }
+            } else if j == n {
+                // Column n (paper's n+1): zero below the top block.
+                Integer::zero()
+            } else {
+                b[(i - n, j - n - 1)].clone()
+            }
+        })
+    }
+
+    /// Encode `M` in the paper's bit layout.
+    pub fn encode(&self) -> ccmx_comm::BitString {
+        self.params.encoding().encode(&self.assemble())
+    }
+
+    /// The modulus `m = q^{n−3−L}` of Lemma 3.5's completion.
+    pub fn modulus_m(&self) -> Integer {
+        Integer::from(Natural::from(self.params.q_u64()).pow(self.params.e_width() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmx_linalg::{bareiss, gauss, ring::RationalField};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p7() -> Params {
+        Params::new(7, 2)
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = RestrictedInstance::random(p7(), &mut rng);
+        let a = inst.matrix_a();
+        let b = inst.matrix_b();
+        assert_eq!((a.rows(), a.cols()), (7, 6));
+        assert_eq!((b.rows(), b.cols()), (7, 6));
+        let m = inst.assemble();
+        assert_eq!((m.rows(), m.cols()), (14, 14));
+        // All entries are valid k-bit values.
+        let max = Integer::from((1i64 << 2) - 1);
+        for v in m.data() {
+            assert!(!v.is_negative() && *v <= max);
+        }
+    }
+
+    #[test]
+    fn matrix_a_structure() {
+        let inst = RestrictedInstance::zero(p7());
+        let a = inst.matrix_a();
+        let n = 7;
+        let h = 3;
+        let q = Integer::from(3i64);
+        for i in 0..n {
+            for j in 0..n - 1 {
+                let expect = if i < n - 1 && i == j {
+                    Integer::one()
+                } else if i + 1 == j && j < h {
+                    q.clone()
+                } else if i == n - 1 && j == 0 {
+                    Integer::one()
+                } else {
+                    Integer::zero() // C is zero in the zero instance
+                };
+                assert_eq!(a[(i, j)], expect, "A[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn span_a_always_has_dimension_n_minus_1() {
+        // Lemma 3.4's premise: the fixed diagonal makes rank(A) = n-1 for
+        // every C.
+        let mut rng = StdRng::seed_from_u64(2);
+        for params in [Params::new(5, 2), Params::new(7, 2), Params::new(7, 3), Params::new(9, 4)] {
+            for _ in 0..5 {
+                let inst = RestrictedInstance::random(params, &mut rng);
+                assert_eq!(
+                    bareiss::rank(&inst.matrix_a()),
+                    params.n - 1,
+                    "rank deficiency at n={}, k={}",
+                    params.n,
+                    params.k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_2n_minus_1_columns_independent() {
+        // The proof of Lemma 3.2 (and Corollary 1.3) needs columns
+        // 2..2n of M linearly independent.
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = RestrictedInstance::random(p7(), &mut rng);
+        let m = inst.assemble();
+        let cols: Vec<usize> = (1..m.cols()).collect();
+        let rows: Vec<usize> = (0..m.rows()).collect();
+        let tail = m.submatrix(&rows, &cols);
+        assert_eq!(bareiss::rank(&tail), m.cols() - 1);
+    }
+
+    #[test]
+    fn top_right_block_matches_figure_one() {
+        let inst = RestrictedInstance::zero(p7());
+        let m = inst.assemble();
+        let n = 7;
+        let q = Integer::from(3i64);
+        // M[0][2n-1] = 1 (paper M[1, 2n] = 1).
+        assert_eq!(m[(0, 2 * n - 1)], Integer::one());
+        // M[n-1][n] = 1 (paper M[n, n+1] = 1); column n otherwise 0.
+        assert_eq!(m[(n - 1, n)], Integer::one());
+        for i in 0..2 * n {
+            if i != n - 1 {
+                assert_eq!(m[(i, n)], Integer::zero(), "column n, row {i}");
+            }
+        }
+        // The q line: M[i][j] = q iff i + (j - n) = n, within the top rows.
+        for i in 0..n {
+            for j in n..2 * n {
+                let c = j - n;
+                let expect = if i + c == n - 1 {
+                    Integer::one()
+                } else if i + c == n {
+                    q.clone()
+                } else {
+                    Integer::zero()
+                };
+                assert_eq!(m[(i, j)], expect, "top-right ({i},{j})");
+            }
+        }
+        // First column is e_0.
+        assert_eq!(m[(0, 0)], Integer::one());
+        for i in 1..2 * n {
+            assert_eq!(m[(i, 0)], Integer::zero());
+        }
+    }
+
+    #[test]
+    fn b_dot_u_projection_is_e_dot_w() {
+        // The proof of Lemma 3.7: projecting B·u to components h..n-2
+        // (0-indexed rows of B) yields exactly E·w.
+        let mut rng = StdRng::seed_from_u64(4);
+        for params in [Params::new(7, 2), Params::new(9, 3)] {
+            let inst = RestrictedInstance::random(params, &mut rng);
+            let bu = inst.b_dot_u();
+            let w = inst.w();
+            let h = params.h();
+            for r in 0..h {
+                let expect = dot(inst.e.row(r), &w);
+                assert_eq!(bu[h + r], expect, "row {r} of the projection");
+            }
+        }
+    }
+
+    #[test]
+    fn d_rows_contribute_multiples_of_m() {
+        // b_i · u for a D-row is always a multiple of m = q^{n-3-L}.
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = Params::new(9, 3);
+        let inst = RestrictedInstance::random(params, &mut rng);
+        let bu = inst.b_dot_u();
+        let m = inst.modulus_m();
+        for i in 0..params.h() {
+            assert!(bu[i].divisible_by(&m), "b_{i}·u = {} not divisible by m = {m}", bu[i]);
+        }
+    }
+
+    #[test]
+    fn encode_roundtrips_through_the_shared_encoding() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = RestrictedInstance::random(p7(), &mut rng);
+        let bits = inst.encode();
+        let decoded = inst.params.encoding().decode(&bits);
+        assert_eq!(decoded, inst.assemble());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the restricted range")]
+    fn rejects_out_of_range_blocks() {
+        let params = p7();
+        let h = params.h();
+        let q_val = Matrix::from_fn(h, h, |_, _| params.q()); // = q, not ≤ q-1
+        let z = |r, c| Matrix::from_fn(r, c, |_, _| Integer::zero());
+        let _ = RestrictedInstance::new(
+            params,
+            q_val,
+            z(h, params.d_width()),
+            z(h, params.e_width()),
+            vec![Integer::zero(); params.n - 1],
+        );
+    }
+
+    #[test]
+    fn rational_rank_of_m_never_below_2n_minus_1() {
+        // Since the last 2n-1 columns are independent, rank(M) ∈
+        // {2n-1, 2n}: exactly the singular/nonsingular dichotomy.
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = RationalField;
+        for _ in 0..5 {
+            let inst = RestrictedInstance::random(p7(), &mut rng);
+            let m = inst.assemble().map(|e| ccmx_bigint::Rational::from(e.clone()));
+            let r = gauss::rank(&f, &m);
+            assert!(r == 13 || r == 14, "rank {r}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The counting engine behind Theorem 1.1.
+//!
+//! Section 2's plan: (2a) the restricted truth matrix has many `1`s;
+//! (2b) every 1-chromatic rectangle covers only a tiny fraction of them.
+//! Yao's method then gives `Comm ≥ log₂ d(f) − 2` with
+//! `d(f) ≥ (#ones) / (max 1-rectangle area)`.
+//!
+//! All quantities in the proof are powers of `q`; we carry their
+//! exponents (in `log_q` scale, as `f64`) and convert to bits at the end
+//! (`log₂ x = log_q x · log₂ q`, and `log₂ q = log₂(2^k − 1) ≈ k`).
+
+use crate::lemma35;
+use crate::params::Params;
+use crate::rectangles;
+
+/// The assembled Theorem 1.1 bound for one parameter point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TheoremBound {
+    /// Parameters.
+    pub params: Params,
+    /// log_q(#rows) = (n−1)²/4 (Lemma 3.4).
+    pub rows_log_q: f64,
+    /// log_q(#cols) = (n²−1)/2 (free entries of B).
+    pub cols_log_q: f64,
+    /// log_q(#ones) lower bound (Lemmas 3.4 + 3.5).
+    pub ones_log_q: f64,
+    /// log_q of the row threshold `r` (Lemma 3.6).
+    pub row_threshold_log_q: f64,
+    /// log_q of the max area of a rectangle with fewer than `r` rows.
+    pub small_rect_area_log_q: f64,
+    /// log_q of the max area of a rectangle with at least `r` rows
+    /// (Lemma 3.7).
+    pub large_rect_area_log_q: f64,
+    /// log_q of the implied rectangle-partition lower bound
+    /// `d(f) ≥ ones / max-area`.
+    pub d_log_q: f64,
+    /// The final communication lower bound in bits:
+    /// `log₂ d(f) − 2`, clamped at 0.
+    pub lower_bound_bits: f64,
+}
+
+/// `log₂ q` for the family's `q = 2^k − 1`.
+pub fn log2_q(params: Params) -> f64 {
+    (((1u64 << params.k) - 1) as f64).log2()
+}
+
+/// Compute the full Theorem 1.1 bound breakdown.
+pub fn theorem_bound(params: Params) -> TheoremBound {
+    let rows = params.c_entries() as f64;
+    let cols = ((params.n * params.n - 1) / 2) as f64;
+    let ones = rows + lemma35::ones_per_row_lower_log_q(params);
+    let r = rectangles::lemma36_row_threshold_log_q(params);
+    let small = r + cols;
+    let large = rows + rectangles::lemma37_column_bound_log_q(params);
+    let max_area = small.max(large);
+    let d = (ones - max_area).max(0.0);
+    let bits = (d * log2_q(params) - 2.0).max(0.0);
+    TheoremBound {
+        params,
+        rows_log_q: rows,
+        cols_log_q: cols,
+        ones_log_q: ones,
+        row_threshold_log_q: r,
+        small_rect_area_log_q: small,
+        large_rect_area_log_q: large,
+        d_log_q: d,
+        lower_bound_bits: bits,
+    }
+}
+
+/// The deterministic *upper* bound: the send-everything protocol costs
+/// `⌈k(2n)²/2⌉ = 2k n²` bits under any even partition.
+pub fn deterministic_upper_bound_bits(params: Params) -> f64 {
+    (params.input_bits() as f64) / 2.0
+}
+
+/// The probabilistic upper bound quoted by the paper (Leighton 1987):
+/// `O(n² max(log n, log k))`. We report the concrete cost of our
+/// mod-random-prime protocol at the given security level.
+pub fn probabilistic_upper_bound_bits(params: Params, security: u32) -> f64 {
+    let proto = ccmx_comm::protocols::ModPrimeSingularity::new(params.dim(), params.k, security);
+    proto.predicted_cost() as f64
+}
+
+/// The smallest `k` at which the randomized protocol's cost drops below
+/// the deterministic `2k·n²` — "where the crossover falls" for the
+/// paper's deterministic/probabilistic separation. `None` if it never
+/// crosses within `k ≤ 63`.
+pub fn randomized_crossover_k(n: usize, security: u32) -> Option<u32> {
+    (2..=63u32).find(|&k| {
+        let params = Params { n, k };
+        // Params::new validates; construct the protocol directly for
+        // the cost comparison (no family constraints needed here).
+        let proto = ccmx_comm::protocols::ModPrimeSingularity::new(2 * n, k, security);
+        (proto.predicted_cost() as f64) < (params.k as f64) * (2 * n * n) as f64
+    })
+}
+
+/// The asymptotic ratio the paper's Theorem 1.1 certifies:
+/// `lower_bound / (k n²)` — should converge to a positive constant
+/// (`≈ (3/16)·...` up to the `O(n log_q n)` slack) as `n` grows.
+pub fn normalized_lower_bound(params: Params) -> f64 {
+    let b = theorem_bound(params);
+    b.lower_bound_bits / (params.k as f64 * (params.n * params.n) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_internally_consistent() {
+        for params in [Params::new(7, 2), Params::new(11, 3), Params::new(21, 4), Params::new(41, 8)]
+        {
+            let b = theorem_bound(params);
+            assert!(b.ones_log_q <= b.rows_log_q + b.cols_log_q, "more ones than cells");
+            assert!(b.ones_log_q >= b.rows_log_q, "Lemma 3.5(a): at least one 1 per row");
+            assert!(b.d_log_q >= 0.0);
+            assert!(b.lower_bound_bits >= 0.0);
+            assert!(
+                b.lower_bound_bits <= deterministic_upper_bound_bits(params),
+                "lower bound exceeds the trivial upper bound at n={}, k={}",
+                params.n,
+                params.k
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_omega_of_k_n_squared() {
+        // The normalized bound must stay bounded away from 0 and grow
+        // toward its asymptote as n grows (the Θ(k n²) shape). At small n
+        // the concrete bound is vacuous (the O(n log_q n) slack dominates)
+        // — that is inherent to the asymptotic statement, not a bug.
+        for k in [2u32, 4, 8] {
+            let mid = normalized_lower_bound(Params::new(61, k));
+            let large = normalized_lower_bound(Params::new(99, k));
+            assert!(mid > 0.02, "normalized bound vanished: {mid} at n=61, k={k}");
+            assert!(
+                large >= mid,
+                "bound degraded with n: {mid} -> {large} at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn leading_exponent_matches_paper() {
+        // d_log_q ≈ n²/8 for large n: ones ≈ 3n²/4, and the binding
+        // rectangle side approaches 5n²/8 (large rectangles) /
+        // 9n²/16 (small rectangles), whichever is larger.
+        let params = Params::new(81, 8);
+        let b = theorem_bound(params);
+        let n = params.n as f64;
+        let predicted = n * n / 8.0;
+        let rel = (b.d_log_q - predicted).abs() / predicted;
+        assert!(rel < 0.25, "leading term off by {rel}: d = {}, predicted {predicted}", b.d_log_q);
+    }
+
+    #[test]
+    fn randomized_beats_deterministic_for_large_k() {
+        // Per-entry: deterministic k/2 bits vs randomized ≈ window bits ≈
+        // log(k·n) + O(security). At k = 63 the ratio is well below 1.
+        let params = Params::new(31, 63);
+        let det = deterministic_upper_bound_bits(params);
+        let prob = probabilistic_upper_bound_bits(params, 6);
+        assert!(
+            prob < det * 0.75,
+            "randomized {prob} should be well below deterministic {det}"
+        );
+    }
+
+    #[test]
+    fn crossover_moves_with_security_and_size() {
+        // Larger n amortizes the prime header → earlier crossover;
+        // higher security widens the window → later crossover.
+        let low_sec = randomized_crossover_k(31, 6).expect("crossover must exist");
+        // At security 20 the window may exceed k/2 for every k ≤ 63:
+        // "no crossover" counts as later than any real one.
+        let high_sec = randomized_crossover_k(31, 20).unwrap_or(64);
+        assert!(low_sec <= high_sec, "security should delay the crossover");
+        // The crossover k is dominated by "window bits ≈ log(k·n) +
+        // O(security) vs k/2": nearly n-independent, drifting *later*
+        // slightly with n (log n enters the window) even though the
+        // 64-bit prime header amortizes better. Check both effects stay
+        // within the expected narrow band.
+        let small_n = randomized_crossover_k(9, 8).expect("crossover must exist");
+        let large_n = randomized_crossover_k(61, 8).expect("crossover must exist");
+        assert!(small_n <= large_n, "log n enters the window: {small_n} vs {large_n}");
+        assert!(large_n - small_n <= 8, "crossover drift too large: {small_n} -> {large_n}");
+        // At the crossover, the randomized protocol really is cheaper.
+        let k = large_n;
+        let proto = ccmx_comm::protocols::ModPrimeSingularity::new(122, k, 8);
+        assert!((proto.predicted_cost() as f64) < k as f64 * 2.0 * 61.0 * 61.0);
+    }
+
+    #[test]
+    fn sandwich_lower_below_upper_everywhere() {
+        for params in Params::sweep(100_000) {
+            let b = theorem_bound(params);
+            assert!(b.lower_bound_bits <= deterministic_upper_bound_bits(params));
+        }
+    }
+
+    #[test]
+    fn log2_q_close_to_k() {
+        assert!((log2_q(Params::new(7, 2)) - 1.585).abs() < 0.01); // log2 3
+        assert!((log2_q(Params::new(7, 8)) - 8.0).abs() < 0.01); // log2 255
+    }
+}

@@ -1,0 +1,87 @@
+//! Lemma 3.2: `M` is singular **iff** `B·u ∈ Span(A)`.
+//!
+//! (Premise: `dim Span(A) = n − 1`, which the Fig. 3 diagonal guarantees
+//! for every instance — see the tests in [`crate::construction`].)
+//!
+//! The lemma is the paper's bridge from singularity testing to a clean
+//! combinatorial membership problem: the entire lower bound (Lemmas
+//! 3.3–3.7) reasons about `B·u` and `Span(A)` only. We expose both sides
+//! as exact decision procedures and verify their equivalence.
+
+use ccmx_bigint::Rational;
+use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::{bareiss, gauss};
+
+use crate::construction::RestrictedInstance;
+
+/// Left side: is the assembled `2n × 2n` matrix singular? (Exact,
+/// fraction-free elimination.)
+pub fn m_is_singular(inst: &RestrictedInstance) -> bool {
+    bareiss::is_singular(&inst.assemble())
+}
+
+/// Right side: is `B·u ∈ Span(A)`? (Exact rational solve.)
+pub fn bu_in_span_a(inst: &RestrictedInstance) -> bool {
+    let f = RationalField;
+    let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
+    let bu: Vec<Rational> = inst.b_dot_u().iter().map(|e| Rational::from(e.clone())).collect();
+    gauss::in_column_span(&f, &a, &bu)
+}
+
+/// The lemma as a checkable statement on one instance.
+pub fn lemma32_holds(inst: &RestrictedInstance) -> bool {
+    m_is_singular(inst) == bu_in_span_a(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lemma35::complete;
+    use crate::params::Params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equivalence_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for params in [Params::new(5, 2), Params::new(7, 2), Params::new(7, 3), Params::new(9, 4)] {
+            for t in 0..20 {
+                let inst = RestrictedInstance::random(params, &mut rng);
+                assert!(
+                    lemma32_holds(&inst),
+                    "Lemma 3.2 violated at n={}, k={}, trial {t}: singular={}, member={}",
+                    params.n,
+                    params.k,
+                    m_is_singular(&inst),
+                    bu_in_span_a(&inst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completed_instances_exercise_the_singular_side() {
+        // Random instances are almost never singular; Lemma 3.5's
+        // completion manufactures singular ones, so the ⇐ direction is
+        // actually exercised.
+        let mut rng = StdRng::seed_from_u64(12);
+        for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 3)] {
+            for _ in 0..10 {
+                let free = RestrictedInstance::random(params, &mut rng);
+                let inst = complete(params, &free.c, &free.e).expect("completion must succeed");
+                assert!(bu_in_span_a(&inst), "completion must place B·u in Span(A)");
+                assert!(m_is_singular(&inst), "Lemma 3.2 ⇐ direction");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_instance_both_sides_agree() {
+        let inst = RestrictedInstance::zero(Params::new(7, 2));
+        assert!(lemma32_holds(&inst));
+        // For the zero instance B = 0 except nothing, so B·u = 0 ∈ Span(A):
+        // M must be singular.
+        assert!(bu_in_span_a(&inst));
+        assert!(m_is_singular(&inst));
+    }
+}

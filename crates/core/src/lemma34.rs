@@ -1,0 +1,129 @@
+//! Lemma 3.4: distinct instances of `C` define distinct vector spaces
+//! `Span(A)`, all of dimension `n − 1`.
+//!
+//! This gives the restricted truth matrix its `q^{(n−1)²/4}` *genuinely
+//! different* rows (claim 2a needs many rows whose spans differ, so that
+//! large 1-rectangles force large span intersections in Lemma 3.6).
+//!
+//! Executable form: the map `C ↦ canonical_form(Span(A(C)))` is
+//! injective. We check it exhaustively for tiny parameters and by
+//! randomized collision search for larger ones, using the RREF-based
+//! canonical form from `ccmx-linalg`.
+
+use ccmx_bigint::{Integer, Rational};
+use ccmx_linalg::gauss::span_canonical_form;
+use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::Matrix;
+use rand::Rng;
+
+use crate::construction::RestrictedInstance;
+use crate::params::Params;
+
+/// Canonical form of `Span(A(C))` (rows of the RREF of `Aᵀ`).
+pub fn span_canonical(params: Params, c: &Matrix<Integer>) -> Matrix<Rational> {
+    let h = params.h();
+    assert_eq!((c.rows(), c.cols()), (h, h));
+    let mut inst = RestrictedInstance::zero(params);
+    inst.c = c.clone();
+    let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
+    span_canonical_form(&RationalField, &a)
+}
+
+/// Number of rows of the restricted truth matrix, in `log_q` scale:
+/// `(n−1)²/4` (the free entries of `C`).
+pub fn row_count_log_q(params: Params) -> f64 {
+    params.c_entries() as f64
+}
+
+/// Exhaustively verify injectivity of `C ↦ Span(A(C))` for parameters
+/// small enough to enumerate (at most `max_instances`). Returns the
+/// number of distinct spans found (must equal `q^{h²}`).
+pub fn verify_injectivity_exhaustive(params: Params, max_instances: u64) -> Option<usize> {
+    let h = params.h();
+    let q = params.q_u64();
+    let total = (q as u128).checked_pow((h * h) as u32)?;
+    if total > max_instances as u128 {
+        return None;
+    }
+    let mut seen = std::collections::HashSet::new();
+    for code in 0..total {
+        let mut v = code;
+        let c = Matrix::from_fn(h, h, |_, _| {
+            let d = (v % q as u128) as i64;
+            v /= q as u128;
+            Integer::from(d)
+        });
+        let canon = span_canonical(params, &c);
+        let key = format!("{canon:?}");
+        assert!(seen.insert(key), "span collision for C = {c:?}");
+    }
+    Some(seen.len())
+}
+
+/// Randomized collision search: sample `trials` pairs of distinct `C`
+/// blocks and assert their spans differ. Returns the number of pairs
+/// checked.
+pub fn verify_injectivity_sampled<R: Rng + ?Sized>(params: Params, trials: usize, rng: &mut R) -> usize {
+    let h = params.h();
+    let q = params.q_u64();
+    let mut checked = 0;
+    for _ in 0..trials {
+        let c1 = Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64));
+        let mut c2 = c1.clone();
+        // Perturb one random entry to guarantee distinctness.
+        let (i, j) = (rng.gen_range(0..h), rng.gen_range(0..h));
+        let delta = rng.gen_range(1..q);
+        let nv = (c2[(i, j)].to_i64().unwrap() as u64 + delta) % q;
+        c2[(i, j)] = Integer::from(nv as i64);
+        assert_ne!(c1, c2);
+        let s1 = span_canonical(params, &c1);
+        let s2 = span_canonical(params, &c2);
+        assert_ne!(s1, s2, "distinct C blocks with identical spans: {c1:?} vs {c2:?}");
+        checked += 1;
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exhaustive_tiny() {
+        // n = 5, k = 2: q = 3, h = 2, 3^4 = 81 instances.
+        let params = Params::new(5, 2);
+        let count = verify_injectivity_exhaustive(params, 100).expect("small enough");
+        assert_eq!(count, 81);
+        assert_eq!(row_count_log_q(params), 4.0);
+    }
+
+    #[test]
+    fn exhaustive_refuses_large() {
+        let params = Params::new(11, 4);
+        assert_eq!(verify_injectivity_exhaustive(params, 1000), None);
+    }
+
+    #[test]
+    fn sampled_larger_parameters() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for params in [Params::new(7, 2), Params::new(9, 3), Params::new(11, 2)] {
+            let checked = verify_injectivity_sampled(params, 15, &mut rng);
+            assert_eq!(checked, 15);
+        }
+    }
+
+    #[test]
+    fn all_spans_have_dimension_n_minus_1() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let params = Params::new(7, 3);
+        let h = params.h();
+        let q = params.q_u64();
+        for _ in 0..10 {
+            let c = Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64));
+            let canon = span_canonical(params, &c);
+            assert_eq!(canon.rows(), params.n - 1, "canonical form must have n-1 basis rows");
+        }
+    }
+}

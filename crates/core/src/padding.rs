@@ -1,0 +1,123 @@
+//! The padding reduction of Section 3's preamble.
+//!
+//! The lower bound is proven for `2n × 2n` inputs with `n` odd. For an
+//! arbitrary `m × m` input, the paper sets `d := (m − 2) mod 4` and
+//! `n := (m − d)/2` (so `n` is odd), fixes the last `d` rows and columns
+//! to zero except for ones on their diagonal, and observes that the
+//! padded matrix is singular iff its leading `2n × 2n` submatrix is.
+//!
+//! We implement the embedding in both directions and verify the
+//! singularity equivalence, which is what transfers Theorem 1.1 to every
+//! matrix dimension.
+
+use ccmx_bigint::Integer;
+use ccmx_linalg::{bareiss, Matrix};
+
+/// For a target dimension `m ≥ 10`, the paper's split `(n, d)` with
+/// `m = 2n + d`, `n` odd, `0 ≤ d ≤ 3`.
+pub fn split(m: usize) -> (usize, usize) {
+    assert!(m >= 10, "padding needs m >= 10 to leave a usable 2n x 2n core");
+    let d = (m - 2) % 4;
+    let n = (m - d) / 2;
+    debug_assert!(n % 2 == 1, "n = {n} not odd for m = {m}");
+    debug_assert_eq!(2 * n + d, m);
+    (n, d)
+}
+
+/// Embed a `2n × 2n` matrix into an `m × m` matrix (`m = 2n + d` from
+/// [`split`]): the trailing `d` rows/columns are zero except for ones on
+/// the diagonal.
+pub fn pad(core: &Matrix<Integer>, m: usize) -> Matrix<Integer> {
+    let (n, _d) = split(m);
+    assert_eq!(core.rows(), 2 * n, "core must be 2n x 2n for m = {m}");
+    assert!(core.is_square());
+    let two_n = 2 * n;
+    Matrix::from_fn(m, m, |i, j| {
+        if i < two_n && j < two_n {
+            core[(i, j)].clone()
+        } else if i == j {
+            Integer::one()
+        } else {
+            Integer::zero()
+        }
+    })
+}
+
+/// Extract the `2n × 2n` core of a padded matrix.
+pub fn core_of(padded: &Matrix<Integer>) -> Matrix<Integer> {
+    let (n, _) = split(padded.rows());
+    let idx: Vec<usize> = (0..2 * n).collect();
+    padded.submatrix(&idx, &idx)
+}
+
+/// The equivalence the reduction rests on.
+pub fn equivalence_holds(core: &Matrix<Integer>, m: usize) -> bool {
+    bareiss::is_singular(core) == bareiss::is_singular(&pad(core, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn split_produces_odd_n() {
+        for m in 10..=40 {
+            let (n, d) = split(m);
+            assert_eq!(2 * n + d, m);
+            assert!(n % 2 == 1, "m={m} -> n={n}");
+            assert!(d <= 3);
+        }
+        assert_eq!(split(10), (5, 0));
+        assert_eq!(split(11), (5, 1));
+        assert_eq!(split(12), (5, 2));
+        assert_eq!(split(13), (5, 3));
+        assert_eq!(split(14), (7, 0));
+    }
+
+    #[test]
+    fn pad_preserves_singularity_both_ways() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for m in [11usize, 12, 13, 15] {
+            let (n, _) = split(m);
+            for _ in 0..10 {
+                let core = Matrix::from_fn(2 * n, 2 * n, |_, _| {
+                    Integer::from(rng.gen_range(0i64..4))
+                });
+                assert!(equivalence_holds(&core, m), "m={m}");
+            }
+            // A deliberately singular core stays singular after padding.
+            let mut sing = Matrix::from_fn(2 * n, 2 * n, |_, _| Integer::from(rng.gen_range(0i64..4)));
+            for r in 0..2 * n {
+                sing[(r, 1)] = sing[(r, 0)].clone();
+            }
+            assert!(bareiss::is_singular(&pad(&sing, m)));
+        }
+    }
+
+    #[test]
+    fn core_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let m = 13;
+        let (n, _) = split(m);
+        let core = Matrix::from_fn(2 * n, 2 * n, |_, _| Integer::from(rng.gen_range(0i64..8)));
+        assert_eq!(core_of(&pad(&core, m)), core);
+    }
+
+    #[test]
+    fn determinant_preserved_exactly() {
+        // The padding block is an identity: det(padded) = det(core).
+        let mut rng = StdRng::seed_from_u64(53);
+        let m = 12;
+        let (n, _) = split(m);
+        let core = Matrix::from_fn(2 * n, 2 * n, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
+        assert_eq!(bareiss::det(&pad(&core, m)), bareiss::det(&core));
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= 10")]
+    fn small_m_rejected() {
+        let _ = split(9);
+    }
+}

@@ -1,0 +1,201 @@
+//! Parameters of the restricted instance family (Section 3).
+//!
+//! The paper fixes a `2n × 2n` input of `k`-bit entries with `n` odd, and
+//! sets `q = 2^k − 1` (the largest `k`-bit value). The Fig. 3 block
+//! widths are all derived from `n`, `k`:
+//!
+//! * `h = (n−1)/2` — side of the square block `C`,
+//! * `L = ⌈log_q n⌉` — the digit length needed to address `n` in base `q`,
+//! * `D` is `h × (L + 2)`, `E` is `h × (n − 3 − L)`, `y` has `n − 1`
+//!   entries; all their entries range over `[0, q − 1]`.
+//!
+//! The base-`q` digit machinery degenerates for `q = 1`, so the family
+//! requires `k ≥ 2`; and `E`'s width must be non-negative, so
+//! `n ≥ L + 3`. (Theorem 1.1 for other `n`, `k` follows by padding — see
+//! [`crate::padding`] — and monotonicity in `k`.)
+
+use ccmx_bigint::bounds::q_of_k;
+use ccmx_bigint::Integer;
+
+/// Validated parameters `(n, k)` of the restricted family, with all the
+/// Fig. 3 derived quantities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Half the matrix dimension; odd.
+    pub n: usize,
+    /// Bits per entry; `>= 2`.
+    pub k: u32,
+}
+
+impl Params {
+    /// Validate and construct.
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(n >= 5, "n must be at least 5");
+        assert!(n % 2 == 1, "n must be odd (Section 3)");
+        assert!((2..=63).contains(&k), "k must be in 2..=63");
+        let p = Params { n, k };
+        assert!(
+            n >= p.log_q_n_ceil() + 3,
+            "n = {n} too small for k = {k}: E would have negative width"
+        );
+        p
+    }
+
+    /// `q = 2^k − 1`.
+    pub fn q(&self) -> Integer {
+        q_of_k(self.k)
+    }
+
+    /// `q` as `u64` (valid since `k <= 63`).
+    pub fn q_u64(&self) -> u64 {
+        (1u64 << self.k) - 1
+    }
+
+    /// Matrix dimension `2n`.
+    pub fn dim(&self) -> usize {
+        2 * self.n
+    }
+
+    /// `h = (n − 1)/2`, the side of `C`.
+    pub fn h(&self) -> usize {
+        (self.n - 1) / 2
+    }
+
+    /// `L = ⌈log_q n⌉`.
+    pub fn log_q_n_ceil(&self) -> usize {
+        let q = self.q_u64();
+        debug_assert!(q >= 2);
+        let mut l = 0usize;
+        let mut pow = 1u128;
+        while pow < self.n as u128 {
+            pow *= q as u128;
+            l += 1;
+        }
+        l
+    }
+
+    /// Width of `D`: `L + 2`.
+    pub fn d_width(&self) -> usize {
+        self.log_q_n_ceil() + 2
+    }
+
+    /// Width of `E`: `n − 3 − L`.
+    pub fn e_width(&self) -> usize {
+        self.n - 3 - self.log_q_n_ceil()
+    }
+
+    /// Number of free entries in `C` (`h²`).
+    pub fn c_entries(&self) -> usize {
+        self.h() * self.h()
+    }
+
+    /// Number of free entries in `E` (`h · e_width`).
+    pub fn e_entries(&self) -> usize {
+        self.h() * self.e_width()
+    }
+
+    /// Total input bits of the `2n × 2n` instance: `k(2n)²`.
+    pub fn input_bits(&self) -> u64 {
+        ccmx_bigint::bounds::input_bits(self.dim(), self.k)
+    }
+
+    /// The encoding geometry shared with `ccmx-comm`.
+    pub fn encoding(&self) -> ccmx_comm::MatrixEncoding {
+        ccmx_comm::MatrixEncoding::new(self.dim(), self.k)
+    }
+
+    /// Enumerate all valid `Params` with input size at most `max_bits`
+    /// (used by the sweep harnesses).
+    pub fn sweep(max_bits: u64) -> Vec<Params> {
+        let mut out = Vec::new();
+        for n in (5..=99usize).step_by(2) {
+            for k in 2..=16u32 {
+                if (2 * n * 2 * n) as u64 * k as u64 > max_bits {
+                    continue;
+                }
+                let p = Params { n, k };
+                if n >= p.log_q_n_ceil() + 3 {
+                    out.push(Params::new(n, k));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = Params::new(5, 2);
+        assert_eq!(p.q(), Integer::from(3i64));
+        assert_eq!(p.q_u64(), 3);
+        assert_eq!(p.dim(), 10);
+        assert_eq!(p.h(), 2);
+        // log_3(5): 3^1 = 3 < 5 <= 9 = 3^2 → L = 2.
+        assert_eq!(p.log_q_n_ceil(), 2);
+        assert_eq!(p.d_width(), 4);
+        assert_eq!(p.e_width(), 0);
+        assert_eq!(p.input_bits(), 200);
+    }
+
+    #[test]
+    fn wider_params() {
+        let p = Params::new(7, 2);
+        assert_eq!(p.log_q_n_ceil(), 2); // 3^2 = 9 >= 7
+        assert_eq!(p.e_width(), 2);
+        assert_eq!(p.d_width() + p.e_width(), p.n - 1); // B's columns split exactly
+        let p2 = Params::new(9, 4);
+        assert_eq!(p2.q_u64(), 15);
+        assert_eq!(p2.log_q_n_ceil(), 1); // 15 >= 9
+        assert_eq!(p2.d_width(), 3);
+        assert_eq!(p2.e_width(), 5);
+        assert_eq!(p2.d_width() + p2.e_width(), p2.n - 1);
+    }
+
+    #[test]
+    fn b_columns_always_split_exactly() {
+        for p in Params::sweep(20_000) {
+            assert_eq!(
+                p.d_width() + p.e_width(),
+                p.n - 1,
+                "B width mismatch at n={}, k={}",
+                p.n,
+                p.k
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_n() {
+        let _ = Params::new(6, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn rejects_k1() {
+        let _ = Params::new(5, 1);
+    }
+
+    #[test]
+    fn sweep_is_nonempty_and_valid() {
+        let s = Params::sweep(2_000);
+        assert!(!s.is_empty());
+        for p in s {
+            assert!(p.n % 2 == 1);
+            assert!(p.input_bits() <= 2_000);
+        }
+    }
+
+    #[test]
+    fn log_q_n_edge_values() {
+        // q = 3: log_3(9) = 2 exactly; log_3(10) = 3 (ceil).
+        let p9 = Params::new(9, 2);
+        assert_eq!(p9.log_q_n_ceil(), 2);
+        let p11 = Params::new(11, 2);
+        assert_eq!(p11.log_q_n_ceil(), 3); // 3^2 = 9 < 11 <= 27
+    }
+}

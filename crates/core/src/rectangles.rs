@@ -1,0 +1,297 @@
+//! Lemmas 3.3, 3.6 and 3.7: why 1-chromatic rectangles are small.
+//!
+//! * **Lemma 3.3** — if a 1-rectangle has rows `A_1 … A_t` and columns
+//!   `B_1·u … B_s·u`, then every `B_j·u` lies in `⋂ᵢ Span(A_i)`
+//!   (immediate from Lemma 3.2, rectangle = all entries singular).
+//! * **Lemma 3.6** — many distinct rows force the intersection to have
+//!   dimension below `7n/8 − 1` (a counting argument over the `C`
+//!   blocks).
+//! * **Lemma 3.7** — once the intersection is small, its projection
+//!   `p: x ↦ (x_{h}, …, x_{n−2})` has dimension `< 3n/8`, and since
+//!   `p(B·u) = E·w` is a radix embedding of `E`, only
+//!   `q^{3n²/8 + O(n log_q n)}` columns fit.
+//!
+//! Executable content: exact span-intersection bases over ℚ, the Lemma
+//! 3.3 membership verifier, the projection operator, and the dimension /
+//! column-count bounds — all checkable on concrete rectangles assembled
+//! from [`crate::lemma35::complete`].
+
+use ccmx_bigint::{Integer, Rational};
+use ccmx_linalg::gauss::{self, nullspace, rank};
+use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::Matrix;
+
+use crate::construction::RestrictedInstance;
+use crate::params::Params;
+
+fn to_q(m: &Matrix<Integer>) -> Matrix<Rational> {
+    m.map(|e| Rational::from(e.clone()))
+}
+
+/// A basis (as matrix columns) of `span(a) ∩ span(b)`, computed from the
+/// nullspace of `[a | b]`: if `a·x + b·y = 0` then `a·x = −b·y` lies in
+/// both spans, and these vectors generate the intersection.
+pub fn span_intersection_basis(a: &Matrix<Rational>, b: &Matrix<Rational>) -> Matrix<Rational> {
+    assert_eq!(a.rows(), b.rows());
+    let f = RationalField;
+    let concat = Matrix::from_fn(a.rows(), a.cols() + b.cols(), |i, j| {
+        if j < a.cols() {
+            a[(i, j)].clone()
+        } else {
+            b[(i, j - a.cols())].clone()
+        }
+    });
+    let ns = nullspace(&f, &concat);
+    // Each nullspace vector's a-part maps to an intersection vector.
+    let vectors: Vec<Vec<Rational>> = ns
+        .iter()
+        .map(|v| {
+            let x = &v[..a.cols()];
+            a.mul_vec(&f, x)
+        })
+        .collect();
+    if vectors.is_empty() {
+        return Matrix::from_fn(a.rows(), 0, |_, _| Rational::zero());
+    }
+    // Reduce to an independent basis.
+    let all = Matrix::from_fn(a.rows(), vectors.len(), |i, j| vectors[j][i].clone());
+    let e = gauss::echelon(&f, &all);
+    let keep: Vec<usize> = e.pivot_cols.clone();
+    all.submatrix(&(0..a.rows()).collect::<Vec<_>>(), &keep)
+}
+
+/// Basis of `⋂ᵢ span(mᵢ)` by folding [`span_intersection_basis`].
+pub fn spans_intersection(mats: &[Matrix<Rational>]) -> Matrix<Rational> {
+    assert!(!mats.is_empty());
+    let mut acc = mats[0].clone();
+    for m in &mats[1..] {
+        acc = span_intersection_basis(&acc, m);
+        if acc.cols() == 0 {
+            break;
+        }
+    }
+    acc
+}
+
+/// Dimension of `⋂ᵢ Span(A(Cᵢ))` for a set of row instances.
+pub fn intersection_dimension(params: Params, cs: &[Matrix<Integer>]) -> usize {
+    let mats: Vec<Matrix<Rational>> = cs
+        .iter()
+        .map(|c| {
+            let mut inst = RestrictedInstance::zero(params);
+            inst.c = c.clone();
+            to_q(&inst.matrix_a())
+        })
+        .collect();
+    let f = RationalField;
+    rank(&f, &spans_intersection(&mats))
+}
+
+/// Lemma 3.3 verifier: for a claimed 1-rectangle (row instances given by
+/// their `C` blocks, column instances by full `RestrictedInstance`s
+/// sharing those columns' `D`, `E`, `y`), check that every `B_j·u` lies
+/// in every `Span(A(C_i))` — equivalently in the intersection.
+pub fn rectangle_membership_holds(
+    params: Params,
+    row_cs: &[Matrix<Integer>],
+    col_insts: &[RestrictedInstance],
+) -> bool {
+    let f = RationalField;
+    for c in row_cs {
+        let mut inst = RestrictedInstance::zero(params);
+        inst.c = c.clone();
+        let a = to_q(&inst.matrix_a());
+        for col in col_insts {
+            let bu: Vec<Rational> =
+                col.b_dot_u().iter().map(|e| Rational::from(e.clone())).collect();
+            if !gauss::in_column_span(&f, &a, &bu) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The projection `p` of the proof of Lemma 3.7: keep components
+/// `h..n−1` (0-indexed) of a length-`n` vector — the rows where `E`
+/// lives, where `p(B·u) = E·w`.
+pub fn project(params: Params, v: &[Rational]) -> Vec<Rational> {
+    assert_eq!(v.len(), params.n);
+    v[params.h()..params.n - 1].to_vec()
+}
+
+/// Dimension of the projection of a span (columns of `basis`).
+pub fn projected_dimension(params: Params, basis: &Matrix<Rational>) -> usize {
+    if basis.cols() == 0 {
+        return 0;
+    }
+    let rows: Vec<usize> = (params.h()..params.n - 1).collect();
+    let cols: Vec<usize> = (0..basis.cols()).collect();
+    let f = RationalField;
+    rank(&f, &basis.submatrix(&rows, &cols))
+}
+
+/// Lemma 3.6's threshold `r = q^{n²/16 + n·log_q n}` in `log_q` scale.
+pub fn lemma36_row_threshold_log_q(params: Params) -> f64 {
+    let n = params.n as f64;
+    n * n / 16.0 + n * log_q_of_n(params)
+}
+
+/// Lemma 3.6's dimension bound: intersections of ≥ r spans have dimension
+/// `< 7n/8 − 1`.
+pub fn lemma36_dimension_bound(params: Params) -> f64 {
+    7.0 * params.n as f64 / 8.0 - 1.0
+}
+
+/// Lemma 3.7's column bound in `log_q` scale.
+///
+/// The paper states `q^{3n²/8 + O(n log_q n)}`, over-approximating "each
+/// row of `E` has fewer than `q^n` instances". A row of `E` actually has
+/// exactly `q^{n−3−L}` instances, so specifying `3n/8` rows of `E` gives
+/// the tighter `(3n/8)·(n−3−L)` exponent, which is what we report (it is
+/// `3n²/8 − O(nL)`, inside the paper's slack).
+pub fn lemma37_column_bound_log_q(params: Params) -> f64 {
+    let n = params.n as f64;
+    (3.0 * n / 8.0) * params.e_width() as f64
+}
+
+fn log_q_of_n(params: Params) -> f64 {
+    (params.n as f64).ln() / (params.q_u64() as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lemma35::complete;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_c<R: Rng>(params: Params, rng: &mut R) -> Matrix<Integer> {
+        let h = params.h();
+        let q = params.q_u64();
+        Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64))
+    }
+
+    fn rand_e<R: Rng>(params: Params, rng: &mut R) -> Matrix<Integer> {
+        let h = params.h();
+        let q = params.q_u64();
+        Matrix::from_fn(h, params.e_width(), |_, _| Integer::from(rng.gen_range(0..q) as i64))
+    }
+
+    #[test]
+    fn intersection_basis_simple_planes() {
+        // span{e1,e2} ∩ span{e1,e3} = span{e1} in Q^3.
+        let one = || Rational::one();
+        let zero = || Rational::zero();
+        let a = Matrix::from_vec(3, 2, vec![one(), zero(), zero(), one(), zero(), zero()]);
+        let b = Matrix::from_vec(3, 2, vec![one(), zero(), zero(), zero(), zero(), one()]);
+        let basis = span_intersection_basis(&a, &b);
+        let f = RationalField;
+        assert_eq!(rank(&f, &basis), 1);
+        // The basis vector is a multiple of e1.
+        assert!(basis[(1, 0)].is_zero() && basis[(2, 0)].is_zero());
+        assert!(!basis[(0, 0)].is_zero());
+    }
+
+    #[test]
+    fn intersection_dimension_decreases_with_more_rows() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let params = Params::new(9, 2);
+        let mut cs = Vec::new();
+        let mut dims = Vec::new();
+        for _ in 0..5 {
+            cs.push(rand_c(params, &mut rng));
+            dims.push(intersection_dimension(params, &cs));
+        }
+        // Monotone non-increasing, starting at n-1.
+        assert_eq!(dims[0], params.n - 1);
+        for w in dims.windows(2) {
+            assert!(w[1] <= w[0], "intersection dimension increased: {dims:?}");
+        }
+        // With several random rows the dimension must drop strictly below
+        // n-1 (random spans differ by Lemma 3.4).
+        assert!(dims[4] < params.n - 1, "dims = {dims:?}");
+    }
+
+    #[test]
+    fn fixed_columns_of_a_always_in_intersection() {
+        // The first h columns of A (and the later diagonal columns) are
+        // the same for every C, so the intersection always contains them:
+        // dimension >= n-1-h ... precisely, the n-1-h columns h..n-2 vary
+        // with C, the first h do not. Hence dim >= h always.
+        let mut rng = StdRng::seed_from_u64(42);
+        let params = Params::new(9, 2);
+        let cs: Vec<_> = (0..6).map(|_| rand_c(params, &mut rng)).collect();
+        let dim = intersection_dimension(params, &cs);
+        assert!(dim >= params.h(), "dim {dim} below the guaranteed h = {}", params.h());
+    }
+
+    #[test]
+    fn lemma33_on_constructed_rectangle() {
+        // Build a genuine 1-rectangle: rows = {C}, columns = completions
+        // of (C, E_j). Degenerate (one row) but exercises the verifier.
+        let mut rng = StdRng::seed_from_u64(43);
+        let params = Params::new(7, 2);
+        let c = rand_c(params, &mut rng);
+        let cols: Vec<RestrictedInstance> = (0..4)
+            .map(|_| complete(params, &c, &rand_e(params, &mut rng)).unwrap())
+            .collect();
+        assert!(rectangle_membership_holds(params, &[c.clone()], &cols));
+        // A fresh random C almost surely breaks membership for some column.
+        let c2 = rand_c(params, &mut rng);
+        if c2 != c {
+            assert!(
+                !rectangle_membership_holds(params, &[c2], &cols),
+                "random second row should not admit all four columns"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_of_bu_is_e_dot_w() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let params = Params::new(9, 3);
+        let inst = RestrictedInstance::random(params, &mut rng);
+        let bu: Vec<Rational> =
+            inst.b_dot_u().iter().map(|e| Rational::from(e.clone())).collect();
+        let p = project(params, &bu);
+        let w = inst.w();
+        for (r, val) in p.iter().enumerate() {
+            let expect = crate::negaq::dot(inst.e.row(r), &w);
+            assert_eq!(*val, Rational::from(expect));
+        }
+    }
+
+    #[test]
+    fn projected_dimension_drops() {
+        // The first h columns of A project to zero... their support is in
+        // rows 0..h plus the last row; projecting to rows h..n-2 kills the
+        // diagonal-1 of columns 0..h-1? Column j (j < h) has support at
+        // rows {j, j-1?} all < h, plus row n-1 for column 0 — so yes, its
+        // projection is zero. Hence proj(dim) <= dim - h roughly.
+        let mut rng = StdRng::seed_from_u64(45);
+        let params = Params::new(9, 2);
+        let mut inst = RestrictedInstance::zero(params);
+        inst.c = rand_c(params, &mut rng);
+        let a = to_q(&inst.matrix_a());
+        let full = rank(&RationalField, &a);
+        let proj = projected_dimension(params, &a);
+        assert_eq!(full, params.n - 1);
+        assert!(proj <= full - params.h(), "projection did not kill the fixed columns");
+    }
+
+    #[test]
+    fn bound_values_have_paper_shape() {
+        for params in [Params::new(7, 2), Params::new(11, 3), Params::new(15, 4)] {
+            let n = params.n as f64;
+            let l = params.log_q_n_ceil() as f64;
+            let r = lemma36_row_threshold_log_q(params);
+            let cols = lemma37_column_bound_log_q(params);
+            assert!(r >= n * n / 16.0 && r <= n * n / 16.0 + 2.0 * n);
+            // Tightened Lemma 3.7: 3n²/8 − O(nL) ≤ cols ≤ 3n²/8.
+            assert!(cols <= 3.0 * n * n / 8.0);
+            assert!(cols >= 3.0 * n * n / 8.0 - (l + 4.0) * n);
+            assert!(lemma36_dimension_bound(params) < n);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The *restricted truth matrix* — the paper's central combinatorial
+//! object, enumerable.
+//!
+//! Rows are instances of `C` (agent A's free bits under `π₀`), columns
+//! are instances of `(D, E, y)` (agent B's). Entry = "is `M(C; D,E,y)`
+//! singular?". By Lemma 3.2 that is `B·u ∈ Span(A(C))`, so a row can be
+//! evaluated against many columns with one factored solver
+//! ([`ccmx_linalg::gauss::LinearSolver`]) — the column object `B·u`
+//! depends only on `(D, E, y)` and is shared across rows.
+//!
+//! Full enumeration is `q^{h²} × q^{(n²−1)/2}` and explodes immediately
+//! (by design — that *is* the theorem); this module supports exhaustive
+//! rows with sampled or exhaustively-truncated column sets, which is
+//! what the E2/E5/E6 experiments need.
+
+use ccmx_bigint::{Integer, Rational};
+use ccmx_linalg::gauss::LinearSolver;
+use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::Matrix;
+use rand::Rng;
+
+use crate::construction::RestrictedInstance;
+use crate::params::Params;
+
+/// A column of the restricted truth matrix: the blocks `(D, E, y)`
+/// compressed to what Lemma 3.2 needs — the vector `B·u`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnKey {
+    /// `B·u ∈ ℤⁿ`.
+    pub bu: Vec<Integer>,
+}
+
+impl ColumnKey {
+    /// Build from an instance's B-side blocks.
+    pub fn of(inst: &RestrictedInstance) -> Self {
+        ColumnKey { bu: inst.b_dot_u() }
+    }
+}
+
+/// A row evaluator: fixes `C`, factors `Span(A(C))` once.
+pub struct RowEvaluator {
+    solver: LinearSolver<RationalField>,
+}
+
+impl RowEvaluator {
+    /// Factor the row for a given `C`.
+    pub fn new(params: Params, c: &Matrix<Integer>) -> Self {
+        let mut inst = RestrictedInstance::zero(params);
+        inst.c = c.clone();
+        let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
+        RowEvaluator { solver: LinearSolver::new(RationalField, &a) }
+    }
+
+    /// Truth-matrix entry for one column: singular ⟺ membership.
+    pub fn entry(&self, col: &ColumnKey) -> bool {
+        let bu: Vec<Rational> = col.bu.iter().map(|e| Rational::from(e.clone())).collect();
+        self.solver.contains(&bu)
+    }
+
+    /// Count ones across a column set.
+    pub fn count_ones(&self, cols: &[ColumnKey]) -> usize {
+        cols.iter().filter(|c| self.entry(c)).count()
+    }
+}
+
+/// Enumerate all `q^{h²}` row blocks `C` (guarded).
+pub fn all_c_blocks(params: Params, max: u64) -> Option<Vec<Matrix<Integer>>> {
+    let h = params.h();
+    let q = params.q_u64();
+    let total = (q as u128).checked_pow((h * h) as u32)?;
+    if total > max as u128 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(total as usize);
+    for code in 0..total {
+        let mut v = code;
+        out.push(Matrix::from_fn(h, h, |_, _| {
+            let d = (v % q as u128) as i64;
+            v /= q as u128;
+            Integer::from(d)
+        }));
+    }
+    Some(out)
+}
+
+/// Sample `count` random columns (uniform `(D, E, y)`).
+pub fn sample_columns<R: Rng + ?Sized>(params: Params, count: usize, rng: &mut R) -> Vec<ColumnKey> {
+    (0..count).map(|_| ColumnKey::of(&RestrictedInstance::random(params, rng))).collect()
+}
+
+/// The columns guaranteed singular for a *given* row: completions of
+/// every sampled `E` (Lemma 3.5's witnesses).
+pub fn completed_columns<R: Rng + ?Sized>(
+    params: Params,
+    c: &Matrix<Integer>,
+    count: usize,
+    rng: &mut R,
+) -> Vec<ColumnKey> {
+    let h = params.h();
+    let q = params.q_u64();
+    (0..count)
+        .map(|_| {
+            let e = Matrix::from_fn(h, params.e_width(), |_, _| {
+                Integer::from(rng.gen_range(0..q) as i64)
+            });
+            ColumnKey::of(&crate::lemma35::complete(params, c, &e).expect("Lemma 3.5"))
+        })
+        .collect()
+}
+
+/// Measured density report for one row of the restricted truth matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowDensity {
+    /// Columns evaluated.
+    pub columns: usize,
+    /// Ones found among them.
+    pub ones: usize,
+}
+
+/// Evaluate one row against a sampled column set.
+pub fn row_density<R: Rng + ?Sized>(
+    params: Params,
+    c: &Matrix<Integer>,
+    columns: usize,
+    rng: &mut R,
+) -> RowDensity {
+    let row = RowEvaluator::new(params, c);
+    let cols = sample_columns(params, columns, rng);
+    RowDensity { columns, ones: row.count_ones(&cols) }
+}
+
+/// The largest 1-rectangle among given rows and columns, greedily: rows
+/// are added while they keep a non-empty common singular column set
+/// (the Lemma 3.3/3.7 object, on live data).
+pub fn greedy_one_rectangle(
+    params: Params,
+    row_cs: &[Matrix<Integer>],
+    cols: &[ColumnKey],
+) -> (Vec<usize>, Vec<usize>) {
+    let evaluators: Vec<RowEvaluator> =
+        row_cs.iter().map(|c| RowEvaluator::new(params, c)).collect();
+    let mut best: (usize, Vec<usize>, Vec<usize>) = (0, Vec::new(), Vec::new());
+    for seed in 0..evaluators.len() {
+        let mut live: Vec<usize> = (0..cols.len())
+            .filter(|&j| evaluators[seed].entry(&cols[j]))
+            .collect();
+        let mut rows = vec![seed];
+        if live.is_empty() {
+            continue;
+        }
+        loop {
+            let mut improved = false;
+            #[allow(clippy::needless_range_loop)]
+            for cand in 0..evaluators.len() {
+                if rows.contains(&cand) {
+                    continue;
+                }
+                let filtered: Vec<usize> = live
+                    .iter()
+                    .copied()
+                    .filter(|&j| evaluators[cand].entry(&cols[j]))
+                    .collect();
+                if (rows.len() + 1) * filtered.len() > rows.len() * live.len() {
+                    rows.push(cand);
+                    live = filtered;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let area = rows.len() * live.len();
+        if area > best.0 {
+            best = (area, rows, live);
+        }
+    }
+    (best.1, best.2)
+}
+
+/// All `q^{(n²−1)/2}` column keys of the restricted truth matrix,
+/// enumerated exhaustively (guarded by `max` on the count). Columns are
+/// generated directly in `B·u` form: each free entry of `(D, E, y)` is a
+/// digit, and `B·u`'s components are radix evaluations — no matrix
+/// assembly per column.
+pub fn all_column_keys(params: Params, max: u64) -> Option<Vec<ColumnKey>> {
+    let n = params.n;
+    let h = params.h();
+    let q = params.q_u64();
+    let dw = params.d_width();
+    let ew = params.e_width();
+    let free = h * dw + h * ew + (n - 1);
+    let total = (q as u128).checked_pow(free as u32)?;
+    if total > max as u128 {
+        return None;
+    }
+    let u = crate::negaq::power_vector(q, n - 1);
+    let w = crate::negaq::power_vector(q, ew);
+    let mut out = Vec::with_capacity(total as usize);
+    for code in 0..total {
+        let mut v = code;
+        let mut digit = || {
+            let d = (v % q as u128) as i64;
+            v /= q as u128;
+            Integer::from(d)
+        };
+        let mut bu = vec![Integer::zero(); n];
+        // D rows: digits at u positions 0..dw-1.
+        for r in 0..h {
+            for ut in u.iter().take(dw) {
+                bu[r] += &(&digit() * ut);
+            }
+        }
+        // E rows: digits against w.
+        for r in h..n - 1 {
+            for wt in w.iter().take(ew) {
+                bu[r] += &(&digit() * wt);
+            }
+        }
+        // y row: digits against the full u.
+        for ut in u.iter().take(n - 1) {
+            bu[n - 1] += &(&digit() * ut);
+        }
+        out.push(ColumnKey { bu });
+    }
+    Some(out)
+}
+
+/// Exact census of a full row of the restricted truth matrix: the
+/// number of singular columns among **all** of them. Only feasible for
+/// the tiniest families (`(n, k) = (5, 2)`: `3¹² = 531 441` columns).
+pub fn exact_row_census(params: Params, c: &Matrix<Integer>, max_columns: u64) -> Option<RowDensity> {
+    let cols = all_column_keys(params, max_columns)?;
+    let row = RowEvaluator::new(params, c);
+    Some(RowDensity { columns: cols.len(), ones: row.count_ones(&cols) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lemma32;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn column_keys_match_instance_bu() {
+        // The radix-direct enumeration must agree with assembling B.
+        let params = Params::new(5, 2);
+        let keys = all_column_keys(params, 1 << 20).expect("3^12 columns");
+        assert_eq!(keys.len(), 531_441);
+        // The all-zero column has B·u = 0.
+        assert!(keys[0].bu.iter().all(|v| v.is_zero()));
+        // Sampled keys are pairwise distinct (no dead digit positions).
+        let mut seen = std::collections::HashSet::new();
+        for k in keys.iter().take(5000) {
+            let sig: Vec<String> = k.bu.iter().map(|v| v.to_string()).collect();
+            assert!(seen.insert(sig.join(",")), "duplicate B·u among sampled keys");
+        }
+        // Oversized families are refused.
+        assert!(all_column_keys(Params::new(7, 2), 1 << 20).is_none());
+    }
+
+    #[test]
+    fn row_evaluator_matches_full_singularity() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let params = Params::new(7, 2);
+        for _ in 0..10 {
+            let inst = RestrictedInstance::random(params, &mut rng);
+            let row = RowEvaluator::new(params, &inst.c);
+            let col = ColumnKey::of(&inst);
+            assert_eq!(row.entry(&col), lemma32::m_is_singular(&inst));
+        }
+    }
+
+    #[test]
+    fn completed_columns_are_all_ones() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let params = Params::new(7, 2);
+        let c = RestrictedInstance::random(params, &mut rng).c;
+        let row = RowEvaluator::new(params, &c);
+        let cols = completed_columns(params, &c, 20, &mut rng);
+        assert_eq!(row.count_ones(&cols), 20, "Lemma 3.5 columns must all be ones");
+    }
+
+    #[test]
+    fn all_c_blocks_tiny_count() {
+        let params = Params::new(5, 2);
+        let blocks = all_c_blocks(params, 100).unwrap();
+        assert_eq!(blocks.len(), 81);
+        // All distinct.
+        let set: std::collections::HashSet<String> =
+            blocks.iter().map(|b| format!("{b:?}")).collect();
+        assert_eq!(set.len(), 81);
+        assert!(all_c_blocks(Params::new(9, 3), 100).is_none());
+    }
+
+    #[test]
+    fn random_columns_are_mostly_zeros() {
+        // Singularity is rare among random columns — the truth matrix is
+        // sparse relative to the full grid, which is exactly why the
+        // completion lemma is needed to exhibit the ones.
+        let mut rng = StdRng::seed_from_u64(63);
+        let params = Params::new(7, 2);
+        let c = RestrictedInstance::random(params, &mut rng).c;
+        let d = row_density(params, &c, 60, &mut rng);
+        assert!(d.ones < d.columns / 2, "random columns unexpectedly dense: {d:?}");
+    }
+
+    #[test]
+    fn rectangle_on_live_family_rows_share_columns() {
+        // Columns completed for C₁ are ones for row C₁; a rectangle with
+        // a second random row keeps only columns that are also in the
+        // second row's span — typically few. The greedy search must
+        // return a verified rectangle.
+        let mut rng = StdRng::seed_from_u64(64);
+        let params = Params::new(5, 2);
+        let rows: Vec<Matrix<Integer>> =
+            (0..4).map(|_| RestrictedInstance::random(params, &mut rng).c).collect();
+        let mut cols = completed_columns(params, &rows[0], 10, &mut rng);
+        cols.extend(completed_columns(params, &rows[1], 10, &mut rng));
+        let (ridx, cidx) = greedy_one_rectangle(params, &rows, &cols);
+        // Verify 1-chromaticity of the returned rectangle.
+        for &r in &ridx {
+            let ev = RowEvaluator::new(params, &rows[r]);
+            for &c in &cidx {
+                assert!(ev.entry(&cols[c]), "greedy returned a non-1 rectangle");
+            }
+        }
+        assert!(!ridx.is_empty() && !cidx.is_empty());
+    }
+}

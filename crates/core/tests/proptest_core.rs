@@ -1,0 +1,135 @@
+//! Property tests for the construction crate: structural invariants of
+//! the restricted family, the completion algorithm, base-(−q) laws, the
+//! reductions and the partition normalizer.
+
+use ccmx_bigint::Integer;
+use ccmx_core::{lemma32, lemma35, negaq, padding, proper, reductions, Params, RestrictedInstance};
+use ccmx_linalg::{bareiss, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    prop_oneof![
+        Just(Params::new(5, 2)),
+        Just(Params::new(7, 2)),
+        Just(Params::new(7, 3)),
+        Just(Params::new(9, 2)),
+        Just(Params::new(9, 4)),
+        Just(Params::new(11, 3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn negaq_digits_roundtrip(z in -100_000i64..100_000, qk in 2u32..8) {
+        let q = (1u64 << qk) - 1;
+        let zi = Integer::from(z);
+        let digits = negaq::to_digits(&zi, q, 64).expect("64 digits suffice");
+        prop_assert_eq!(negaq::from_digits(&digits, q), zi);
+        prop_assert!(digits.iter().all(|&d| d < q));
+    }
+
+    #[test]
+    fn negaq_power_vector_consistency(len in 1usize..10, qk in 2u32..6) {
+        let q = (1u64 << qk) - 1;
+        let u = negaq::power_vector(q, len);
+        // u[i] = (-q) * u[i+1].
+        for i in 0..len.saturating_sub(1) {
+            let expect = &u[i + 1] * &Integer::from(-(q as i64));
+            prop_assert_eq!(&u[i], &expect);
+        }
+        prop_assert_eq!(u.last().unwrap(), &Integer::one());
+    }
+
+    #[test]
+    fn instance_entries_always_k_bit(params in arb_params(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = RestrictedInstance::random(params, &mut rng);
+        let m = inst.assemble();
+        let max = Integer::from((1i64 << params.k) - 1);
+        for e in m.data() {
+            prop_assert!(!e.is_negative() && e <= &max);
+        }
+        // Fixed skeleton: first column is e_0 regardless of the blocks.
+        prop_assert!(m[(0, 0)].is_one());
+        for i in 1..params.dim() {
+            prop_assert!(m[(i, 0)].is_zero());
+        }
+    }
+
+    #[test]
+    fn completion_product_identity(params in arb_params(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let free = RestrictedInstance::random(params, &mut rng);
+        let inst = lemma35::complete(params, &free.c, &free.e).expect("Lemma 3.5");
+        // The defining identity, in exact arithmetic.
+        let x = lemma35::completion_witness(&inst).expect("integral witness");
+        let zz = ccmx_linalg::ring::IntegerRing;
+        prop_assert_eq!(inst.matrix_a().mul_vec(&zz, &x), inst.b_dot_u());
+        // And Lemma 3.2 closes the loop.
+        prop_assert!(lemma32::m_is_singular(&inst));
+    }
+
+    #[test]
+    fn corollary13_universal(params in arb_params(), seed in any::<u64>(), complete_it in any::<bool>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = if complete_it {
+            let free = RestrictedInstance::random(params, &mut rng);
+            lemma35::complete(params, &free.c, &free.e).unwrap()
+        } else {
+            RestrictedInstance::random(params, &mut rng)
+        };
+        prop_assert!(reductions::corollary13_holds(&inst));
+    }
+
+    #[test]
+    fn padding_equivalence_random_cores(m_dim in 10usize..18, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (n, _) = padding::split(m_dim);
+        let core = Matrix::from_fn(2 * n, 2 * n, |_, _| {
+            Integer::from(rand::Rng::gen_range(&mut rng, 0i64..4))
+        });
+        prop_assert!(padding::equivalence_holds(&core, m_dim));
+    }
+
+    #[test]
+    fn proper_normalizer_total_on_random_partitions(seed in any::<u64>()) {
+        let params = Params::new(5, 2);
+        let enc = params.encoding();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let part = ccmx_comm::Partition::random_even(enc.total_bits(), &mut rng);
+        let w = proper::normalize(&part, params);
+        prop_assert!(w.is_some(), "Lemma 3.9 witness not found");
+        prop_assert!(proper::is_proper(&w.unwrap().partition, params));
+    }
+
+    #[test]
+    fn product_trick_sound_and_complete(seed in any::<u64>(), n in 1usize..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gen = |rng: &mut rand::rngs::StdRng| {
+            Matrix::from_fn(n, n, |_, _| Integer::from(rand::Rng::gen_range(rng, -3i64..=3)))
+        };
+        let a = gen(&mut rng);
+        let b = gen(&mut rng);
+        let zz = ccmx_linalg::ring::IntegerRing;
+        let c = a.mul(&zz, &b);
+        prop_assert!(reductions::product_check_via_rank(&a, &b, &c));
+        let wrong = gen(&mut rng);
+        prop_assert_eq!(
+            reductions::product_check_via_rank(&a, &b, &wrong),
+            wrong == c
+        );
+    }
+
+    #[test]
+    fn assembled_rank_dichotomy(params in arb_params(), seed in any::<u64>()) {
+        // rank(M) ∈ {2n−1, 2n} always (the last 2n−1 columns are fixed
+        // independent).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = RestrictedInstance::random(params, &mut rng);
+        let r = bareiss::rank(&inst.assemble());
+        prop_assert!(r == params.dim() || r == params.dim() - 1, "rank {r}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Dixon's p-adic linear solver with rational reconstruction.
+//!
+//! The production technique for exact rational solutions of integer
+//! systems (the engine inside serious exact-LA packages): solve
+//! `A·x = b` by lifting a single mod-`p` inverse through a `p`-adic
+//! expansion, then recover the rational coordinates by lattice
+//! (continued-fraction) reconstruction. Cost per lift step is one
+//! GF(p) matrix–vector product — no rational arithmetic until the very
+//! end — which is why it crushes rational elimination on large inputs.
+//!
+//! Steps:
+//! 1. pick a random large prime `p` with `det(A) ≢ 0 (mod p)`,
+//! 2. precompute `C = A⁻¹ mod p`,
+//! 3. iterate `x_i = C·r_i mod p`, `r_{i+1} = (r_i − A·x_i)/p`,
+//!    accumulating `x = Σ x_i·pⁱ` — after `K` steps `A·x ≡ b (mod p^K)`,
+//! 4. when `p^K` exceeds twice the square of the solution's
+//!    numerator/denominator bounds (Hadamard/Cramer), reconstruct each
+//!    coordinate as a fraction with [`rational_reconstruct`].
+
+use ccmx_bigint::bounds::hadamard_bound;
+use ccmx_bigint::gcd::gcd;
+use ccmx_bigint::prime::PrimeWindow;
+use ccmx_bigint::{Integer, Natural, Rational};
+use rand::Rng;
+
+use crate::inverse::inverse;
+use crate::matrix::Matrix;
+use crate::modular::reduce_matrix;
+use crate::ring::PrimeField;
+
+/// Reconstruct a rational `n/d` from its residue `r (mod m)` with
+/// `|n| ≤ bound` and `0 < d ≤ bound`, provided `2·bound² < m`
+/// (then the reconstruction is unique). Returns `None` if no such
+/// fraction exists or `gcd(d, m) ≠ 1`.
+pub fn rational_reconstruct(r: &Natural, m: &Natural, bound: &Natural) -> Option<Rational> {
+    // Lattice reduction via the extended Euclidean algorithm on (m, r):
+    // walk the remainder sequence until the remainder drops to <= bound;
+    // the corresponding Bézout coefficient is the denominator.
+    let mut r0 = Integer::from(m.clone());
+    let mut r1 = Integer::from(r.clone());
+    let mut t0 = Integer::zero();
+    let mut t1 = Integer::one();
+    let bound_i = Integer::from(bound.clone());
+    while r1.magnitude() > bound_i.magnitude() {
+        if r1.is_zero() {
+            return None;
+        }
+        let (q, rem) = r0.div_rem(&r1);
+        r0 = std::mem::replace(&mut r1, rem);
+        let nt = &t0 - &(&q * &t1);
+        t0 = std::mem::replace(&mut t1, nt);
+    }
+    // Candidate: n = r1 (signed), d = t1.
+    if t1.is_zero() || t1.magnitude() > bound_i.magnitude() {
+        return None;
+    }
+    let (num, den) = if t1.is_negative() { (-r1, -t1) } else { (r1, t1) };
+    // Validity: gcd(den, m) must be 1 for r to really represent n/d.
+    if !gcd(den.magnitude(), m).is_one() {
+        return None;
+    }
+    Some(Rational::new(num, den))
+}
+
+/// Solve `A·x = b` exactly over ℚ for a **nonsingular** square integer
+/// matrix, via Dixon lifting. Returns `None` if `A` is singular.
+pub fn solve_dixon<R: Rng + ?Sized>(
+    a: &Matrix<Integer>,
+    b: &[Integer],
+    rng: &mut R,
+) -> Option<Vec<Rational>> {
+    assert!(a.is_square(), "Dixon solver needs a square system");
+    assert_eq!(a.rows(), b.len());
+    let n = a.rows();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+
+    // Entry bound for the Cramer bounds on numerators/denominators.
+    let entry_bound = a
+        .data()
+        .iter()
+        .map(|e| e.magnitude().clone())
+        .chain(b.iter().map(|e| e.magnitude().clone()))
+        .max()
+        .unwrap_or_else(Natural::one)
+        .max(Natural::one());
+    // |den| <= |det A| <= H(A); |num_i| <= H(A_i with b column) — both
+    // bounded by the Hadamard bound with the max entry.
+    let bound = hadamard_bound(n, &entry_bound);
+
+    // Pick p with A invertible mod p (singular A fails for every p; cap
+    // the retries and fall back to a singularity check).
+    let window = PrimeWindow::new(62);
+    let mut p = 0u64;
+    let mut c = None;
+    for _ in 0..8 {
+        p = window.sample(rng);
+        let field = PrimeField::new(p);
+        if let Some(inv) = inverse(&field, &reduce_matrix(a, &field)) {
+            c = Some(inv);
+            break;
+        }
+    }
+    let c = match c {
+        Some(c) => c,
+        None => {
+            // Eight random 62-bit primes all divide det(A) only if
+            // det(A) = 0 (up to astronomically small probability); make
+            // it exact:
+            if crate::bareiss::det(a).is_zero() {
+                return None;
+            }
+            unreachable!("nonsingular matrix rejected by 8 independent primes");
+        }
+    };
+    let field = PrimeField::new(p);
+
+    // Lift: need p^K > 2 * bound^2.
+    let target = (&bound * &bound) << 1u64;
+    let p_nat = Natural::from(p);
+    let mut p_pow = Natural::one();
+    let mut x = vec![Integer::zero(); n]; // accumulated solution mod p^K
+    let mut r: Vec<Integer> = b.to_vec(); // residual; invariant: A·x ≡ b - p^i·r
+    let zz = crate::ring::IntegerRing;
+    while p_pow <= target {
+        // x_i = C · (r mod p) in GF(p).
+        let r_mod: Vec<u64> = r.iter().map(|v| field.reduce(v)).collect();
+        let xi = c.mul_vec(&field, &r_mod);
+        // x += p^i * x_i ; r = (r - A·x_i) / p.
+        let xi_int: Vec<Integer> = xi.iter().map(|&v| Integer::from(v)).collect();
+        for (acc, v) in x.iter_mut().zip(&xi_int) {
+            *acc += &(v * &Integer::from(p_pow.clone()));
+        }
+        let a_xi = a.mul_vec(&zz, &xi_int);
+        for (ri, av) in r.iter_mut().zip(a_xi) {
+            let diff = &*ri - &av;
+            let (q, rem) = diff.div_rem(&Integer::from(p as i64));
+            debug_assert!(rem.is_zero(), "p-adic residual must be divisible by p");
+            *ri = q;
+        }
+        p_pow = &p_pow * &p_nat;
+    }
+
+    // Reconstruct each coordinate from x mod p^K.
+    let modulus = p_pow;
+    let mut out = Vec::with_capacity(n);
+    for coord in &x {
+        let residue = coord.rem_euclid(&Integer::from(modulus.clone()));
+        let rat = rational_reconstruct(
+            residue.magnitude(),
+            &modulus,
+            &bound,
+        )?;
+        out.push(rat);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::int_matrix;
+    use crate::ring::RationalField;
+    use crate::{gauss, solve};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstruct_small_fractions() {
+        // 1/3 mod 1000003: r = inverse of 3 times 1 mod m.
+        let m = 1_000_003u64;
+        let inv3 = ccmx_bigint::modular::inv_mod_u64(3, m).unwrap();
+        let r = Natural::from(inv3);
+        let got = rational_reconstruct(&r, &Natural::from(m), &Natural::from(500u64)).unwrap();
+        assert_eq!(got, Rational::new(Integer::one(), Integer::from(3i64)));
+        // -7/5 mod m.
+        let v = ((m as i64 - 7) as u64 * ccmx_bigint::modular::inv_mod_u64(5, m).unwrap()) % m;
+        let got = rational_reconstruct(&Natural::from(v), &Natural::from(m), &Natural::from(500u64))
+            .unwrap();
+        assert_eq!(got, Rational::new(Integer::from(-7i64), Integer::from(5i64)));
+    }
+
+    #[test]
+    fn reconstruct_fails_outside_bound() {
+        // A residue representing a fraction with large parts cannot be
+        // reconstructed under a tiny bound.
+        let m = Natural::from(1_000_003u64);
+        let r = Natural::from(123_457u64);
+        // bound 2: only fractions n/d with |n|,d <= 2 exist; 123457 mod m
+        // is none of them.
+        assert_eq!(rational_reconstruct(&r, &m, &Natural::from(2u64)), None);
+    }
+
+    #[test]
+    fn dixon_matches_elimination_randomized() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in 1..=6usize {
+            for _ in 0..6 {
+                let a = Matrix::from_fn(n, n, |_, _| {
+                    Integer::from(rand::Rng::gen_range(&mut rng, -9i64..=9))
+                });
+                let b: Vec<Integer> = (0..n)
+                    .map(|_| Integer::from(rand::Rng::gen_range(&mut rng, -9i64..=9)))
+                    .collect();
+                let dixon = solve_dixon(&a, &b, &mut rng);
+                let elim = solve::solve(&a, &b);
+                match (crate::bareiss::det(&a).is_zero(), dixon) {
+                    (true, d) => assert!(d.is_none(), "singular system must return None"),
+                    (false, Some(x)) => {
+                        // Verify A·x = b over Q.
+                        let f = RationalField;
+                        let aq = a.map(|e| Rational::from(e.clone()));
+                        let bq: Vec<Rational> =
+                            b.iter().map(|e| Rational::from(e.clone())).collect();
+                        assert_eq!(aq.mul_vec(&f, &x), bq, "Dixon solution wrong");
+                        // And equals the elimination solution.
+                        assert_eq!(Some(x), elim);
+                    }
+                    (false, None) => panic!("Dixon failed on a nonsingular system"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dixon_large_entries() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 5;
+        let big = 1i64 << 40;
+        let a = Matrix::from_fn(n, n, |_, _| Integer::from(rand::Rng::gen_range(&mut rng, -big..=big)));
+        let b: Vec<Integer> =
+            (0..n).map(|_| Integer::from(rand::Rng::gen_range(&mut rng, -big..=big))).collect();
+        if crate::bareiss::det(&a).is_zero() {
+            return; // astronomically unlikely
+        }
+        let x = solve_dixon(&a, &b, &mut rng).unwrap();
+        let f = RationalField;
+        let aq = a.map(|e| Rational::from(e.clone()));
+        let bq: Vec<Rational> = b.iter().map(|e| Rational::from(e.clone())).collect();
+        assert_eq!(aq.mul_vec(&f, &x), bq);
+    }
+
+    #[test]
+    fn dixon_identity_and_diagonal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let i3 = int_matrix(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]);
+        let b = vec![Integer::from(3i64), Integer::from(-5i64), Integer::from(7i64)];
+        let x = solve_dixon(&i3, &b, &mut rng).unwrap();
+        let expect: Vec<Rational> = b.iter().map(|v| Rational::from(v.clone())).collect();
+        assert_eq!(x, expect);
+        // Diagonal with fractions: 2x = 1 → x = 1/2.
+        let d = int_matrix(&[&[2]]);
+        let x = solve_dixon(&d, &[Integer::one()], &mut rng).unwrap();
+        assert_eq!(x[0], Rational::new(Integer::one(), Integer::from(2i64)));
+    }
+
+    #[test]
+    fn dixon_empty_system() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let e = Matrix::from_fn(0, 0, |_, _| Integer::zero());
+        assert_eq!(solve_dixon(&e, &[], &mut rng), Some(vec![]));
+    }
+
+    #[test]
+    fn gauss_solver_cross_check_on_hilbert_like() {
+        // A dense, ill-conditioned-for-floats system: exact methods agree.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 4;
+        let a = Matrix::from_fn(n, n, |i, j| Integer::from(((i + j + 1) * (i * j + 1)) as i64));
+        if crate::bareiss::det(&a).is_zero() {
+            return;
+        }
+        let b: Vec<Integer> = (0..n).map(|i| Integer::from(i as i64 + 1)).collect();
+        let x1 = solve_dixon(&a, &b, &mut rng).unwrap();
+        let f = RationalField;
+        let aq = a.map(|e| Rational::from(e.clone()));
+        let bq: Vec<Rational> = b.iter().map(|e| Rational::from(e.clone())).collect();
+        let x2 = gauss::solve(&f, &aq, &bq).unwrap();
+        assert_eq!(x1, x2);
+    }
+}

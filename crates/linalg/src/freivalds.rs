@@ -1,0 +1,114 @@
+//! Freivalds' probabilistic verification of matrix products.
+//!
+//! The paper derives its Corollary 1.2 bound for "is `A·B = C`?" — and the
+//! classic randomized contrast to that deterministic hardness is
+//! Freivalds' check: `A·(B·r) = C·r` for a random vector `r` costs `O(n²)`
+//! ring operations and errs (one-sided) with probability `<= 1/s` when `r`
+//! is drawn from a set of `s` scalars. We run it over GF(p).
+
+use ccmx_bigint::Integer;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+use crate::modular::reduce_matrix;
+use crate::ring::PrimeField;
+
+/// One Freivalds round over GF(p): returns `false` only if `A·B != C`
+/// (one-sided). `true` may be wrong with probability `<= 1/p`.
+pub fn freivalds_round<R: Rng + ?Sized>(
+    a: &Matrix<u64>,
+    b: &Matrix<u64>,
+    c: &Matrix<u64>,
+    field: &PrimeField,
+    rng: &mut R,
+) -> bool {
+    assert_eq!(a.cols(), b.rows());
+    assert_eq!((a.rows(), b.cols()), (c.rows(), c.cols()));
+    let r: Vec<u64> = (0..b.cols()).map(|_| rng.gen_range(0..field.modulus())).collect();
+    let br = b.mul_vec(field, &r);
+    let abr = a.mul_vec(field, &br);
+    let cr = c.mul_vec(field, &r);
+    abr == cr
+}
+
+/// Verify `A·B = C` for integer matrices with error `<= 2^-rounds`
+/// (one-sided: a `false` answer is always correct).
+pub fn verify_product<R: Rng + ?Sized>(
+    a: &Matrix<Integer>,
+    b: &Matrix<Integer>,
+    c: &Matrix<Integer>,
+    rounds: u32,
+    rng: &mut R,
+) -> bool {
+    // A large prime makes the per-round error ~1/p; rounds add margin and
+    // guard against unlucky primes dividing entries of A·B - C.
+    for _ in 0..rounds {
+        let p = ccmx_bigint::prime::PrimeWindow::new(62).sample(rng);
+        let field = PrimeField::new(p);
+        let (am, bm, cm) = (reduce_matrix(a, &field), reduce_matrix(b, &field), reduce_matrix(c, &field));
+        if !freivalds_round(&am, &bm, &cm, &field, rng) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::int_matrix;
+    use crate::ring::IntegerRing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_true_products() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let zz = IntegerRing;
+        let a = int_matrix(&[&[1, 2], &[3, 4]]);
+        let b = int_matrix(&[&[5, 6], &[7, 8]]);
+        let c = a.mul(&zz, &b);
+        assert!(verify_product(&a, &b, &c, 10, &mut rng));
+    }
+
+    #[test]
+    fn rejects_wrong_products() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let zz = IntegerRing;
+        let a = int_matrix(&[&[1, 2], &[3, 4]]);
+        let b = int_matrix(&[&[5, 6], &[7, 8]]);
+        let mut c = a.mul(&zz, &b);
+        c[(1, 1)] += &Integer::one();
+        assert!(!verify_product(&a, &b, &c, 10, &mut rng));
+    }
+
+    #[test]
+    fn rejects_subtle_single_entry_error_whp() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zz = IntegerRing;
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |i, j| Integer::from(((i * 31 + j * 17) % 11) as i64));
+        let b = Matrix::from_fn(n, n, |i, j| Integer::from(((i * 13 + j * 7) % 9) as i64));
+        let mut c = a.mul(&zz, &b);
+        c[(5, 2)] -= &Integer::one();
+        let mut rejected = 0;
+        for _ in 0..20 {
+            if !verify_product(&a, &b, &c, 1, &mut rng) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 19, "Freivalds missed an error too often: {rejected}/20");
+    }
+
+    #[test]
+    fn rectangular_products() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let zz = IntegerRing;
+        let a = int_matrix(&[&[1, 2, 3], &[4, 5, 6]]); // 2x3
+        let b = int_matrix(&[&[1], &[0], &[-1]]); // 3x1
+        let c = a.mul(&zz, &b); // 2x1
+        assert!(verify_product(&a, &b, &c, 8, &mut rng));
+        let wrong = int_matrix(&[&[0], &[0]]);
+        assert!(!verify_product(&a, &b, &wrong, 8, &mut rng));
+    }
+}

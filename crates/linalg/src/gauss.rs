@@ -1,0 +1,484 @@
+//! Gaussian elimination over an arbitrary field.
+//!
+//! One generic elimination kernel drives everything the lemma checkers
+//! need: reduced row echelon form, rank, determinant, nullspace, linear
+//! solve, and — central to Lemma 3.2/3.3 — *span membership* ("is `B·u`
+//! in Span(A)?") and span equality/intersection dimensions (Lemma 3.6).
+
+use crate::matrix::Matrix;
+use crate::ring::Field;
+
+/// The outcome of an elimination pass: the echelon form plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Echelon<T> {
+    /// Reduced row echelon form of the input.
+    pub rref: Matrix<T>,
+    /// Column index of each pivot, in row order.
+    pub pivot_cols: Vec<usize>,
+    /// Determinant of the input if it was square, else `None`.
+    pub det: Option<T>,
+}
+
+impl<T> Echelon<T> {
+    /// The rank.
+    pub fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+}
+
+/// Compute the reduced row echelon form with full bookkeeping.
+pub fn echelon<F: Field>(field: &F, m: &Matrix<F::Elem>) -> Echelon<F::Elem> {
+    let mut a = m.clone();
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut pivot_cols = Vec::new();
+    let mut det = if m.is_square() { Some(field.one()) } else { None };
+    let mut pivot_row = 0usize;
+    for col in 0..cols {
+        // Find a pivot in this column at or below pivot_row.
+        let Some(p) = (pivot_row..rows).find(|&r| !field.is_zero(&a[(r, col)])) else {
+            continue;
+        };
+        if p != pivot_row {
+            a.swap_rows(p, pivot_row);
+            if let Some(d) = det.take() {
+                det = Some(field.neg(&d));
+            }
+        }
+        let pivot = a[(pivot_row, col)].clone();
+        if let Some(d) = det.take() {
+            det = Some(field.mul(&d, &pivot));
+        }
+        // Scale the pivot row to make the pivot 1.
+        let inv = field.inv(&pivot).expect("nonzero pivot");
+        for j in col..cols {
+            let v = field.mul(&a[(pivot_row, j)], &inv);
+            a[(pivot_row, j)] = v;
+        }
+        // Eliminate the column everywhere else (full reduction).
+        for r in 0..rows {
+            if r == pivot_row || field.is_zero(&a[(r, col)]) {
+                continue;
+            }
+            let factor = a[(r, col)].clone();
+            let (target, source) = a.two_rows_mut(r, pivot_row);
+            for j in col..cols {
+                let delta = field.mul(&factor, &source[j]);
+                target[j] = field.sub(&target[j], &delta);
+            }
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+        if pivot_row == rows {
+            break;
+        }
+    }
+    if m.is_square() && pivot_cols.len() < rows {
+        det = Some(field.zero());
+    }
+    Echelon { rref: a, pivot_cols, det }
+}
+
+/// Rank over a field.
+pub fn rank<F: Field>(field: &F, m: &Matrix<F::Elem>) -> usize {
+    echelon(field, m).rank()
+}
+
+/// Determinant of a square matrix over a field.
+pub fn det<F: Field>(field: &F, m: &Matrix<F::Elem>) -> F::Elem {
+    assert!(m.is_square(), "determinant of non-square matrix");
+    echelon(field, m).det.expect("square input has a determinant")
+}
+
+/// Is the square matrix singular?
+pub fn is_singular<F: Field>(field: &F, m: &Matrix<F::Elem>) -> bool {
+    field.is_zero(&det(field, m))
+}
+
+/// A basis of the nullspace (right kernel) of `m`: vectors `v` with
+/// `m·v = 0`, one per free column.
+pub fn nullspace<F: Field>(field: &F, m: &Matrix<F::Elem>) -> Vec<Vec<F::Elem>> {
+    let e = echelon(field, m);
+    let cols = m.cols();
+    let pivot_set: Vec<Option<usize>> = {
+        let mut v = vec![None; cols];
+        for (row, &pc) in e.pivot_cols.iter().enumerate() {
+            v[pc] = Some(row);
+        }
+        v
+    };
+    let mut basis = Vec::new();
+    for free in 0..cols {
+        if pivot_set[free].is_some() {
+            continue;
+        }
+        let mut vec = vec![field.zero(); cols];
+        vec[free] = field.one();
+        for (col, &pr) in pivot_set.iter().enumerate() {
+            if let Some(row) = pr {
+                // pivot col value = -rref[row][free]
+                vec[col] = field.neg(&e.rref[(row, free)]);
+            }
+        }
+        basis.push(vec);
+    }
+    basis
+}
+
+/// Solve `m · x = b`. Returns `None` if inconsistent, else one particular
+/// solution (free variables set to zero).
+pub fn solve<F: Field>(field: &F, m: &Matrix<F::Elem>, b: &[F::Elem]) -> Option<Vec<F::Elem>> {
+    assert_eq!(m.rows(), b.len(), "rhs length mismatch");
+    // Eliminate the augmented matrix [m | b].
+    let aug = Matrix::from_fn(m.rows(), m.cols() + 1, |i, j| {
+        if j < m.cols() {
+            m[(i, j)].clone()
+        } else {
+            b[i].clone()
+        }
+    });
+    let e = echelon(field, &aug);
+    // Inconsistent iff a pivot lands in the augmented column.
+    if e.pivot_cols.last() == Some(&m.cols()) {
+        return None;
+    }
+    let mut x = vec![field.zero(); m.cols()];
+    for (row, &pc) in e.pivot_cols.iter().enumerate() {
+        x[pc] = e.rref[(row, m.cols())].clone();
+    }
+    Some(x)
+}
+
+/// Is the vector `v` in the column span of `m`?
+///
+/// This is the predicate of Lemma 3.2: `M` is singular iff `B·u ∈ Span(A)`.
+pub fn in_column_span<F: Field>(field: &F, m: &Matrix<F::Elem>, v: &[F::Elem]) -> bool {
+    solve(field, m, v).is_some()
+}
+
+/// A factored solver for many right-hand sides against one matrix.
+///
+/// Precomputes a row-reduction transform `T` with `T·A = R` (the RREF),
+/// so each subsequent `solve(b)` costs one matrix–vector product plus a
+/// consistency scan — the work the restricted-truth-matrix enumerator
+/// does per column, amortized. (`T` is the product of the elementary row
+/// operations, obtained by reducing the augmented `[A | I]`.)
+pub struct LinearSolver<F: Field> {
+    field: F,
+    /// Row transform: `t · a = rref`.
+    t: Matrix<F::Elem>,
+    /// The RREF of `a`.
+    rref: Matrix<F::Elem>,
+    pivot_cols: Vec<usize>,
+}
+
+impl<F: Field + Clone> LinearSolver<F> {
+    /// Factor `a`.
+    pub fn new(field: F, a: &Matrix<F::Elem>) -> Self {
+        let (rows, cols) = (a.rows(), a.cols());
+        let aug = Matrix::from_fn(rows, cols + rows, |i, j| {
+            if j < cols {
+                a[(i, j)].clone()
+            } else if j - cols == i {
+                field.one()
+            } else {
+                field.zero()
+            }
+        });
+        // Reduce only over the first `cols` columns: run the elimination
+        // manually so identity columns never become pivots.
+        let mut m = aug;
+        let mut pivot_cols = Vec::new();
+        let mut pivot_row = 0usize;
+        for col in 0..cols {
+            let Some(p) = (pivot_row..rows).find(|&r| !field.is_zero(&m[(r, col)])) else {
+                continue;
+            };
+            m.swap_rows(p, pivot_row);
+            let inv = field.inv(&m[(pivot_row, col)]).expect("nonzero pivot");
+            for j in 0..cols + rows {
+                let v = field.mul(&m[(pivot_row, j)], &inv);
+                m[(pivot_row, j)] = v;
+            }
+            for r in 0..rows {
+                if r == pivot_row || field.is_zero(&m[(r, col)]) {
+                    continue;
+                }
+                let factor = m[(r, col)].clone();
+                let (target, source) = m.two_rows_mut(r, pivot_row);
+                for j in 0..cols + rows {
+                    let delta = field.mul(&factor, &source[j]);
+                    target[j] = field.sub(&target[j], &delta);
+                }
+            }
+            pivot_cols.push(col);
+            pivot_row += 1;
+            if pivot_row == rows {
+                break;
+            }
+        }
+        let all_rows: Vec<usize> = (0..rows).collect();
+        let rref = m.submatrix(&all_rows, &(0..cols).collect::<Vec<_>>());
+        let t = m.submatrix(&all_rows, &(cols..cols + rows).collect::<Vec<_>>());
+        LinearSolver { field, t, rref, pivot_cols }
+    }
+
+    /// The rank of the factored matrix.
+    pub fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+
+    /// Solve `a·x = b`: `None` if inconsistent, else the particular
+    /// solution with free variables zero (identical to [`solve`]).
+    pub fn solve(&self, b: &[F::Elem]) -> Option<Vec<F::Elem>> {
+        assert_eq!(b.len(), self.t.rows(), "rhs length mismatch");
+        let tb = self.t.mul_vec(&self.field, b);
+        // Consistency: rows of rref beyond the rank are zero; T·b must
+        // vanish there too.
+        for (i, v) in tb.iter().enumerate().skip(self.rank()) {
+            if !self.field.is_zero(v) {
+                let _ = i;
+                return None;
+            }
+        }
+        let mut x = vec![self.field.zero(); self.rref.cols()];
+        for (row, &pc) in self.pivot_cols.iter().enumerate() {
+            x[pc] = tb[row].clone();
+        }
+        Some(x)
+    }
+
+    /// Membership in the column span (Lemma 3.2's predicate, amortized).
+    pub fn contains(&self, b: &[F::Elem]) -> bool {
+        self.solve(b).is_some()
+    }
+}
+
+/// Dimension of the intersection of the column spans of `a` and `b`:
+/// `dim(span(a) ∩ span(b)) = rank(a) + rank(b) - rank([a | b])`.
+///
+/// Lemma 3.6 is a statement about exactly this quantity across many `A_i`.
+pub fn span_intersection_dim<F: Field>(field: &F, a: &Matrix<F::Elem>, b: &Matrix<F::Elem>) -> usize {
+    assert_eq!(a.rows(), b.rows(), "spans live in different ambient spaces");
+    let concat = Matrix::from_fn(a.rows(), a.cols() + b.cols(), |i, j| {
+        if j < a.cols() {
+            a[(i, j)].clone()
+        } else {
+            b[(i, j - a.cols())].clone()
+        }
+    });
+    rank(field, a) + rank(field, b) - rank(field, &concat)
+}
+
+/// Do the columns of `a` and `b` span the same subspace?
+pub fn same_column_span<F: Field>(field: &F, a: &Matrix<F::Elem>, b: &Matrix<F::Elem>) -> bool {
+    let ra = rank(field, a);
+    let rb = rank(field, b);
+    ra == rb && span_intersection_dim(field, a, b) == ra
+}
+
+/// A canonical form for the column span of `m`: the RREF of the transpose,
+/// with zero rows dropped. Two matrices have equal column spans iff their
+/// canonical forms are equal — used by Lemma 3.4 to count distinct spans.
+pub fn span_canonical_form<F: Field>(field: &F, m: &Matrix<F::Elem>) -> Matrix<F::Elem> {
+    let e = echelon(field, &m.transpose());
+    let r = e.rank();
+    Matrix::from_fn(r, m.rows(), |i, j| e.rref[(i, j)].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::int_matrix;
+    use crate::ring::{PrimeField, RationalField};
+    use ccmx_bigint::{Integer, Rational};
+
+    fn qq_mat(rows: &[&[i64]]) -> Matrix<Rational> {
+        int_matrix(rows).map(|i| Rational::from(i.clone()))
+    }
+
+    fn q(v: i64) -> Rational {
+        Rational::from(Integer::from(v))
+    }
+
+    #[test]
+    fn rank_examples() {
+        let f = RationalField;
+        assert_eq!(rank(&f, &qq_mat(&[&[1, 2], &[2, 4]])), 1);
+        assert_eq!(rank(&f, &qq_mat(&[&[1, 2], &[3, 4]])), 2);
+        assert_eq!(rank(&f, &qq_mat(&[&[0, 0], &[0, 0]])), 0);
+        assert_eq!(rank(&f, &qq_mat(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]])), 2);
+    }
+
+    #[test]
+    fn det_examples() {
+        let f = RationalField;
+        assert_eq!(det(&f, &qq_mat(&[&[3]])), q(3));
+        assert_eq!(det(&f, &qq_mat(&[&[1, 2], &[3, 4]])), q(-2));
+        assert_eq!(det(&f, &qq_mat(&[&[2, 0, 0], &[0, 3, 0], &[0, 0, 4]])), q(24));
+        assert_eq!(det(&f, &qq_mat(&[&[1, 2], &[2, 4]])), q(0));
+        // Row swap flips sign.
+        assert_eq!(det(&f, &qq_mat(&[&[0, 1], &[1, 0]])), q(-1));
+    }
+
+    #[test]
+    fn det_vandermonde() {
+        // det V(x0..x3) = prod_{i<j} (xj - xi), a stringent correctness check.
+        let xs = [2i64, 3, 5, 7];
+        let f = RationalField;
+        let v = Matrix::from_fn(4, 4, |i, j| q(xs[i].pow(j as u32)));
+        let mut expect = q(1);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                expect = &expect * &q(xs[j] - xs[i]);
+            }
+        }
+        assert_eq!(det(&f, &v), expect);
+    }
+
+    #[test]
+    fn rref_is_idempotent_and_reduced() {
+        let f = RationalField;
+        let m = qq_mat(&[&[2, 4, 1], &[4, 8, 3], &[1, 2, 0]]);
+        let e = echelon(&f, &m);
+        let e2 = echelon(&f, &e.rref);
+        assert_eq!(e.rref, e2.rref);
+        // Pivot columns contain exactly one 1.
+        for (row, &pc) in e.pivot_cols.iter().enumerate() {
+            for r in 0..m.rows() {
+                let v = &e.rref[(r, pc)];
+                if r == row {
+                    assert!(v.is_one());
+                } else {
+                    assert!(v.is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nullspace_vectors_annihilate() {
+        let f = RationalField;
+        let m = qq_mat(&[&[1, 2, 3], &[4, 5, 6]]);
+        let ns = nullspace(&f, &m);
+        assert_eq!(ns.len(), 1);
+        for v in &ns {
+            let mv = m.mul_vec(&f, v);
+            assert!(mv.iter().all(|e| e.is_zero()));
+        }
+        // rank-nullity
+        assert_eq!(rank(&f, &m) + ns.len(), m.cols());
+    }
+
+    #[test]
+    fn solve_consistent_and_inconsistent() {
+        let f = RationalField;
+        let m = qq_mat(&[&[1, 1], &[1, -1]]);
+        let b = vec![q(3), q(1)];
+        let x = solve(&f, &m, &b).unwrap();
+        assert_eq!(m.mul_vec(&f, &x), b);
+
+        // Inconsistent: x + y = 1, x + y = 2.
+        let m2 = qq_mat(&[&[1, 1], &[1, 1]]);
+        assert!(solve(&f, &m2, &[q(1), q(2)]).is_none());
+        // Underdetermined consistent: returns a particular solution.
+        let m3 = qq_mat(&[&[1, 1]]);
+        let x3 = solve(&f, &m3, &[q(5)]).unwrap();
+        assert_eq!(m3.mul_vec(&f, &x3), vec![q(5)]);
+    }
+
+    #[test]
+    fn span_membership() {
+        let f = RationalField;
+        // Span of [[1,0],[0,1],[0,0]] is the z=0 plane.
+        let a = qq_mat(&[&[1, 0], &[0, 1], &[0, 0]]);
+        assert!(in_column_span(&f, &a, &[q(3), q(-2), q(0)]));
+        assert!(!in_column_span(&f, &a, &[q(3), q(-2), q(1)]));
+        // Every vector is in the span of a full-rank square matrix.
+        let full = qq_mat(&[&[2, 1], &[1, 1]]);
+        assert!(in_column_span(&f, &full, &[q(100), q(-100)]));
+    }
+
+    #[test]
+    fn span_intersection_dims() {
+        let f = RationalField;
+        let xy = qq_mat(&[&[1, 0], &[0, 1], &[0, 0]]); // z = 0 plane
+        let xz = qq_mat(&[&[1, 0], &[0, 0], &[0, 1]]); // y = 0 plane
+        assert_eq!(span_intersection_dim(&f, &xy, &xz), 1); // the x axis
+        assert_eq!(span_intersection_dim(&f, &xy, &xy), 2);
+        let x = qq_mat(&[&[1], &[0], &[0]]);
+        assert_eq!(span_intersection_dim(&f, &xy, &x), 1);
+    }
+
+    #[test]
+    fn same_span_detection() {
+        let f = RationalField;
+        let a = qq_mat(&[&[1, 0], &[0, 1], &[0, 0]]);
+        let b = qq_mat(&[&[1, 1], &[1, -1], &[0, 0]]); // same plane, different basis
+        let c = qq_mat(&[&[1, 0], &[0, 0], &[0, 1]]);
+        assert!(same_column_span(&f, &a, &b));
+        assert!(!same_column_span(&f, &a, &c));
+        assert_eq!(span_canonical_form(&f, &a), span_canonical_form(&f, &b));
+        assert_ne!(span_canonical_form(&f, &a), span_canonical_form(&f, &c));
+    }
+
+    #[test]
+    fn linear_solver_matches_direct_solve() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(71);
+        let f = RationalField;
+        for _ in 0..30 {
+            let rows = rng.gen_range(1..=5);
+            let cols = rng.gen_range(1..=5);
+            let m = Matrix::from_fn(rows, cols, |_, _| q(rng.gen_range(-4i64..=4)));
+            let solver = LinearSolver::new(f, &m);
+            assert_eq!(solver.rank(), rank(&f, &m));
+            for _ in 0..5 {
+                let b: Vec<Rational> = (0..rows).map(|_| q(rng.gen_range(-4i64..=4))).collect();
+                assert_eq!(
+                    solver.solve(&b),
+                    solve(&f, &m, &b),
+                    "solver disagrees on m={m:?}, b={b:?}"
+                );
+                assert_eq!(solver.contains(&b), in_column_span(&f, &m, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_solver_amortizes_on_gfp() {
+        let f7 = PrimeField::new(7);
+        let m = Matrix::from_vec(3, 2, vec![1u64, 2, 3, 4, 5, 6]);
+        let solver = LinearSolver::new(f7, &m);
+        assert_eq!(solver.rank(), 2);
+        // b = first column: trivially in span.
+        assert!(solver.contains(&[1, 3, 5]));
+        // b outside the span: columns span a 2D subspace of GF(7)³.
+        let outside = [1u64, 0, 0];
+        assert_eq!(solver.contains(&outside), in_column_span(&f7, &m, &outside));
+    }
+
+    #[test]
+    fn gf_p_elimination() {
+        let f = PrimeField::new(5);
+        // [[1,2],[3,4]] over GF(5): det = 4 - 6 = -2 = 3 mod 5.
+        let m = Matrix::from_vec(2, 2, vec![1u64, 2, 3, 4]);
+        assert_eq!(det(&f, &m), 3);
+        assert_eq!(rank(&f, &m), 2);
+        // [[1,2],[3,6]] has det 0 mod 5 (6 - 6).
+        let s = Matrix::from_vec(2, 2, vec![1u64, 2, 3, 6 % 5]);
+        assert!(is_singular(&f, &s));
+    }
+
+    #[test]
+    fn rank_differs_across_fields() {
+        // [[2, 0], [0, 2]] is invertible over Q but singular over GF(2).
+        let zz = int_matrix(&[&[2, 0], &[0, 2]]);
+        let f2 = PrimeField::new(2);
+        let over_f2 = zz.map(|e| f2.reduce(e));
+        assert_eq!(rank(&f2, &over_f2), 0);
+        let qq = RationalField;
+        let over_q = zz.map(|e| Rational::from(e.clone()));
+        assert_eq!(rank(&qq, &over_q), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Matrix inverses and adjugates.
+//!
+//! Over a field: Gauss–Jordan inversion (used by the unimodularity
+//! checks and as another oracle for singularity — `M` singular iff no
+//! inverse). Over ℤ: the **adjugate** `adj(M)` with the exact identity
+//! `M·adj(M) = det(M)·I`, computed fraction-free from cofactors — the
+//! classical object behind Cramer's rule and the integrality of `det·M⁻¹`.
+
+use ccmx_bigint::Integer;
+
+use crate::bareiss;
+use crate::matrix::Matrix;
+use crate::ring::{Field, IntegerRing};
+
+/// Inverse of a square matrix over a field; `None` if singular.
+pub fn inverse<F: Field>(field: &F, m: &Matrix<F::Elem>) -> Option<Matrix<F::Elem>> {
+    assert!(m.is_square(), "inverse of non-square matrix");
+    let n = m.rows();
+    // Gauss–Jordan on [M | I].
+    let mut a = Matrix::from_fn(n, 2 * n, |i, j| {
+        if j < n {
+            m[(i, j)].clone()
+        } else if j - n == i {
+            field.one()
+        } else {
+            field.zero()
+        }
+    });
+    for col in 0..n {
+        let Some(p) = (col..n).find(|&r| !field.is_zero(&a[(r, col)])) else {
+            return None; // singular
+        };
+        a.swap_rows(p, col);
+        let inv = field.inv(&a[(col, col)]).expect("nonzero pivot");
+        for j in 0..2 * n {
+            let v = field.mul(&a[(col, j)], &inv);
+            a[(col, j)] = v;
+        }
+        for r in 0..n {
+            if r == col || field.is_zero(&a[(r, col)]) {
+                continue;
+            }
+            let factor = a[(r, col)].clone();
+            let (target, source) = a.two_rows_mut(r, col);
+            for j in 0..2 * n {
+                let delta = field.mul(&factor, &source[j]);
+                target[j] = field.sub(&target[j], &delta);
+            }
+        }
+    }
+    Some(Matrix::from_fn(n, n, |i, j| a[(i, j + n)].clone()))
+}
+
+/// The `(i, j)` minor: determinant of `m` with row `i` and column `j`
+/// removed.
+pub fn minor(m: &Matrix<Integer>, i: usize, j: usize) -> Integer {
+    assert!(m.is_square() && m.rows() >= 1);
+    let rows: Vec<usize> = (0..m.rows()).filter(|&r| r != i).collect();
+    let cols: Vec<usize> = (0..m.cols()).filter(|&c| c != j).collect();
+    bareiss::det(&m.submatrix(&rows, &cols))
+}
+
+/// The adjugate: `adj(M)[i][j] = (−1)^{i+j} · minor(M, j, i)`.
+///
+/// Satisfies `M·adj(M) = adj(M)·M = det(M)·I` over ℤ — even for singular
+/// `M` (both sides are then the zero matrix times... `det = 0`).
+pub fn adjugate(m: &Matrix<Integer>) -> Matrix<Integer> {
+    assert!(m.is_square());
+    let n = m.rows();
+    if n == 0 {
+        return m.clone();
+    }
+    Matrix::from_fn(n, n, |i, j| {
+        let c = minor(m, j, i);
+        if (i + j) % 2 == 0 {
+            c
+        } else {
+            -c
+        }
+    })
+}
+
+/// Verify the fundamental identity `M·adj(M) = det(M)·I`.
+pub fn verify_adjugate(m: &Matrix<Integer>) -> bool {
+    let zz = IntegerRing;
+    let adj = adjugate(m);
+    let d = bareiss::det(m);
+    let prod = m.mul(&zz, &adj);
+    let expect = Matrix::from_fn(m.rows(), m.rows(), |i, j| {
+        if i == j {
+            d.clone()
+        } else {
+            Integer::zero()
+        }
+    });
+    prod == expect && adj.mul(&zz, m) == expect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::int_matrix;
+    use crate::ring::{PrimeField, RationalField};
+    use ccmx_bigint::Rational;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn inverse_roundtrip_rational() {
+        let f = RationalField;
+        let m = int_matrix(&[&[2, 1], &[1, 1]]).map(|e| Rational::from(e.clone()));
+        let inv = inverse(&f, &m).unwrap();
+        let i = Matrix::identity(&f, 2);
+        assert_eq!(m.mul(&f, &inv), i);
+        assert_eq!(inv.mul(&f, &m), i);
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let f = RationalField;
+        let m = int_matrix(&[&[1, 2], &[2, 4]]).map(|e| Rational::from(e.clone()));
+        assert!(inverse(&f, &m).is_none());
+    }
+
+    #[test]
+    fn inverse_over_gfp() {
+        let f = PrimeField::new(7);
+        let m = Matrix::from_vec(2, 2, vec![2u64, 1, 1, 1]);
+        let inv = inverse(&f, &m).unwrap();
+        assert_eq!(m.mul(&f, &inv), Matrix::identity(&f, 2));
+        // [[1,2],[3,6]] is singular mod 7? det = 6 - 6 = 0 mod 7 → yes...
+        // actually det = 0 over Z too.
+        let s = Matrix::from_vec(2, 2, vec![1u64, 2, 3, 6]);
+        assert!(inverse(&f, &s).is_none());
+    }
+
+    #[test]
+    fn inverse_randomized_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = RationalField;
+        for n in 1..=5usize {
+            for _ in 0..8 {
+                let m = Matrix::from_fn(n, n, |_, _| {
+                    Rational::from(Integer::from(rng.gen_range(-5i64..=5)))
+                });
+                match inverse(&f, &m) {
+                    Some(inv) => {
+                        assert_eq!(m.mul(&f, &inv), Matrix::identity(&f, n));
+                    }
+                    None => {
+                        let mz = m.map(|r| {
+                            // All test entries are integers.
+                            r.to_integer().unwrap()
+                        });
+                        assert!(bareiss::is_singular(&mz));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjugate_identity_randomized() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for n in 1..=5usize {
+            for _ in 0..8 {
+                let m = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-4i64..=4)));
+                assert!(verify_adjugate(&m), "adjugate identity failed on {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjugate_of_singular_matrix() {
+        // Even for singular M: M·adj(M) = 0.
+        let m = int_matrix(&[&[1, 2], &[2, 4]]);
+        assert!(verify_adjugate(&m));
+        let zz = IntegerRing;
+        let prod = m.mul(&zz, &adjugate(&m));
+        assert!(prod.is_zero(&zz));
+    }
+
+    #[test]
+    fn adjugate_known_value() {
+        // adj([[a,b],[c,d]]) = [[d,-b],[-c,a]].
+        let m = int_matrix(&[&[1, 2], &[3, 4]]);
+        assert_eq!(adjugate(&m), int_matrix(&[&[4, -2], &[-3, 1]]));
+        // 1x1: adj = [[1]] (empty minor = 1).
+        let one = int_matrix(&[&[7]]);
+        assert_eq!(adjugate(&one), int_matrix(&[&[1]]));
+    }
+
+    #[test]
+    fn cramer_via_adjugate() {
+        // x = adj(A)·b / det(A): cross-check against the solver.
+        let mut rng = StdRng::seed_from_u64(7);
+        let zz = IntegerRing;
+        for _ in 0..10 {
+            let n = 3;
+            let a = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-4i64..=4)));
+            let d = bareiss::det(&a);
+            if d.is_zero() {
+                continue;
+            }
+            let b: Vec<Integer> = (0..n).map(|_| Integer::from(rng.gen_range(-4i64..=4))).collect();
+            let adj_b = adjugate(&a).mul_vec(&zz, &b);
+            let x = crate::solve::solve_cramer(&a, &b).unwrap();
+            for i in 0..n {
+                assert_eq!(x[i], Rational::new(adj_b[i].clone(), d.clone()));
+            }
+        }
+    }
+}

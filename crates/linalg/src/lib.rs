@@ -1,0 +1,48 @@
+//! # ccmx-linalg
+//!
+//! Exact linear algebra over ℤ, ℚ and GF(p), built on [`ccmx_bigint`].
+//!
+//! This crate is the computational substrate of the Chu–Schnitger
+//! reproduction. Everything the paper reasons about — singularity, rank,
+//! determinants, span membership, the decompositions of Corollary 1.2 —
+//! must be *decided exactly* here so that the executable lemmas in
+//! `ccmx-core` and the protocols in `ccmx-comm` have ground truth.
+//!
+//! Layout:
+//!
+//! * [`ring`] — the `Ring`/`Field` abstraction (ring objects carry context
+//!   such as the prime of GF(p); elements are plain data),
+//! * [`matrix`] — dense row-major matrices with block/permutation helpers,
+//! * [`gauss`] — Gaussian elimination over any field: rref, rank, det,
+//!   nullspace, solve, span membership,
+//! * [`bareiss`] — fraction-free (Bareiss) elimination over ℤ: determinant
+//!   and rank without rational blow-up,
+//! * [`modular`] — rank/det over GF(p) with `u64` kernels, random-prime rank,
+//!   and CRT determinant reconstruction (optionally multi-threaded),
+//! * [`lup`], [`qr`], [`svd`] — the decompositions of Corollary 1.2 (for
+//!   SVD, the *nonzero structure*, which is what the paper bounds),
+//! * [`solve`] — exact solvability of `A·x = b` over ℚ (Corollary 1.3),
+//! * [`freivalds`] — probabilistic verification of `A·B = C`,
+//! * [`parallel`] — crossbeam-based data-parallel kernels.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bareiss;
+pub mod dixon;
+pub mod freivalds;
+pub mod gauss;
+pub mod inverse;
+pub mod lup;
+pub mod matrix;
+pub mod modular;
+pub mod parallel;
+pub mod poly;
+pub mod qr;
+pub mod ring;
+pub mod smith;
+pub mod solve;
+pub mod svd;
+
+pub use matrix::Matrix;
+pub use ring::{Field, IntegerRing, PrimeField, RationalField, Ring};

@@ -1,0 +1,225 @@
+//! LUP decomposition over an arbitrary field (Corollary 1.2(e)).
+//!
+//! Factors `P·M = L·U` with `L` unit lower triangular, `U` upper
+//! triangular (echelon for singular/rectangular inputs) and `P` a row
+//! permutation. The paper notes its Ω(k n²) bound holds "even if we only
+//! require that we know the nonzero structure of the factor matrices" —
+//! [`LupDecomposition::nonzero_structure`] exposes exactly that.
+
+use crate::matrix::Matrix;
+use crate::ring::Field;
+
+/// An LUP factorization `P·M = L·U`.
+#[derive(Clone, Debug)]
+pub struct LupDecomposition<T> {
+    /// Unit lower-triangular factor (square, `rows × rows`).
+    pub l: Matrix<T>,
+    /// Upper-triangular / echelon factor (same shape as the input).
+    pub u: Matrix<T>,
+    /// Row permutation: row `i` of `P·M` is row `perm[i]` of `M`.
+    pub perm: Vec<usize>,
+    /// Sign of the permutation (`+1` or `-1`).
+    pub perm_sign: i8,
+}
+
+impl<T: Clone> LupDecomposition<T> {
+    /// The permutation as a matrix over the given field.
+    pub fn p_matrix<F: Field<Elem = T>>(&self, field: &F) -> Matrix<T> {
+        let n = self.perm.len();
+        Matrix::from_fn(n, n, |i, j| {
+            if self.perm[i] == j {
+                field.one()
+            } else {
+                field.zero()
+            }
+        })
+    }
+
+    /// Boolean masks of the nonzero structure of `(L, U)` — the
+    /// information content the paper's Corollary 1.2 lower-bounds.
+    pub fn nonzero_structure<F: Field<Elem = T>>(&self, field: &F) -> (Matrix<bool>, Matrix<bool>) {
+        (self.l.map(|e| !field.is_zero(e)), self.u.map(|e| !field.is_zero(e)))
+    }
+}
+
+/// Compute an LUP decomposition. Works for any (possibly singular or
+/// rectangular) matrix: `U` is then an echelon form rather than strictly
+/// upper triangular in the square-invertible sense.
+pub fn lup<F: Field>(field: &F, m: &Matrix<F::Elem>) -> LupDecomposition<F::Elem> {
+    let rows = m.rows();
+    let cols = m.cols();
+    let mut u = m.clone();
+    let mut l = Matrix::identity(field, rows);
+    let mut perm: Vec<usize> = (0..rows).collect();
+    let mut perm_sign = 1i8;
+    let mut pivot_row = 0usize;
+
+    for col in 0..cols {
+        if pivot_row == rows {
+            break;
+        }
+        let Some(p) = (pivot_row..rows).find(|&r| !field.is_zero(&u[(r, col)])) else {
+            continue;
+        };
+        if p != pivot_row {
+            u.swap_rows(p, pivot_row);
+            perm.swap(p, pivot_row);
+            perm_sign = -perm_sign;
+            // Swap the already-built (strictly lower) part of L.
+            for j in 0..pivot_row {
+                let tmp = l[(p, j)].clone();
+                l[(p, j)] = l[(pivot_row, j)].clone();
+                l[(pivot_row, j)] = tmp;
+            }
+        }
+        let pivot = u[(pivot_row, col)].clone();
+        for r in (pivot_row + 1)..rows {
+            if field.is_zero(&u[(r, col)]) {
+                continue;
+            }
+            let factor = field.div(&u[(r, col)], &pivot);
+            l[(r, pivot_row)] = factor.clone();
+            let (target, source) = u.two_rows_mut(r, pivot_row);
+            for j in col..cols {
+                let delta = field.mul(&factor, &source[j]);
+                target[j] = field.sub(&target[j], &delta);
+            }
+        }
+        pivot_row += 1;
+    }
+
+    LupDecomposition { l, u, perm, perm_sign }
+}
+
+/// Verify `P·M = L·U` exactly.
+pub fn verify_lup<F: Field>(field: &F, m: &Matrix<F::Elem>, d: &LupDecomposition<F::Elem>) -> bool {
+    let pm = m.permute_rows(&d.perm);
+    let lu = d.l.mul(field, &d.u);
+    pm == lu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{int_matrix, Matrix};
+    use crate::ring::{PrimeField, RationalField};
+    use ccmx_bigint::{Integer, Rational};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn qq_mat(rows: &[&[i64]]) -> Matrix<Rational> {
+        int_matrix(rows).map(|i| Rational::from(i.clone()))
+    }
+
+    fn is_unit_lower<F: Field>(field: &F, l: &Matrix<F::Elem>) -> bool {
+        for i in 0..l.rows() {
+            for j in 0..l.cols() {
+                if i == j && l[(i, j)] != field.one() {
+                    return false;
+                }
+                if j > i && !field.is_zero(&l[(i, j)]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn is_echelon<F: Field>(field: &F, u: &Matrix<F::Elem>) -> bool {
+        let mut last_lead: Option<usize> = None;
+        for i in 0..u.rows() {
+            let lead = (0..u.cols()).find(|&j| !field.is_zero(&u[(i, j)]));
+            match (last_lead, lead) {
+                (_, None) => last_lead = Some(u.cols()),
+                (None, Some(_)) => last_lead = lead,
+                (Some(prev), Some(cur)) => {
+                    if prev >= cur {
+                        return false;
+                    }
+                    last_lead = Some(cur);
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn small_known_decomposition() {
+        let f = RationalField;
+        let m = qq_mat(&[&[4, 3], &[6, 3]]);
+        let d = lup(&f, &m);
+        assert!(verify_lup(&f, &m, &d));
+        assert!(is_unit_lower(&f, &d.l));
+        assert!(is_echelon(&f, &d.u));
+    }
+
+    #[test]
+    fn pivoting_required_case() {
+        let f = RationalField;
+        // Leading zero forces a swap.
+        let m = qq_mat(&[&[0, 1], &[1, 0]]);
+        let d = lup(&f, &m);
+        assert!(verify_lup(&f, &m, &d));
+        assert_eq!(d.perm_sign, -1);
+    }
+
+    #[test]
+    fn singular_and_rectangular() {
+        let f = RationalField;
+        for m in [
+            qq_mat(&[&[1, 2], &[2, 4]]),
+            qq_mat(&[&[0, 0], &[0, 0]]),
+            qq_mat(&[&[1, 2, 3], &[4, 5, 6]]),
+            qq_mat(&[&[1, 2], &[3, 4], &[5, 6]]),
+        ] {
+            let d = lup(&f, &m);
+            assert!(verify_lup(&f, &m, &d), "failed on {m:?}");
+            assert!(is_unit_lower(&f, &d.l));
+            assert!(is_echelon(&f, &d.u));
+        }
+    }
+
+    #[test]
+    fn randomized_roundtrip_rational_and_gfp() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let f = RationalField;
+        for n in 1..=6usize {
+            for _ in 0..10 {
+                let m = Matrix::from_fn(n, n, |_, _| {
+                    Rational::from(Integer::from(rng.gen_range(-9i64..=9)))
+                });
+                let d = lup(&f, &m);
+                assert!(verify_lup(&f, &m, &d));
+            }
+        }
+        let f7 = PrimeField::new(7);
+        for _ in 0..10 {
+            let m = Matrix::from_fn(5, 5, |_, _| rng.gen_range(0u64..7));
+            let d = lup(&f7, &m);
+            assert!(verify_lup(&f7, &m, &d));
+        }
+    }
+
+    #[test]
+    fn permutation_is_valid() {
+        let f = RationalField;
+        let m = qq_mat(&[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0]]);
+        let d = lup(&f, &m);
+        let mut sorted = d.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert!(verify_lup(&f, &m, &d));
+        let p = d.p_matrix(&f);
+        assert_eq!(p.mul(&f, &m), m.permute_rows(&d.perm));
+    }
+
+    #[test]
+    fn nonzero_structure_exposed() {
+        let f = RationalField;
+        let m = qq_mat(&[&[1, 1], &[1, 2]]);
+        let d = lup(&f, &m);
+        let (ls, us) = d.nonzero_structure(&f);
+        assert_eq!(ls, Matrix::from_vec(2, 2, vec![true, false, true, true]));
+        assert_eq!(us, Matrix::from_vec(2, 2, vec![true, true, false, true]));
+    }
+}

@@ -1,0 +1,426 @@
+//! Dense row-major matrices.
+//!
+//! [`Matrix<T>`] is a plain container; all algebra is performed by the
+//! algorithms in the sibling modules, parameterized by a [`crate::Ring`].
+//! The block-construction helpers mirror the matrix surgery the paper
+//! performs constantly: the `[[I, B], [A, C]]` trick of Corollary 1.2, the
+//! Fig. 1 restricted format, and the row/column permutations of Lemma 3.9.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::ring::Ring;
+
+/// A dense `rows × cols` matrix in row-major order.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T> Matrix<T> {
+    /// Build from a row-major data vector. Panics on size mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build entry-by-entry from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Is this a square matrix?
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row-major data slice.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Two distinct rows, mutably (for elimination updates).
+    pub fn two_rows_mut(&mut self, i: usize, j: usize) -> (&mut [T], &mut [T]) {
+        assert_ne!(i, j);
+        let c = self.cols;
+        if i < j {
+            let (a, b) = self.data.split_at_mut(j * c);
+            (&mut a[i * c..(i + 1) * c], &mut b[..c])
+        } else {
+            let (a, b) = self.data.split_at_mut(i * c);
+            (&mut b[..c], &mut a[j * c..(j + 1) * c])
+        }
+    }
+
+    /// Swap rows `i` and `j`.
+    pub fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for k in 0..self.cols {
+            self.data.swap(i * self.cols + k, j * self.cols + k);
+        }
+    }
+
+    /// Swap columns `i` and `j`.
+    pub fn swap_cols(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + i, r * self.cols + j);
+        }
+    }
+
+    /// Map every entry.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+
+    /// Column `j` as an owned vector.
+    pub fn col(&self, j: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        (0..self.rows).map(|i| self[(i, j)].clone()).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix<T>
+    where
+        T: Clone,
+    {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].clone())
+    }
+
+    /// The submatrix with the given (ordered) rows and columns.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Matrix<T>
+    where
+        T: Clone,
+    {
+        Matrix::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])].clone())
+    }
+
+    /// Apply a row permutation: row `i` of the result is row `perm[i]` of
+    /// `self`.
+    pub fn permute_rows(&self, perm: &[usize]) -> Matrix<T>
+    where
+        T: Clone,
+    {
+        assert_eq!(perm.len(), self.rows);
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(perm[i], j)].clone())
+    }
+
+    /// Apply a column permutation: column `j` of the result is column
+    /// `perm[j]` of `self`.
+    pub fn permute_cols(&self, perm: &[usize]) -> Matrix<T>
+    where
+        T: Clone,
+    {
+        assert_eq!(perm.len(), self.cols);
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, perm[j])].clone())
+    }
+
+    /// Stack four blocks as `[[tl, tr], [bl, br]]`.
+    pub fn from_blocks(tl: &Matrix<T>, tr: &Matrix<T>, bl: &Matrix<T>, br: &Matrix<T>) -> Matrix<T>
+    where
+        T: Clone,
+    {
+        assert_eq!(tl.rows, tr.rows, "top blocks row mismatch");
+        assert_eq!(bl.rows, br.rows, "bottom blocks row mismatch");
+        assert_eq!(tl.cols, bl.cols, "left blocks col mismatch");
+        assert_eq!(tr.cols, br.cols, "right blocks col mismatch");
+        Matrix::from_fn(tl.rows + bl.rows, tl.cols + tr.cols, |i, j| {
+            if i < tl.rows {
+                if j < tl.cols {
+                    tl[(i, j)].clone()
+                } else {
+                    tr[(i, j - tl.cols)].clone()
+                }
+            } else if j < tl.cols {
+                bl[(i - tl.rows, j)].clone()
+            } else {
+                br[(i - tl.rows, j - tl.cols)].clone()
+            }
+        })
+    }
+}
+
+impl<T> Matrix<T> {
+    /// The `n × n` identity over a ring.
+    pub fn identity<R: Ring<Elem = T>>(ring: &R, n: usize) -> Matrix<T> {
+        Matrix::from_fn(n, n, |i, j| if i == j { ring.one() } else { ring.zero() })
+    }
+
+    /// The `rows × cols` zero matrix over a ring.
+    pub fn zero<R: Ring<Elem = T>>(ring: &R, rows: usize, cols: usize) -> Matrix<T> {
+        Matrix::from_fn(rows, cols, |_, _| ring.zero())
+    }
+
+    /// Matrix product over a ring (serial; see [`crate::parallel`] for the
+    /// threaded kernel).
+    pub fn mul<R: Ring<Elem = T>>(&self, ring: &R, other: &Matrix<T>) -> Matrix<T>
+    where
+        T: Clone,
+    {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        Matrix::from_fn(self.rows, other.cols, |i, j| {
+            let mut acc = ring.zero();
+            for k in 0..self.cols {
+                acc = ring.add_mul(&acc, &self[(i, k)], &other[(k, j)]);
+            }
+            acc
+        })
+    }
+
+    /// Matrix–vector product over a ring.
+    pub fn mul_vec<R: Ring<Elem = T>>(&self, ring: &R, v: &[T]) -> Vec<T>
+    where
+        T: Clone,
+    {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = ring.zero();
+                for k in 0..self.cols {
+                    acc = ring.add_mul(&acc, &self[(i, k)], &v[k]);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Entrywise sum over a ring.
+    pub fn add<R: Ring<Elem = T>>(&self, ring: &R, other: &Matrix<T>) -> Matrix<T> {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix::from_fn(self.rows, self.cols, |i, j| ring.add(&self[(i, j)], &other[(i, j)]))
+    }
+
+    /// Entrywise difference over a ring.
+    pub fn sub<R: Ring<Elem = T>>(&self, ring: &R, other: &Matrix<T>) -> Matrix<T> {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix::from_fn(self.rows, self.cols, |i, j| ring.sub(&self[(i, j)], &other[(i, j)]))
+    }
+
+    /// Is this the zero matrix over a ring?
+    pub fn is_zero<R: Ring<Elem = T>>(&self, ring: &R) -> bool {
+        self.data.iter().all(|e| ring.is_zero(e))
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>6}", self[(i, j)])?;
+            }
+            if i + 1 < self.rows {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build an integer matrix from `i64` literals (test/demo convenience).
+pub fn int_matrix(rows: &[&[i64]]) -> Matrix<ccmx_bigint::Integer> {
+    let r = rows.len();
+    let c = rows.first().map_or(0, |row| row.len());
+    assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+    Matrix::from_fn(r, c, |i, j| ccmx_bigint::Integer::from(rows[i][j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{IntegerRing, PrimeField};
+    use ccmx_bigint::Integer;
+
+    #[test]
+    fn indexing_and_rows() {
+        let m = int_matrix(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(1, 2)], Integer::from(6i64));
+        assert_eq!(m.row(0), &[Integer::from(1i64), Integer::from(2i64), Integer::from(3i64)]);
+        assert_eq!(m.col(1), vec![Integer::from(2i64), Integer::from(5i64)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_checks_size() {
+        let _ = Matrix::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn identity_and_mul() {
+        let zz = IntegerRing;
+        let m = int_matrix(&[&[1, 2], &[3, 4]]);
+        let i = Matrix::identity(&zz, 2);
+        assert_eq!(m.mul(&zz, &i), m);
+        assert_eq!(i.mul(&zz, &m), m);
+        let sq = m.mul(&zz, &m);
+        assert_eq!(sq, int_matrix(&[&[7, 10], &[15, 22]]));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let zz = IntegerRing;
+        let m = int_matrix(&[&[1, 2], &[3, 4], &[5, 6]]);
+        let v = vec![Integer::from(10i64), Integer::from(-1i64)];
+        let mv = m.mul_vec(&zz, &v);
+        assert_eq!(mv, vec![Integer::from(8i64), Integer::from(26i64), Integer::from(44i64)]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = int_matrix(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], Integer::from(6i64));
+    }
+
+    #[test]
+    fn swaps() {
+        let mut m = int_matrix(&[&[1, 2], &[3, 4]]);
+        m.swap_rows(0, 1);
+        assert_eq!(m, int_matrix(&[&[3, 4], &[1, 2]]));
+        m.swap_cols(0, 1);
+        assert_eq!(m, int_matrix(&[&[4, 3], &[2, 1]]));
+        m.swap_rows(1, 1);
+        assert_eq!(m, int_matrix(&[&[4, 3], &[2, 1]]));
+    }
+
+    #[test]
+    fn two_rows_mut_disjoint() {
+        let mut m = int_matrix(&[&[1, 2], &[3, 4], &[5, 6]]);
+        {
+            let (a, b) = m.two_rows_mut(2, 0);
+            std::mem::swap(&mut a[0], &mut b[0]);
+        }
+        assert_eq!(m, int_matrix(&[&[5, 2], &[3, 4], &[1, 6]]));
+    }
+
+    #[test]
+    fn permutations() {
+        let m = int_matrix(&[&[1, 2], &[3, 4], &[5, 6]]);
+        let p = m.permute_rows(&[2, 0, 1]);
+        assert_eq!(p, int_matrix(&[&[5, 6], &[1, 2], &[3, 4]]));
+        let q = m.permute_cols(&[1, 0]);
+        assert_eq!(q, int_matrix(&[&[2, 1], &[4, 3], &[6, 5]]));
+    }
+
+    #[test]
+    fn blocks_corollary12_shape() {
+        // The paper's M = [[I, B], [A, C]] block trick.
+        let zz = IntegerRing;
+        let i = Matrix::identity(&zz, 2);
+        let a = int_matrix(&[&[1, 0], &[0, 1]]);
+        let b = int_matrix(&[&[5, 6], &[7, 8]]);
+        let c = int_matrix(&[&[5, 6], &[7, 8]]);
+        let m = Matrix::from_blocks(&i, &b, &a, &c);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m[(0, 2)], Integer::from(5i64));
+        assert_eq!(m[(2, 0)], Integer::from(1i64));
+        assert_eq!(m[(3, 3)], Integer::from(8i64));
+    }
+
+    #[test]
+    fn submatrix_selects() {
+        let m = int_matrix(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        let s = m.submatrix(&[0, 2], &[1, 2]);
+        assert_eq!(s, int_matrix(&[&[2, 3], &[8, 9]]));
+    }
+
+    #[test]
+    fn prime_field_matrices() {
+        let f7 = PrimeField::new(7);
+        let m = Matrix::from_fn(2, 2, |i, j| ((i * 2 + j) * 3) as u64 % 7);
+        let sq = m.mul(&f7, &m);
+        // m = [[0,3],[6,2]]; m^2 = [[18, 6],[12, 22]] mod 7 = [[4,6],[5,1]]
+        assert_eq!(sq, Matrix::from_vec(2, 2, vec![4, 6, 5, 1]));
+    }
+
+    #[test]
+    fn add_sub_zero() {
+        let zz = IntegerRing;
+        let m = int_matrix(&[&[1, -2], &[3, 4]]);
+        let z = Matrix::zero(&zz, 2, 2);
+        assert_eq!(m.add(&zz, &z), m);
+        assert!(m.sub(&zz, &m).is_zero(&zz));
+    }
+}

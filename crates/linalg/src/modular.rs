@@ -1,0 +1,197 @@
+//! Modular linear algebra: rank and determinants over GF(p), and exact
+//! integer determinants reconstructed with the Chinese Remainder Theorem.
+//!
+//! This is the engine behind two things:
+//!
+//! 1. The **randomized singularity protocol** (Leighton's
+//!    `O(n² max(log n, log k))` upper bound quoted by the paper): reduce
+//!    the matrix modulo a random prime and test singularity there.
+//! 2. A fast **exact determinant**: compute `det mod p_i` for enough
+//!    primes that the product exceeds twice the Hadamard bound, then CRT
+//!    the residues back (optionally in parallel across primes).
+
+use ccmx_bigint::bounds::hadamard_bound;
+use ccmx_bigint::modular::{crt, symmetric_representative};
+use ccmx_bigint::prime::next_prime;
+use ccmx_bigint::{Integer, Natural};
+
+use crate::gauss;
+use crate::matrix::Matrix;
+use crate::ring::PrimeField;
+
+/// Reduce an integer matrix mod `p`.
+pub fn reduce_matrix(m: &Matrix<Integer>, field: &PrimeField) -> Matrix<u64> {
+    m.map(|e| field.reduce(e))
+}
+
+/// Determinant of an integer matrix modulo `p`.
+pub fn det_mod(m: &Matrix<Integer>, p: u64) -> u64 {
+    let field = PrimeField::new(p);
+    gauss::det(&field, &reduce_matrix(m, &field))
+}
+
+/// Rank of an integer matrix modulo `p`. Always `<=` the rank over ℚ.
+pub fn rank_mod(m: &Matrix<Integer>, p: u64) -> usize {
+    let field = PrimeField::new(p);
+    gauss::rank(&field, &reduce_matrix(m, &field))
+}
+
+/// The list of primes used for a CRT determinant of `m`: successive primes
+/// starting just below 2^62 whose product exceeds `2 * hadamard + 1`.
+pub fn crt_prime_plan(n: usize, entry_bound: &Natural) -> Vec<u64> {
+    let target = (hadamard_bound(n, entry_bound) << 1u64) + Natural::one();
+    let mut primes = Vec::new();
+    let mut product = Natural::one();
+    let mut p = next_prime(1 << 62);
+    while product <= target {
+        primes.push(p);
+        product = product * Natural::from(p);
+        p = next_prime(p + 1);
+    }
+    primes
+}
+
+/// Exact determinant via CRT over the plan returned by [`crt_prime_plan`].
+///
+/// `threads` selects the number of worker threads for the per-prime
+/// eliminations (1 = serial). Result is exact for any integer matrix whose
+/// entries are bounded by `entry_bound` in magnitude.
+pub fn det_via_crt(m: &Matrix<Integer>, entry_bound: &Natural, threads: usize) -> Integer {
+    assert!(m.is_square(), "determinant of non-square matrix");
+    if m.rows() == 0 {
+        return Integer::one();
+    }
+    let primes = crt_prime_plan(m.rows(), entry_bound);
+    let residues: Vec<(Natural, Natural)> = if threads <= 1 || primes.len() == 1 {
+        primes
+            .iter()
+            .map(|&p| (Natural::from(det_mod(m, p)), Natural::from(p)))
+            .collect()
+    } else {
+        parallel_residues(m, &primes, threads)
+    };
+    let (x, modulus) = crt(&residues);
+    symmetric_representative(&x, &modulus)
+}
+
+/// Compute `det mod p` for each prime on a crossbeam-scoped worker pool.
+fn parallel_residues(m: &Matrix<Integer>, primes: &[u64], threads: usize) -> Vec<(Natural, Natural)> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let out_slots: Vec<parking_lot::Mutex<Option<(Natural, Natural)>>> =
+        (0..primes.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(primes.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= primes.len() {
+                    break;
+                }
+                let p = primes[i];
+                let r = (Natural::from(det_mod(m, p)), Natural::from(p));
+                *out_slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out_slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Rank over ℚ with high probability, via a single random large prime:
+/// `rank_p(M) = rank_Q(M)` unless `p` divides one of the nonzero maximal
+/// minors. Returns `(rank_mod_p, p)`.
+pub fn probable_rank<R: rand::Rng + ?Sized>(m: &Matrix<Integer>, rng: &mut R) -> (usize, u64) {
+    let p = ccmx_bigint::prime::PrimeWindow::new(62).sample(rng);
+    (rank_mod(m, p), p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bareiss;
+    use crate::matrix::int_matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn det_mod_matches_exact() {
+        let m = int_matrix(&[&[6, 1, 1], &[4, -2, 5], &[2, 8, 7]]); // det -306
+        for p in [5u64, 7, 97, 1_000_000_007] {
+            let expect = (-306i64).rem_euclid(p as i64) as u64;
+            assert_eq!(det_mod(&m, p), expect, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn rank_mod_can_drop_but_not_raise() {
+        // det = 5: full rank over Q, rank 1 over GF(5).
+        let m = int_matrix(&[&[1, 0], &[0, 5]]);
+        assert_eq!(rank_mod(&m, 5), 1);
+        assert_eq!(rank_mod(&m, 7), 2);
+        assert_eq!(bareiss::rank(&m), 2);
+    }
+
+    #[test]
+    fn crt_plan_covers_bound() {
+        let plan = crt_prime_plan(4, &Natural::from(255u64));
+        let mut product = Natural::one();
+        for &p in &plan {
+            product = product * Natural::from(p);
+        }
+        let target = (hadamard_bound(4, &Natural::from(255u64)) << 1u64) + Natural::one();
+        assert!(product > target);
+        // All plan members are distinct primes.
+        let mut sorted = plan.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), plan.len());
+    }
+
+    #[test]
+    fn crt_det_matches_bareiss_randomized() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for n in 1..=5usize {
+            for _ in 0..5 {
+                let bound = 1i64 << 20;
+                let m = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-bound..=bound)));
+                let exact = bareiss::det(&m);
+                let crt1 = det_via_crt(&m, &Natural::from(bound as u64), 1);
+                assert_eq!(crt1, exact, "serial CRT mismatch at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn crt_det_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let bound = 1i64 << 30;
+        let m = Matrix::from_fn(8, 8, |_, _| Integer::from(rng.gen_range(-bound..=bound)));
+        let serial = det_via_crt(&m, &Natural::from(bound as u64), 1);
+        let par = det_via_crt(&m, &Natural::from(bound as u64), 4);
+        assert_eq!(serial, par);
+        assert_eq!(serial, bareiss::det(&m));
+    }
+
+    #[test]
+    fn crt_det_handles_negative_and_zero() {
+        let neg = int_matrix(&[&[0, 1], &[1, 0]]); // det -1
+        assert_eq!(det_via_crt(&neg, &Natural::from(1u64), 1), Integer::from(-1i64));
+        let sing = int_matrix(&[&[1, 2], &[2, 4]]);
+        assert_eq!(det_via_crt(&sing, &Natural::from(4u64), 1), Integer::zero());
+        let empty = Matrix::from_fn(0, 0, |_, _| Integer::zero());
+        assert_eq!(det_via_crt(&empty, &Natural::one(), 1), Integer::one());
+    }
+
+    #[test]
+    fn probable_rank_agrees_whp() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = int_matrix(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 10]]); // rank 3
+        let (r, _p) = probable_rank(&m, &mut rng);
+        assert_eq!(r, 3);
+        let s = int_matrix(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]); // rank 2
+        let (r, _p) = probable_rank(&s, &mut rng);
+        assert_eq!(r, 2);
+    }
+}

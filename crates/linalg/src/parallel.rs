@@ -1,0 +1,172 @@
+//! Data-parallel kernels (crossbeam scoped threads).
+//!
+//! Following the workspace's hpc-parallel guidance: row-blocked matrix
+//! multiplication and a generic parallel map over index ranges, used by
+//! the truth-matrix enumerators in `ccmx-comm` and the CRT determinant in
+//! [`crate::modular`]. Work is handed out via an atomic cursor so threads
+//! self-balance on irregular per-row costs (bigint entry sizes vary).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::matrix::Matrix;
+use crate::ring::Ring;
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped to 8 (the kernels here saturate memory bandwidth quickly).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Parallel map over `0..n`: applies `f` to every index on a worker pool
+/// and returns the results in index order.
+///
+/// `f` must be `Sync` (shared across workers by reference).
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock() = Some(v);
+            });
+        }
+    })
+    .expect("par_map worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// Parallel fold: maps `f` over `0..n` and combines results with `merge`
+/// starting from `init` (combination order is unspecified; `merge` must be
+/// associative and commutative).
+pub fn par_fold<T, F, M>(n: usize, threads: usize, init: T, f: F, merge: M) -> T
+where
+    T: Send + Clone,
+    F: Fn(usize) -> T + Sync,
+    M: Fn(T, T) -> T + Sync + Send + Copy,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).fold(init, merge);
+    }
+    let cursor = AtomicUsize::new(0);
+    let acc = parking_lot::Mutex::new(init);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|_| {
+                let mut local: Option<T> = None;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(i);
+                    local = Some(match local.take() {
+                        None => v,
+                        Some(acc) => merge(acc, v),
+                    });
+                }
+                if let Some(l) = local {
+                    let mut guard = acc.lock();
+                    let cur = guard.clone();
+                    *guard = merge(cur, l);
+                }
+            });
+        }
+    })
+    .expect("par_fold worker panicked");
+    acc.into_inner()
+}
+
+/// Row-parallel matrix multiplication over any ring.
+pub fn par_matmul<R: Ring>(
+    ring: &R,
+    a: &Matrix<R::Elem>,
+    b: &Matrix<R::Elem>,
+    threads: usize,
+) -> Matrix<R::Elem> {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let rows = par_map(a.rows(), threads, |i| {
+        let mut row = Vec::with_capacity(b.cols());
+        for j in 0..b.cols() {
+            let mut acc = ring.zero();
+            for k in 0..a.cols() {
+                acc = ring.add_mul(&acc, &a[(i, k)], &b[(k, j)]);
+            }
+            row.push(acc);
+        }
+        row
+    });
+    Matrix::from_vec(a.rows(), b.cols(), rows.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::int_matrix;
+    use crate::ring::{IntegerRing, PrimeField};
+    use ccmx_bigint::Integer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert!(par_map(0, 4, |i| i).is_empty());
+        assert_eq!(par_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_fold_sums() {
+        let total = par_fold(1000, 4, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 999 * 1000 / 2);
+        let serial = par_fold(1000, 1, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(serial, total);
+    }
+
+    #[test]
+    fn par_matmul_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let zz = IntegerRing;
+        let a = Matrix::from_fn(7, 5, |_, _| Integer::from(rng.gen_range(-9i64..=9)));
+        let b = Matrix::from_fn(5, 6, |_, _| Integer::from(rng.gen_range(-9i64..=9)));
+        let serial = a.mul(&zz, &b);
+        for threads in [1, 2, 4] {
+            assert_eq!(par_matmul(&zz, &a, &b, threads), serial);
+        }
+    }
+
+    #[test]
+    fn par_matmul_gfp() {
+        let f = PrimeField::new(101);
+        let a = Matrix::from_fn(8, 8, |i, j| ((i * 13 + j * 29) % 101) as u64);
+        let b = Matrix::from_fn(8, 8, |i, j| ((i * 7 + j * 3) % 101) as u64);
+        assert_eq!(par_matmul(&f, &a, &b, 4), a.mul(&f, &b));
+    }
+
+    #[test]
+    fn identity_preserved_in_parallel() {
+        let zz = IntegerRing;
+        let m = int_matrix(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        let i = Matrix::identity(&zz, 3);
+        assert_eq!(par_matmul(&zz, &m, &i, 3), m);
+    }
+}

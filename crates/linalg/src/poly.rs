@@ -1,0 +1,387 @@
+//! Univariate polynomials over ℚ, with Sturm sequences.
+//!
+//! This extends the SVD-structure module: the characteristic polynomial
+//! of the Gram matrix `MᵀM` has the squared singular values as roots, and
+//! a **Sturm chain** counts its *distinct real roots* exactly — so the
+//! number of distinct (nonzero) singular values of an integer matrix is
+//! computable in exact arithmetic, with no numerical eigensolver. Also
+//! used: square-free parts (via gcd with the derivative) expose root
+//! multiplicities.
+
+use std::fmt;
+
+use ccmx_bigint::{Integer, Rational};
+
+/// A polynomial over ℚ, coefficients low-to-high, no trailing zeros.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<Rational>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// From low-to-high rational coefficients (trailing zeros stripped).
+    pub fn new(mut coeffs: Vec<Rational>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// From integer coefficients (low-to-high).
+    pub fn from_integers(coeffs: &[Integer]) -> Self {
+        Poly::new(coeffs.iter().map(|c| Rational::from(c.clone())).collect())
+    }
+
+    /// From `i64` coefficients (tests/examples).
+    pub fn from_i64(coeffs: &[i64]) -> Self {
+        Poly::new(coeffs.iter().map(|&c| Rational::from(Integer::from(c))).collect())
+    }
+
+    /// Coefficients, low-to-high (empty for zero).
+    pub fn coeffs(&self) -> &[Rational] {
+        &self.coeffs
+    }
+
+    /// Is this the zero polynomial?
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree (`None` for the zero polynomial).
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Leading coefficient (`None` for zero).
+    pub fn leading(&self) -> Option<&Rational> {
+        self.coeffs.last()
+    }
+
+    /// Evaluate at `x` (Horner).
+    pub fn eval(&self, x: &Rational) -> Rational {
+        let mut acc = Rational::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * x) + c;
+        }
+        acc
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        Poly::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c * &Rational::from(Integer::from((i + 1) as i64)))
+                .collect(),
+        )
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        Poly::new(
+            (0..n)
+                .map(|i| {
+                    let a = self.coeffs.get(i).cloned().unwrap_or_else(Rational::zero);
+                    let b = other.coeffs.get(i).cloned().unwrap_or_else(Rational::zero);
+                    a + b
+                })
+                .collect(),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Poly {
+        Poly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.neg())
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Rational::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] += &(a * b);
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Scale by a rational.
+    pub fn scale(&self, s: &Rational) -> Poly {
+        Poly::new(self.coeffs.iter().map(|c| c * s).collect())
+    }
+
+    /// Euclidean division: `self = q·div + r` with `deg r < deg div`.
+    pub fn div_rem(&self, div: &Poly) -> (Poly, Poly) {
+        assert!(!div.is_zero(), "polynomial division by zero");
+        let dl = div.leading().unwrap().clone();
+        let dd = div.degree().unwrap();
+        let mut rem = self.clone();
+        let mut q = vec![Rational::zero(); self.coeffs.len().saturating_sub(dd)];
+        while let Some(rd) = rem.degree() {
+            if rd < dd || rem.is_zero() {
+                break;
+            }
+            let factor = rem.leading().unwrap() / &dl;
+            let shift = rd - dd;
+            q[shift] = factor.clone();
+            // rem -= factor * x^shift * div
+            let mut sub = vec![Rational::zero(); shift];
+            sub.extend(div.coeffs.iter().map(|c| c * &factor));
+            rem = rem.sub(&Poly::new(sub));
+            if rem.degree() == Some(rd) {
+                // Leading term must have cancelled.
+                unreachable!("division failed to reduce degree");
+            }
+        }
+        (Poly::new(q), rem)
+    }
+
+    /// Monic gcd.
+    pub fn gcd(&self, other: &Poly) -> Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        if let Some(l) = a.leading().cloned() {
+            a.scale(&l.recip())
+        } else {
+            a
+        }
+    }
+
+    /// Square-free part: `self / gcd(self, self')` — same roots, all
+    /// simple.
+    pub fn square_free(&self) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let g = self.gcd(&self.derivative());
+        if g.degree() == Some(0) {
+            return self.clone();
+        }
+        self.div_rem(&g).0
+    }
+
+    /// A bound `B` such that all real roots lie in `(-B, B)` (Cauchy).
+    pub fn cauchy_root_bound(&self) -> Rational {
+        let Some(lead) = self.leading() else {
+            return Rational::one();
+        };
+        let mut max = Rational::zero();
+        for c in &self.coeffs[..self.coeffs.len() - 1] {
+            let ratio = (c / lead).abs();
+            if ratio > max {
+                max = ratio;
+            }
+        }
+        Rational::one() + max
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Poly(0)");
+        }
+        write!(f, "Poly(")?;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            write!(f, "{c}·x^{i} ")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The Sturm chain of a polynomial: `p, p', −rem(p, p'), …`.
+pub fn sturm_chain(p: &Poly) -> Vec<Poly> {
+    let mut chain = vec![p.clone(), p.derivative()];
+    loop {
+        let n = chain.len();
+        if chain[n - 1].is_zero() {
+            chain.pop();
+            return chain;
+        }
+        let r = chain[n - 2].div_rem(&chain[n - 1]).1;
+        if r.is_zero() {
+            return chain;
+        }
+        chain.push(r.neg());
+    }
+}
+
+fn sign_changes(chain: &[Poly], x: &Rational) -> usize {
+    let mut last: Option<bool> = None;
+    let mut changes = 0;
+    for p in chain {
+        let v = p.eval(x);
+        if v.is_zero() {
+            continue;
+        }
+        let neg = v.is_negative();
+        if let Some(prev) = last {
+            if prev != neg {
+                changes += 1;
+            }
+        }
+        last = Some(neg);
+    }
+    changes
+}
+
+/// Number of **distinct** real roots of `p` in the half-open interval
+/// `(lo, hi]`, by Sturm's theorem (applied to the square-free part, so
+/// multiplicities don't confuse the count).
+pub fn count_real_roots_in(p: &Poly, lo: &Rational, hi: &Rational) -> usize {
+    assert!(lo < hi, "empty interval");
+    let sf = p.square_free();
+    if sf.degree().unwrap_or(0) == 0 {
+        return 0;
+    }
+    let chain = sturm_chain(&sf);
+    sign_changes(&chain, lo) - sign_changes(&chain, hi)
+}
+
+/// Number of distinct real roots of `p` (anywhere).
+pub fn count_real_roots(p: &Poly) -> usize {
+    if p.is_zero() || p.degree() == Some(0) {
+        return 0;
+    }
+    let b = p.cauchy_root_bound();
+    count_real_roots_in(p, &-&b, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Rational {
+        Rational::from(Integer::from(v))
+    }
+
+    #[test]
+    fn eval_and_derivative() {
+        // p = x² - 3x + 2 = (x-1)(x-2)
+        let p = Poly::from_i64(&[2, -3, 1]);
+        assert_eq!(p.eval(&q(1)), q(0));
+        assert_eq!(p.eval(&q(2)), q(0));
+        assert_eq!(p.eval(&q(0)), q(2));
+        assert_eq!(p.derivative(), Poly::from_i64(&[-3, 2]));
+        assert_eq!(p.degree(), Some(2));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let p = Poly::from_i64(&[1, 2, 3]);
+        let r = Poly::from_i64(&[5, -1]);
+        assert_eq!(p.add(&r).sub(&r), p);
+        assert_eq!(p.mul(&r).div_rem(&r), (p.clone(), Poly::zero()));
+        let (quot, rem) = p.div_rem(&r);
+        assert_eq!(quot.mul(&r).add(&rem), p);
+        assert!(rem.degree() < r.degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_poly() {
+        let _ = Poly::from_i64(&[1, 1]).div_rem(&Poly::zero());
+    }
+
+    #[test]
+    fn gcd_of_products() {
+        // gcd((x-1)(x-2), (x-1)(x-3)) = x - 1 (monic).
+        let a = Poly::from_i64(&[2, -3, 1]);
+        let b = Poly::from_i64(&[3, -4, 1]);
+        assert_eq!(a.gcd(&b), Poly::from_i64(&[-1, 1]));
+        // Coprime: gcd = 1.
+        let c = Poly::from_i64(&[5, 1]);
+        assert_eq!(a.gcd(&c).degree(), Some(0));
+    }
+
+    #[test]
+    fn square_free_strips_multiplicity() {
+        // (x-1)²(x-2) = x³ - 4x² + 5x - 2.
+        let p = Poly::from_i64(&[-2, 5, -4, 1]);
+        let sf = p.square_free();
+        // Square-free part = (x-1)(x-2) up to scaling.
+        assert_eq!(sf.degree(), Some(2));
+        assert_eq!(sf.eval(&q(1)), q(0));
+        assert_eq!(sf.eval(&q(2)), q(0));
+        assert!(!sf.eval(&q(3)).is_zero());
+    }
+
+    #[test]
+    fn sturm_counts_simple_roots() {
+        // (x-1)(x-2)(x-3): 3 distinct real roots.
+        let p = Poly::from_i64(&[-6, 11, -6, 1]);
+        assert_eq!(count_real_roots(&p), 3);
+        assert_eq!(count_real_roots_in(&p, &q(0), &q(2)), 2); // roots 1, 2 in (0, 2]
+        assert_eq!(count_real_roots_in(&p, &q(2), &q(10)), 1); // root 3
+        assert_eq!(count_real_roots_in(&p, &q(4), &q(10)), 0);
+    }
+
+    #[test]
+    fn sturm_counts_with_multiplicities_collapsed() {
+        // (x-1)²(x-2): 2 distinct real roots.
+        let p = Poly::from_i64(&[-2, 5, -4, 1]);
+        assert_eq!(count_real_roots(&p), 2);
+    }
+
+    #[test]
+    fn sturm_on_no_real_roots() {
+        // x² + 1.
+        let p = Poly::from_i64(&[1, 0, 1]);
+        assert_eq!(count_real_roots(&p), 0);
+        // x² - 2: two irrational roots.
+        let p2 = Poly::from_i64(&[-2, 0, 1]);
+        assert_eq!(count_real_roots(&p2), 2);
+        assert_eq!(count_real_roots_in(&p2, &q(0), &q(2)), 1); // √2 only
+    }
+
+    #[test]
+    fn cauchy_bound_contains_roots() {
+        let p = Poly::from_i64(&[-6, 11, -6, 1]); // roots 1, 2, 3
+        let b = p.cauchy_root_bound();
+        assert!(b > q(3));
+        // All roots inside (-B, B): count over that interval = total.
+        assert_eq!(count_real_roots_in(&p, &-&b, &b), 3);
+    }
+
+    #[test]
+    fn high_degree_wilkinson_fragment() {
+        // (x-1)(x-2)...(x-6): exactly 6 distinct roots; a classic
+        // ill-conditioned case for floating point, exact here.
+        let mut p = Poly::from_i64(&[1]);
+        for r in 1..=6i64 {
+            p = p.mul(&Poly::from_i64(&[-r, 1]));
+        }
+        assert_eq!(p.degree(), Some(6));
+        assert_eq!(count_real_roots(&p), 6);
+        assert_eq!(count_real_roots_in(&p, &q(3), &q(6)), 3); // 4, 5, 6
+    }
+}

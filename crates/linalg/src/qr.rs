@@ -1,0 +1,174 @@
+//! QR factorization over ℚ via fraction-free Gram–Schmidt
+//! (Corollary 1.2(c)).
+//!
+//! Over the rationals one cannot normalize (square roots leave the field),
+//! so we compute the standard *unnormalized* Gram–Schmidt factorization
+//! `M = Q·R` where the nonzero columns of `Q` are pairwise orthogonal and
+//! `R` is upper triangular with unit diagonal. This carries exactly the
+//! information content the paper bounds — it determines the orthonormal
+//! QR up to positive column scalings, and in particular determines the
+//! nonzero structure of the factors.
+
+use ccmx_bigint::Rational;
+
+use crate::matrix::Matrix;
+use crate::ring::RationalField;
+
+/// A Gram–Schmidt factorization `M = Q·R` over ℚ.
+#[derive(Clone, Debug)]
+pub struct QrDecomposition {
+    /// Columns pairwise orthogonal (zero columns where `M`'s column was
+    /// linearly dependent on its predecessors).
+    pub q: Matrix<Rational>,
+    /// Upper triangular with unit diagonal.
+    pub r: Matrix<Rational>,
+}
+
+fn dot(a: &[Rational], b: &[Rational]) -> Rational {
+    let mut acc = Rational::zero();
+    for (x, y) in a.iter().zip(b) {
+        acc += &(x * y);
+    }
+    acc
+}
+
+/// Compute the Gram–Schmidt QR factorization of `m` over ℚ.
+pub fn qr(m: &Matrix<Rational>) -> QrDecomposition {
+    let f = RationalField;
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut q_cols: Vec<Vec<Rational>> = Vec::with_capacity(cols);
+    let mut r = Matrix::identity(&f, cols);
+    for j in 0..cols {
+        let mut v = m.col(j);
+        for (i, qi) in q_cols.iter().enumerate() {
+            let denom = dot(qi, qi);
+            if denom.is_zero() {
+                continue;
+            }
+            let coef = &dot(&v, qi) / &denom;
+            for (vk, qk) in v.iter_mut().zip(qi) {
+                *vk -= &(&coef * qk);
+            }
+            r[(i, j)] = coef;
+        }
+        q_cols.push(v);
+    }
+    let q = Matrix::from_fn(rows, cols, |i, j| q_cols[j][i].clone());
+    QrDecomposition { q, r }
+}
+
+/// Verify `M = Q·R`, that `Q`'s columns are pairwise orthogonal, and that
+/// `R` is unit upper triangular.
+pub fn verify_qr(m: &Matrix<Rational>, d: &QrDecomposition) -> bool {
+    let f = RationalField;
+    if d.q.mul(&f, &d.r) != *m {
+        return false;
+    }
+    // Orthogonality.
+    for a in 0..d.q.cols() {
+        for b in (a + 1)..d.q.cols() {
+            if !dot(&d.q.col(a), &d.q.col(b)).is_zero() {
+                return false;
+            }
+        }
+    }
+    // R unit upper triangular.
+    for i in 0..d.r.rows() {
+        for j in 0..d.r.cols() {
+            if i == j && !d.r[(i, j)].is_one() {
+                return false;
+            }
+            if i > j && !d.r[(i, j)].is_zero() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The nonzero structure of the factors (what Corollary 1.2 bounds even
+/// when only the structure is output).
+pub fn nonzero_structure(d: &QrDecomposition) -> (Matrix<bool>, Matrix<bool>) {
+    (d.q.map(|e| !e.is_zero()), d.r.map(|e| !e.is_zero()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss;
+    use crate::matrix::int_matrix;
+    use ccmx_bigint::Integer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn qq_mat(rows: &[&[i64]]) -> Matrix<Rational> {
+        int_matrix(rows).map(|i| Rational::from(i.clone()))
+    }
+
+    #[test]
+    fn identity_factors_trivially() {
+        let m = qq_mat(&[&[1, 0], &[0, 1]]);
+        let d = qr(&m);
+        assert!(verify_qr(&m, &d));
+        assert_eq!(d.q, m);
+    }
+
+    #[test]
+    fn classic_example() {
+        let m = qq_mat(&[&[1, 1], &[0, 1], &[1, 0]]);
+        let d = qr(&m);
+        assert!(verify_qr(&m, &d));
+        // First Q column equals first input column.
+        assert_eq!(d.q.col(0), m.col(0));
+    }
+
+    #[test]
+    fn rank_deficient_gives_zero_columns() {
+        let m = qq_mat(&[&[1, 2], &[1, 2]]); // col2 = 2 * col1
+        let d = qr(&m);
+        assert!(verify_qr(&m, &d));
+        assert!(d.q.col(1).iter().all(|e| e.is_zero()));
+        // The count of nonzero Q columns equals the rank.
+        let f = RationalField;
+        let nonzero_cols = (0..d.q.cols())
+            .filter(|&j| d.q.col(j).iter().any(|e| !e.is_zero()))
+            .count();
+        assert_eq!(nonzero_cols, gauss::rank(&f, &m));
+    }
+
+    #[test]
+    fn randomized_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in 1..=5usize {
+            for _ in 0..10 {
+                let m = Matrix::from_fn(n, n, |_, _| {
+                    Rational::from(Integer::from(rng.gen_range(-5i64..=5)))
+                });
+                let d = qr(&m);
+                assert!(verify_qr(&m, &d), "QR roundtrip failed on {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        for m in [qq_mat(&[&[1, 2, 3], &[4, 5, 6]]), qq_mat(&[&[1, 2], &[3, 4], &[5, 7]])] {
+            let d = qr(&m);
+            assert!(verify_qr(&m, &d));
+            assert_eq!(d.q.rows(), m.rows());
+            assert_eq!(d.r.rows(), m.cols());
+        }
+    }
+
+    #[test]
+    fn structure_of_triangular_input() {
+        let m = qq_mat(&[&[2, 5], &[0, 3]]);
+        let d = qr(&m);
+        let (qs, _rs) = nonzero_structure(&d);
+        // Upper triangular input with orthogonal columns-to-be: Q stays
+        // upper triangular in structure.
+        assert!(qs[(0, 0)]);
+        assert!(!qs[(1, 0)]);
+        assert!(verify_qr(&m, &d));
+    }
+}

@@ -1,0 +1,307 @@
+//! Algebraic structure traits.
+//!
+//! A *ring object* carries ambient context (e.g. the prime `p` of GF(p))
+//! while elements are plain data. All elimination and decomposition
+//! algorithms in this crate are generic over these traits, so the same
+//! code path decides rank over ℚ for the lemma checkers and over GF(p)
+//! for the randomized protocol.
+
+use std::fmt::Debug;
+
+use ccmx_bigint::modular::{add_mod_u64, inv_mod_u64, mul_mod_u64, sub_mod_u64};
+use ccmx_bigint::{Integer, Rational};
+
+/// A commutative ring with identity.
+pub trait Ring: Sync {
+    /// Element type. Plain data; any context lives in the ring object.
+    type Elem: Clone + PartialEq + Debug + Send + Sync;
+
+    /// Additive identity.
+    fn zero(&self) -> Self::Elem;
+    /// Multiplicative identity.
+    fn one(&self) -> Self::Elem;
+    /// `a + b`.
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a - b`.
+    fn sub(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a * b`.
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `-a`.
+    fn neg(&self, a: &Self::Elem) -> Self::Elem;
+    /// Is `a` the additive identity?
+    fn is_zero(&self, a: &Self::Elem) -> bool {
+        *a == self.zero()
+    }
+    /// Embed a small integer.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_i64(&self, v: i64) -> Self::Elem;
+    /// `a + b*c`, the fused kernel of elimination inner loops.
+    fn add_mul(&self, a: &Self::Elem, b: &Self::Elem, c: &Self::Elem) -> Self::Elem {
+        self.add(a, &self.mul(b, c))
+    }
+}
+
+/// An integral domain supporting exact division (used by Bareiss).
+pub trait ExactDivisionRing: Ring {
+    /// `a / b`, panicking if `b` does not divide `a` exactly.
+    fn exact_div(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// A field.
+pub trait Field: Ring {
+    /// Multiplicative inverse; `None` for zero.
+    fn inv(&self, a: &Self::Elem) -> Option<Self::Elem>;
+    /// `a / b`; panics if `b` is zero.
+    fn div(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.mul(a, &self.inv(b).expect("division by zero field element"))
+    }
+}
+
+// ----------------------------------------------------------------------
+// ℤ
+// ----------------------------------------------------------------------
+
+/// The ring of integers ℤ, with [`Integer`] elements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegerRing;
+
+impl Ring for IntegerRing {
+    type Elem = Integer;
+
+    fn zero(&self) -> Integer {
+        Integer::zero()
+    }
+    fn one(&self) -> Integer {
+        Integer::one()
+    }
+    fn add(&self, a: &Integer, b: &Integer) -> Integer {
+        a + b
+    }
+    fn sub(&self, a: &Integer, b: &Integer) -> Integer {
+        a - b
+    }
+    fn mul(&self, a: &Integer, b: &Integer) -> Integer {
+        a * b
+    }
+    fn neg(&self, a: &Integer) -> Integer {
+        -a
+    }
+    fn is_zero(&self, a: &Integer) -> bool {
+        a.is_zero()
+    }
+    fn from_i64(&self, v: i64) -> Integer {
+        Integer::from(v)
+    }
+}
+
+impl ExactDivisionRing for IntegerRing {
+    fn exact_div(&self, a: &Integer, b: &Integer) -> Integer {
+        let (q, r) = a.div_rem(b);
+        assert!(r.is_zero(), "exact_div: {b:?} does not divide {a:?}");
+        q
+    }
+}
+
+// ----------------------------------------------------------------------
+// ℚ
+// ----------------------------------------------------------------------
+
+/// The field of rationals ℚ, with [`Rational`] elements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RationalField;
+
+impl Ring for RationalField {
+    type Elem = Rational;
+
+    fn zero(&self) -> Rational {
+        Rational::zero()
+    }
+    fn one(&self) -> Rational {
+        Rational::one()
+    }
+    fn add(&self, a: &Rational, b: &Rational) -> Rational {
+        a + b
+    }
+    fn sub(&self, a: &Rational, b: &Rational) -> Rational {
+        a - b
+    }
+    fn mul(&self, a: &Rational, b: &Rational) -> Rational {
+        a * b
+    }
+    fn neg(&self, a: &Rational) -> Rational {
+        -a
+    }
+    fn is_zero(&self, a: &Rational) -> bool {
+        a.is_zero()
+    }
+    fn from_i64(&self, v: i64) -> Rational {
+        Rational::from(Integer::from(v))
+    }
+}
+
+impl Field for RationalField {
+    fn inv(&self, a: &Rational) -> Option<Rational> {
+        (!a.is_zero()).then(|| a.recip())
+    }
+}
+
+// ----------------------------------------------------------------------
+// GF(p)
+// ----------------------------------------------------------------------
+
+/// The prime field GF(p) for a `u64` prime `p`, with `u64` elements in
+/// `[0, p)`. The hot path of the modular rank engine and of the randomized
+/// singularity protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrimeField {
+    p: u64,
+}
+
+impl PrimeField {
+    /// Construct GF(p). Panics if `p < 2`. (Primality is the caller's
+    /// responsibility; a composite modulus silently yields ℤ/m which is
+    /// *not* a field — `inv` may then return `None` for nonzero elements.)
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 2, "PrimeField modulus must be >= 2");
+        PrimeField { p }
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Reduce an arbitrary [`Integer`] into the field.
+    pub fn reduce(&self, a: &Integer) -> u64 {
+        ccmx_bigint::modular::reduce_integer_u64(a, self.p)
+    }
+}
+
+impl Ring for PrimeField {
+    type Elem = u64;
+
+    #[inline]
+    fn zero(&self) -> u64 {
+        0
+    }
+    #[inline]
+    fn one(&self) -> u64 {
+        1 % self.p
+    }
+    #[inline]
+    fn add(&self, a: &u64, b: &u64) -> u64 {
+        add_mod_u64(*a, *b, self.p)
+    }
+    #[inline]
+    fn sub(&self, a: &u64, b: &u64) -> u64 {
+        sub_mod_u64(*a, *b, self.p)
+    }
+    #[inline]
+    fn mul(&self, a: &u64, b: &u64) -> u64 {
+        mul_mod_u64(*a, *b, self.p)
+    }
+    #[inline]
+    fn neg(&self, a: &u64) -> u64 {
+        if *a == 0 {
+            0
+        } else {
+            self.p - *a
+        }
+    }
+    #[inline]
+    fn is_zero(&self, a: &u64) -> bool {
+        *a == 0
+    }
+    fn from_i64(&self, v: i64) -> u64 {
+        if v >= 0 {
+            v as u64 % self.p
+        } else {
+            let r = v.unsigned_abs() % self.p;
+            if r == 0 {
+                0
+            } else {
+                self.p - r
+            }
+        }
+    }
+}
+
+impl Field for PrimeField {
+    #[inline]
+    fn inv(&self, a: &u64) -> Option<u64> {
+        if *a == 0 {
+            None
+        } else {
+            inv_mod_u64(*a, self.p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ring_ops() {
+        let zz = IntegerRing;
+        let a = zz.from_i64(6);
+        let b = zz.from_i64(-4);
+        assert_eq!(zz.add(&a, &b), zz.from_i64(2));
+        assert_eq!(zz.mul(&a, &b), zz.from_i64(-24));
+        assert_eq!(zz.exact_div(&zz.from_i64(-24), &a), b);
+        assert!(zz.is_zero(&zz.sub(&a, &a)));
+        assert_eq!(zz.add_mul(&a, &b, &b), zz.from_i64(22));
+    }
+
+    #[test]
+    #[should_panic(expected = "exact_div")]
+    fn integer_exact_div_rejects_inexact() {
+        let zz = IntegerRing;
+        let _ = zz.exact_div(&zz.from_i64(7), &zz.from_i64(2));
+    }
+
+    #[test]
+    fn rational_field_ops() {
+        let qq = RationalField;
+        let half = qq.div(&qq.one(), &qq.from_i64(2));
+        assert_eq!(qq.add(&half, &half), qq.one());
+        assert_eq!(qq.inv(&qq.zero()), None);
+        assert_eq!(qq.inv(&qq.from_i64(4)).unwrap(), Rational::new(Integer::one(), Integer::from(4i64)));
+    }
+
+    #[test]
+    fn prime_field_table_small() {
+        let f5 = PrimeField::new(5);
+        for a in 0..5u64 {
+            for b in 0..5u64 {
+                assert_eq!(f5.add(&a, &b), (a + b) % 5);
+                assert_eq!(f5.sub(&a, &b), (a + 5 - b) % 5);
+                assert_eq!(f5.mul(&a, &b), (a * b) % 5);
+            }
+            assert_eq!(f5.add(&a, &f5.neg(&a)), 0);
+        }
+        for a in 1..5u64 {
+            assert_eq!(f5.mul(&a, &f5.inv(&a).unwrap()), 1);
+        }
+        assert_eq!(f5.inv(&0), None);
+    }
+
+    #[test]
+    fn prime_field_reduce_signed() {
+        let f7 = PrimeField::new(7);
+        assert_eq!(f7.reduce(&Integer::from(-1i64)), 6);
+        assert_eq!(f7.reduce(&Integer::from(14i64)), 0);
+        assert_eq!(f7.from_i64(-1), 6);
+        assert_eq!(f7.from_i64(-8), 6);
+        assert_eq!(f7.from_i64(7), 0);
+    }
+
+    #[test]
+    fn gf2_is_supported() {
+        let f2 = PrimeField::new(2);
+        assert_eq!(f2.one(), 1);
+        assert_eq!(f2.add(&1, &1), 0);
+        assert_eq!(f2.inv(&1), Some(1));
+    }
+}

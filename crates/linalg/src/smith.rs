@@ -1,0 +1,417 @@
+//! Smith normal form over ℤ.
+//!
+//! Every integer matrix `A` factors as `U·A·V = D` with `U`, `V`
+//! unimodular (determinant ±1) and `D` diagonal with
+//! `d₁ | d₂ | … | d_r` (the invariant factors). This extends the
+//! workspace beyond the paper's rational questions: it decides
+//! solvability of `A·x = b` **over ℤ** (the natural integral sharpening
+//! of Corollary 1.3), exposes the determinant as `±∏ dᵢ`, and gives the
+//! rank yet another independent oracle.
+//!
+//! The implementation is the classical reduction: drive the smallest
+//! nonzero entry to the pivot, kill its row and column by Euclidean
+//! steps, restore the divisibility chain, recurse — with `U` and `V`
+//! accumulated so the factorization is *verified*, not just claimed.
+
+use ccmx_bigint::Integer;
+
+use crate::matrix::Matrix;
+use crate::ring::IntegerRing;
+
+/// A verified Smith normal form `U·A·V = D`.
+#[derive(Clone, Debug)]
+pub struct SmithNormalForm {
+    /// Left unimodular transform (`rows × rows`).
+    pub u: Matrix<Integer>,
+    /// Right unimodular transform (`cols × cols`).
+    pub v: Matrix<Integer>,
+    /// The diagonal matrix (same shape as the input).
+    pub d: Matrix<Integer>,
+}
+
+impl SmithNormalForm {
+    /// The nonzero invariant factors `d₁ | d₂ | …`, all positive.
+    pub fn invariant_factors(&self) -> Vec<Integer> {
+        let r = self.d.rows().min(self.d.cols());
+        (0..r).map(|i| self.d[(i, i)].clone()).filter(|x| !x.is_zero()).collect()
+    }
+
+    /// Rank = number of nonzero invariant factors.
+    pub fn rank(&self) -> usize {
+        self.invariant_factors().len()
+    }
+}
+
+fn find_min_nonzero(a: &Matrix<Integer>, from: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    for i in from..a.rows() {
+        for j in from..a.cols() {
+            if a[(i, j)].is_zero() {
+                continue;
+            }
+            match best {
+                None => best = Some((i, j)),
+                Some((bi, bj)) => {
+                    if a[(i, j)].magnitude() < a[(bi, bj)].magnitude() {
+                        best = Some((i, j));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// `row_i -= q * row_j` on `m` (used for both the working matrix and U).
+fn row_sub(m: &mut Matrix<Integer>, i: usize, j: usize, q: &Integer) {
+    if q.is_zero() {
+        return;
+    }
+    for c in 0..m.cols() {
+        let delta = q * &m[(j, c)];
+        m[(i, c)] -= &delta;
+    }
+}
+
+/// `col_i -= q * col_j` on `m` (working matrix and V).
+fn col_sub(m: &mut Matrix<Integer>, i: usize, j: usize, q: &Integer) {
+    if q.is_zero() {
+        return;
+    }
+    for r in 0..m.rows() {
+        let delta = q * &m[(r, j)];
+        m[(r, i)] -= &delta;
+    }
+}
+
+/// Compute the Smith normal form of `a`.
+///
+/// ```
+/// use ccmx_linalg::{smith, matrix::int_matrix};
+/// let a = int_matrix(&[&[4, 0], &[0, 6]]);
+/// let s = smith::smith_normal_form(&a);
+/// assert!(smith::verify_smith(&a, &s));
+/// let f: Vec<i64> = s.invariant_factors().iter().map(|x| x.to_i64().unwrap()).collect();
+/// assert_eq!(f, vec![2, 12]); // gcd then lcm
+/// ```
+pub fn smith_normal_form(a: &Matrix<Integer>) -> SmithNormalForm {
+    let zz = IntegerRing;
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut d = a.clone();
+    let mut u = Matrix::identity(&zz, rows);
+    let mut v = Matrix::identity(&zz, cols);
+    let steps = rows.min(cols);
+
+    for t in 0..steps {
+        // Phase 1: clear row t and column t below/right of the pivot.
+        loop {
+            let Some((pi, pj)) = find_min_nonzero(&d, t) else {
+                // Everything from (t, t) on is zero: done.
+                return finish(d, u, v);
+            };
+            // Move the pivot to (t, t).
+            if pi != t {
+                d.swap_rows(pi, t);
+                u.swap_rows(pi, t);
+            }
+            if pj != t {
+                d.swap_cols(pj, t);
+                v.swap_cols(pj, t);
+            }
+            // Reduce column t by the pivot.
+            let mut clean = true;
+            for i in t + 1..rows {
+                if d[(i, t)].is_zero() {
+                    continue;
+                }
+                let q = &d[(i, t)] / &d[(t, t)];
+                row_sub(&mut d, i, t, &q);
+                u_row_op(&mut u, i, t, &q);
+                if !d[(i, t)].is_zero() {
+                    clean = false; // remainder left; loop again with a smaller pivot
+                }
+            }
+            // Reduce row t by the pivot.
+            for j in t + 1..cols {
+                if d[(t, j)].is_zero() {
+                    continue;
+                }
+                let q = &d[(t, j)] / &d[(t, t)];
+                col_sub(&mut d, j, t, &q);
+                v_col_op(&mut v, j, t, &q);
+                if !d[(t, j)].is_zero() {
+                    clean = false;
+                }
+            }
+            if clean {
+                break;
+            }
+        }
+        // Phase 2: enforce divisibility d[t][t] | every later entry. If
+        // some d[i][j] is not divisible, add row i to row t and redo.
+        let pivot = d[(t, t)].clone();
+        let mut violator = None;
+        'scan: for i in t + 1..rows {
+            for j in t + 1..cols {
+                if !d[(i, j)].div_rem(&pivot).1.is_zero() {
+                    violator = Some(i);
+                    break 'scan;
+                }
+            }
+        }
+        if let Some(i) = violator {
+            // row t += row i, then redo this step.
+            let minus_one = -Integer::one();
+            row_sub(&mut d, t, i, &minus_one);
+            u_row_op(&mut u, t, i, &minus_one);
+            // Redo the same t (decrement and continue).
+            return smith_continue(d, u, v, t);
+        }
+    }
+    finish(d, u, v)
+}
+
+// Helper wrappers so the U/V updates mirror the D updates exactly.
+fn u_row_op(u: &mut Matrix<Integer>, i: usize, j: usize, q: &Integer) {
+    row_sub(u, i, j, q);
+}
+fn v_col_op(v: &mut Matrix<Integer>, i: usize, j: usize, q: &Integer) {
+    col_sub(v, i, j, q);
+}
+
+/// Restart the elimination from step `t` with accumulated transforms.
+/// (Divisibility fix-ups strictly shrink the pivot's magnitude, so this
+/// recursion terminates.)
+fn smith_continue(d: Matrix<Integer>, u: Matrix<Integer>, v: Matrix<Integer>, _t: usize) -> SmithNormalForm {
+    // Re-run the main loop on the current state. Since the state already
+    // carries the transforms, we wrap it through a private entry point:
+    // simplest correct approach — run the full algorithm on `d` and
+    // compose transforms.
+    let zz = IntegerRing;
+    let inner = smith_normal_form(&d);
+    SmithNormalForm { u: inner.u.mul(&zz, &u), v: v.mul(&zz, &inner.v), d: inner.d }
+}
+
+fn finish(mut d: Matrix<Integer>, mut u: Matrix<Integer>, v: Matrix<Integer>) -> SmithNormalForm {
+    // Normalize signs: make all diagonal entries non-negative.
+    let steps = d.rows().min(d.cols());
+    for t in 0..steps {
+        if d[(t, t)].is_negative() {
+            for c in 0..d.cols() {
+                d[(t, c)] = -&d[(t, c)];
+            }
+            for c in 0..u.cols() {
+                u[(t, c)] = -&u[(t, c)];
+            }
+        }
+    }
+    SmithNormalForm { u, v, d }
+}
+
+/// Verify `U·A·V = D`, `D` diagonal with the divisibility chain, and
+/// `U`, `V` unimodular.
+pub fn verify_smith(a: &Matrix<Integer>, s: &SmithNormalForm) -> bool {
+    let zz = IntegerRing;
+    if s.u.mul(&zz, a).mul(&zz, &s.v) != s.d {
+        return false;
+    }
+    // Diagonality.
+    for i in 0..s.d.rows() {
+        for j in 0..s.d.cols() {
+            if i != j && !s.d[(i, j)].is_zero() {
+                return false;
+            }
+        }
+    }
+    // Divisibility chain and non-negativity.
+    let factors: Vec<&Integer> =
+        (0..s.d.rows().min(s.d.cols())).map(|i| &s.d[(i, i)]).collect();
+    for w in factors.windows(2) {
+        if w[0].is_zero() && !w[1].is_zero() {
+            return false; // zeros must come last
+        }
+        if !w[0].is_zero() && !w[1].is_zero() && !w[1].divisible_by(w[0]) {
+            return false;
+        }
+    }
+    if factors.iter().any(|f| f.is_negative()) {
+        return false;
+    }
+    // Unimodularity.
+    let det_u = crate::bareiss::det(&s.u);
+    let det_v = crate::bareiss::det(&s.v);
+    det_u.magnitude().is_one() && det_v.magnitude().is_one()
+}
+
+/// Does `a·x = b` have an **integer** solution? (Via SNF: substitute
+/// `x = V·y`; then `D·y = U·b` needs `dᵢ | (U·b)ᵢ` and zero rows of `D`
+/// to meet zero entries of `U·b`.)
+pub fn is_solvable_over_z(a: &Matrix<Integer>, b: &[Integer]) -> bool {
+    assert_eq!(a.rows(), b.len());
+    let zz = IntegerRing;
+    let s = smith_normal_form(a);
+    let ub = s.u.mul_vec(&zz, b);
+    let r = a.rows().min(a.cols());
+    for (i, ubi) in ub.iter().enumerate() {
+        if i < r && !s.d[(i, i)].is_zero() {
+            if !ubi.divisible_by(&s.d[(i, i)]) {
+                return false;
+            }
+        } else if !ubi.is_zero() {
+            return false;
+        }
+    }
+    true
+}
+
+/// An integer solution of `a·x = b`, if one exists.
+pub fn solve_over_z(a: &Matrix<Integer>, b: &[Integer]) -> Option<Vec<Integer>> {
+    assert_eq!(a.rows(), b.len());
+    let zz = IntegerRing;
+    let s = smith_normal_form(a);
+    let ub = s.u.mul_vec(&zz, b);
+    let r = a.rows().min(a.cols());
+    let mut y = vec![Integer::zero(); a.cols()];
+    for (i, ubi) in ub.iter().enumerate() {
+        if i < r && !s.d[(i, i)].is_zero() {
+            let (q, rem) = ubi.div_rem(&s.d[(i, i)]);
+            if !rem.is_zero() {
+                return None;
+            }
+            y[i] = q;
+        } else if !ubi.is_zero() {
+            return None;
+        }
+    }
+    Some(s.v.mul_vec(&zz, &y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bareiss;
+    use crate::matrix::int_matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn textbook_example() {
+        // [[2,4,4],[-6,6,12],[10,4,16]]: det = 624; d₁ = gcd(entries) = 2,
+        // d₁d₂ = gcd(2×2 minors) = 4, d₁d₂d₃ = |det| = 624 →
+        // invariant factors 2 | 2 | 156.
+        let a = int_matrix(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
+        let s = smith_normal_form(&a);
+        assert!(verify_smith(&a, &s), "U·A·V != D or invariants broken");
+        let f: Vec<i64> = s.invariant_factors().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(f, vec![2, 2, 156]);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let zz = IntegerRing;
+        let i3: Matrix<Integer> = Matrix::identity(&zz, 3);
+        let s = smith_normal_form(&i3);
+        assert!(verify_smith(&i3, &s));
+        assert_eq!(s.rank(), 3);
+        assert!(s.invariant_factors().iter().all(|f| f.is_one()));
+
+        let z = Matrix::zero(&zz, 2, 3);
+        let s = smith_normal_form(&z);
+        assert!(verify_smith(&z, &s));
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn randomized_verification() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..30 {
+            let rows = rng.gen_range(1..=4);
+            let cols = rng.gen_range(1..=4);
+            let a = Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-9i64..=9)));
+            let s = smith_normal_form(&a);
+            assert!(verify_smith(&a, &s), "failed on {a:?}");
+            assert_eq!(s.rank(), bareiss::rank(&a), "rank disagreement on {a:?}");
+        }
+    }
+
+    #[test]
+    fn determinant_is_product_of_factors() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..=4);
+            let a = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-5i64..=5)));
+            let s = smith_normal_form(&a);
+            assert!(verify_smith(&a, &s));
+            let mut prod = Integer::one();
+            for i in 0..n {
+                prod *= &s.d[(i, i)];
+            }
+            assert_eq!(prod.magnitude(), bareiss::det(&a).magnitude(), "|det| mismatch on {a:?}");
+        }
+    }
+
+    #[test]
+    fn integer_solvability_stricter_than_rational() {
+        // 2x = 1: rationally solvable, not integrally.
+        let a = int_matrix(&[&[2]]);
+        let b = [Integer::one()];
+        assert!(crate::solve::is_solvable(&a, &b));
+        assert!(!is_solvable_over_z(&a, &b));
+        // 2x = 4: both.
+        let b2 = [Integer::from(4i64)];
+        assert!(is_solvable_over_z(&a, &b2));
+        assert_eq!(solve_over_z(&a, &b2).unwrap(), vec![Integer::from(2i64)]);
+    }
+
+    #[test]
+    fn integer_solutions_verify() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let zz = IntegerRing;
+        let mut solvable_seen = 0;
+        for _ in 0..40 {
+            let rows = rng.gen_range(1..=4);
+            let cols = rng.gen_range(1..=4);
+            let a = Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-4i64..=4)));
+            // Build a guaranteed-solvable b = A·x₀.
+            let x0: Vec<Integer> =
+                (0..cols).map(|_| Integer::from(rng.gen_range(-3i64..=3))).collect();
+            let b = a.mul_vec(&zz, &x0);
+            assert!(is_solvable_over_z(&a, &b), "constructed system must be solvable");
+            let x = solve_over_z(&a, &b).expect("solution exists");
+            assert_eq!(a.mul_vec(&zz, &x), b, "solution does not satisfy the system");
+            solvable_seen += 1;
+        }
+        assert_eq!(solvable_seen, 40);
+    }
+
+    #[test]
+    fn unsolvable_integer_systems_detected() {
+        // [[2, 0], [0, 3]] x = (1, 1): needs x1 = 1/2.
+        let a = int_matrix(&[&[2, 0], &[0, 3]]);
+        assert!(!is_solvable_over_z(&a, &[Integer::one(), Integer::one()]));
+        assert!(is_solvable_over_z(&a, &[Integer::from(2i64), Integer::from(3i64)]));
+        // Inconsistent even over Q.
+        let dup = int_matrix(&[&[1, 1], &[1, 1]]);
+        assert!(!is_solvable_over_z(&dup, &[Integer::zero(), Integer::one()]));
+        assert!(solve_over_z(&dup, &[Integer::zero(), Integer::one()]).is_none());
+    }
+
+    #[test]
+    fn divisibility_chain_on_structured_matrix() {
+        // diag(4, 6) has SNF diag(2, 12): gcd then lcm.
+        let a = int_matrix(&[&[4, 0], &[0, 6]]);
+        let s = smith_normal_form(&a);
+        assert!(verify_smith(&a, &s));
+        let f: Vec<i64> = s.invariant_factors().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(f, vec![2, 12]);
+    }
+
+    #[test]
+    fn large_entries_exercise_bigint() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let big = 1i64 << 35;
+        let a = Matrix::from_fn(3, 3, |_, _| Integer::from(rng.gen_range(-big..=big)));
+        let s = smith_normal_form(&a);
+        assert!(verify_smith(&a, &s));
+    }
+}

@@ -1,0 +1,154 @@
+//! Exact solvability of integer linear systems (Corollary 1.3).
+//!
+//! The paper's Corollary 1.3 concerns the *decision problem* "does
+//! `A·x = b` have a (rational) solution?". We expose this decision
+//! exactly over ℚ, plus the witness solution, and the rank-based
+//! Rouché–Capelli characterization used to cross-check it.
+
+use ccmx_bigint::{Integer, Rational};
+
+use crate::bareiss;
+use crate::gauss;
+use crate::matrix::Matrix;
+use crate::ring::RationalField;
+
+/// Lift an integer matrix into ℚ.
+pub fn to_rational(m: &Matrix<Integer>) -> Matrix<Rational> {
+    m.map(|e| Rational::from(e.clone()))
+}
+
+/// Does `a·x = b` have a rational solution?
+pub fn is_solvable(a: &Matrix<Integer>, b: &[Integer]) -> bool {
+    let f = RationalField;
+    let aq = to_rational(a);
+    let bq: Vec<Rational> = b.iter().map(|e| Rational::from(e.clone())).collect();
+    gauss::solve(&f, &aq, &bq).is_some()
+}
+
+/// One exact rational solution of `a·x = b`, if any.
+pub fn solve(a: &Matrix<Integer>, b: &[Integer]) -> Option<Vec<Rational>> {
+    let f = RationalField;
+    let aq = to_rational(a);
+    let bq: Vec<Rational> = b.iter().map(|e| Rational::from(e.clone())).collect();
+    gauss::solve(&f, &aq, &bq)
+}
+
+/// Rouché–Capelli check: solvable iff `rank(A) = rank([A | b])`.
+/// Used as an independent oracle against [`is_solvable`].
+pub fn is_solvable_by_rank(a: &Matrix<Integer>, b: &[Integer]) -> bool {
+    assert_eq!(a.rows(), b.len());
+    let aug = Matrix::from_fn(a.rows(), a.cols() + 1, |i, j| {
+        if j < a.cols() {
+            a[(i, j)].clone()
+        } else {
+            b[i].clone()
+        }
+    });
+    bareiss::rank(a) == bareiss::rank(&aug)
+}
+
+/// Cramer-style exact solve for square nonsingular systems, entirely in
+/// integer arithmetic: `x_i = det(A_i) / det(A)` where `A_i` replaces
+/// column `i` with `b`. Exponentially cleaner to audit than elimination —
+/// used as a second oracle in tests and benches.
+pub fn solve_cramer(a: &Matrix<Integer>, b: &[Integer]) -> Option<Vec<Rational>> {
+    assert!(a.is_square());
+    assert_eq!(a.rows(), b.len());
+    let d = bareiss::det(a);
+    if d.is_zero() {
+        return None;
+    }
+    let n = a.rows();
+    let mut xs = Vec::with_capacity(n);
+    for i in 0..n {
+        let ai = Matrix::from_fn(n, n, |r, c| if c == i { b[r].clone() } else { a[(r, c)].clone() });
+        xs.push(Rational::new(bareiss::det(&ai), d.clone()));
+    }
+    Some(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::int_matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn iv(vals: &[i64]) -> Vec<Integer> {
+        vals.iter().map(|&v| Integer::from(v)).collect()
+    }
+
+    #[test]
+    fn solvable_full_rank() {
+        let a = int_matrix(&[&[2, 1], &[1, -1]]);
+        let b = iv(&[5, 1]);
+        assert!(is_solvable(&a, &b));
+        let x = solve(&a, &b).unwrap();
+        // 2x + y = 5, x - y = 1 → x = 2, y = 1.
+        assert_eq!(x[0], Rational::from(Integer::from(2i64)));
+        assert_eq!(x[1], Rational::from(Integer::from(1i64)));
+    }
+
+    #[test]
+    fn unsolvable_inconsistent() {
+        let a = int_matrix(&[&[1, 1], &[2, 2]]);
+        assert!(!is_solvable(&a, &iv(&[1, 3])));
+        assert!(is_solvable(&a, &iv(&[1, 2])));
+    }
+
+    #[test]
+    fn rank_characterization_agrees_randomized() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let rows = rng.gen_range(1..=5);
+            let cols = rng.gen_range(1..=5);
+            let a = Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
+            let b: Vec<Integer> = (0..rows).map(|_| Integer::from(rng.gen_range(-3i64..=3))).collect();
+            assert_eq!(
+                is_solvable(&a, &b),
+                is_solvable_by_rank(&a, &b),
+                "oracles disagree on A={a:?}, b={b:?}"
+            );
+            if let Some(x) = solve(&a, &b) {
+                let f = RationalField;
+                let ax = to_rational(&a).mul_vec(&f, &x);
+                let bq: Vec<Rational> = b.iter().map(|e| Rational::from(e.clone())).collect();
+                assert_eq!(ax, bq, "claimed solution does not satisfy the system");
+            }
+        }
+    }
+
+    #[test]
+    fn cramer_matches_elimination() {
+        let mut rng = StdRng::seed_from_u64(18);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=4);
+            let a = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-5i64..=5)));
+            let b: Vec<Integer> = (0..n).map(|_| Integer::from(rng.gen_range(-5i64..=5))).collect();
+            let cram = solve_cramer(&a, &b);
+            match cram {
+                None => assert!(bareiss::det(&a).is_zero()),
+                Some(x) => {
+                    let e = solve(&a, &b).expect("nonsingular system must be solvable");
+                    assert_eq!(x, e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rational_solution_for_integer_unsolvable_system() {
+        // 2x = 1 has no integer solution but a rational one; Corollary 1.3
+        // is about rational solvability.
+        let a = int_matrix(&[&[2]]);
+        let x = solve(&a, &iv(&[1])).unwrap();
+        assert_eq!(x[0], Rational::new(Integer::one(), Integer::from(2i64)));
+    }
+
+    #[test]
+    fn zero_matrix_cases() {
+        let a = int_matrix(&[&[0, 0], &[0, 0]]);
+        assert!(is_solvable(&a, &iv(&[0, 0])));
+        assert!(!is_solvable(&a, &iv(&[0, 1])));
+    }
+}

@@ -1,0 +1,246 @@
+//! SVD nonzero structure (Corollary 1.2(d)).
+//!
+//! Exact singular values of an integer matrix live in algebraic extensions
+//! of ℚ, but the paper's bound concerns the **nonzero structure** of the
+//! decomposition — and that structure is determined by the rank: `M` has
+//! exactly `rank(M)` nonzero singular values, `Σ` is `diag(σ_1..σ_r, 0..)`,
+//! and the row/column spaces split accordingly. Everything here is
+//! computable exactly over ℚ:
+//!
+//! * `rank(M) = rank(MᵀM)` (the Gram matrix has the same kernel),
+//! * the characteristic polynomial of `MᵀM` (computed exactly by the
+//!   Faddeev–LeVerrier recurrence) factors as `λ^{n-r} · g(λ)` with
+//!   `g(0) ≠ 0`, giving the σ² spectrum's nonzero part as an exact
+//!   polynomial.
+
+use ccmx_bigint::{Integer, Rational};
+
+use crate::gauss;
+use crate::matrix::Matrix;
+use crate::ring::{IntegerRing, RationalField};
+
+/// The exactly-computable part of an SVD: rank, Σ's nonzero structure, and
+/// the monic polynomial whose roots are the nonzero squared singular
+/// values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SvdStructure {
+    /// Number of nonzero singular values (= rank of the input).
+    pub rank: usize,
+    /// Shape of the input (`rows`, `cols`); Σ is `rows × cols` with
+    /// `rank` nonzero diagonal entries.
+    pub shape: (usize, usize),
+    /// Coefficients (low to high, length `rank + 1`) of the monic integer
+    /// polynomial whose roots are exactly the nonzero σ²'s.
+    pub sigma_squared_poly: Vec<Integer>,
+}
+
+impl SvdStructure {
+    /// The boolean mask of Σ.
+    pub fn sigma_mask(&self) -> Matrix<bool> {
+        Matrix::from_fn(self.shape.0, self.shape.1, |i, j| i == j && i < self.rank)
+    }
+
+    /// Product of the nonzero σ² values — equals `det(MᵀM)` restricted to
+    /// the nonzero spectrum; for square nonsingular `M` this is `det(M)²`.
+    pub fn sigma_squared_product(&self) -> Rational {
+        // For monic p(λ) = λ^r + ... + c_0, the product of roots is
+        // (-1)^r c_0.
+        let c0 = Rational::from(self.sigma_squared_poly[0].clone());
+        if self.rank.is_multiple_of(2) {
+            c0
+        } else {
+            -c0
+        }
+    }
+}
+
+/// Characteristic polynomial `det(λI - A)` of a square integer matrix,
+/// coefficients low-to-high, via the Faddeev–LeVerrier recurrence
+/// (exact, division only by integers `1..=n`).
+pub fn char_poly(a: &Matrix<Integer>) -> Vec<Integer> {
+    assert!(a.is_square());
+    let n = a.rows();
+    let zz = IntegerRing;
+    // c[n] = 1; M_0 = 0; iterate M_k = A M_{k-1} + c_{n-k+1} I,
+    // c_{n-k} = -tr(A M_k) / k.
+    let mut coeffs = vec![Integer::zero(); n + 1];
+    coeffs[n] = Integer::one();
+    let mut m = Matrix::zero(&zz, n, n);
+    for k in 1..=n {
+        // M_k = A*M_{k-1} + c_{n-k+1} * I
+        let am = a.mul(&zz, &m);
+        m = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                &am[(i, j)] + &coeffs[n - k + 1]
+            } else {
+                am[(i, j)].clone()
+            }
+        });
+        let prod = a.mul(&zz, &m);
+        let mut tr = Integer::zero();
+        for i in 0..n {
+            tr += &prod[(i, i)];
+        }
+        let (q, r) = tr.div_rem(&Integer::from(k as i64));
+        debug_assert!(r.is_zero(), "Faddeev–LeVerrier division must be exact");
+        coeffs[n - k] = -q;
+    }
+    coeffs
+}
+
+/// The number of **distinct** nonzero singular values of `m`, computed
+/// exactly: Sturm's theorem counts the distinct positive roots of the
+/// σ²-polynomial. No floating point, no eigensolver.
+pub fn distinct_sigma_count(s: &SvdStructure) -> usize {
+    if s.rank == 0 {
+        return 0;
+    }
+    let p = crate::poly::Poly::from_integers(&s.sigma_squared_poly);
+    let bound = p.cauchy_root_bound();
+    crate::poly::count_real_roots_in(&p, &Rational::zero(), &bound)
+}
+
+/// Compute the exact SVD structure of an integer matrix.
+pub fn svd_structure(m: &Matrix<Integer>) -> SvdStructure {
+    let zz = IntegerRing;
+    let gram = m.transpose().mul(&zz, m);
+    let f = RationalField;
+    let rank = gauss::rank(&f, &m.map(|e| Rational::from(e.clone())));
+    let cp = char_poly(&gram); // length cols+1, low-to-high
+    // char poly of Gram = λ^{cols - rank} * g(λ): strip the zero roots.
+    let zero_roots = m.cols() - rank;
+    debug_assert!(cp.iter().take(zero_roots).all(|c| c.is_zero()), "Gram kernel dimension mismatch");
+    // det(λI - G) is monic with roots = eigenvalues of G = σ² values.
+    let sigma_squared_poly: Vec<Integer> = cp[zero_roots..].to_vec();
+    SvdStructure { rank, shape: (m.rows(), m.cols()), sigma_squared_poly }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bareiss;
+    use crate::matrix::int_matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn char_poly_known_cases() {
+        // A = [[2,0],[0,3]]: det(λI − A) = (λ−2)(λ−3) = λ² − 5λ + 6.
+        let a = int_matrix(&[&[2, 0], &[0, 3]]);
+        assert_eq!(
+            char_poly(&a),
+            vec![Integer::from(6i64), Integer::from(-5i64), Integer::from(1i64)]
+        );
+        // Nilpotent: [[0,1],[0,0]] → λ².
+        let nil = int_matrix(&[&[0, 1], &[0, 0]]);
+        assert_eq!(char_poly(&nil), vec![Integer::zero(), Integer::zero(), Integer::one()]);
+    }
+
+    #[test]
+    fn char_poly_constant_term_is_det() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in 1..=5usize {
+            let a = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-4i64..=4)));
+            let cp = char_poly(&a);
+            // det(λI − A) at λ=0 is det(−A) = (−1)^n det(A); constant term c_0.
+            let det = bareiss::det(&a);
+            let expect = if n % 2 == 0 { det } else { -det };
+            assert_eq!(cp[0], expect, "n={n}");
+            assert_eq!(cp[n], Integer::one());
+            // λ^{n-1} coefficient is -trace.
+            let mut tr = Integer::zero();
+            for i in 0..n {
+                tr += &a[(i, i)];
+            }
+            assert_eq!(cp[n - 1], -tr);
+        }
+    }
+
+    #[test]
+    fn structure_of_diagonal_matrix() {
+        let m = int_matrix(&[&[3, 0], &[0, 0]]);
+        let s = svd_structure(&m);
+        assert_eq!(s.rank, 1);
+        assert_eq!(s.shape, (2, 2));
+        // nonzero σ² = 9: polynomial λ − 9.
+        assert_eq!(s.sigma_squared_poly, vec![Integer::from(-9i64), Integer::one()]);
+        assert_eq!(s.sigma_squared_product(), Rational::from(Integer::from(9i64)));
+        let mask = s.sigma_mask();
+        assert!(mask[(0, 0)]);
+        assert!(!mask[(1, 1)]);
+    }
+
+    #[test]
+    fn rank_equals_nonzero_singular_values_randomized() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let rows = rng.gen_range(1..=4);
+            let cols = rng.gen_range(1..=4);
+            let m = Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
+            let s = svd_structure(&m);
+            assert_eq!(s.rank, bareiss::rank(&m));
+            assert_eq!(s.sigma_squared_poly.len(), s.rank + 1);
+            // g(0) != 0: no zero roots remain.
+            if s.rank > 0 {
+                assert!(!s.sigma_squared_poly[0].is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn square_nonsingular_product_is_det_squared() {
+        let m = int_matrix(&[&[1, 2], &[3, 5]]); // det -1
+        let s = svd_structure(&m);
+        assert_eq!(s.rank, 2);
+        assert_eq!(s.sigma_squared_product(), Rational::from(Integer::from(1i64)));
+        let m2 = int_matrix(&[&[2, 0], &[1, 3]]); // det 6
+        let s2 = svd_structure(&m2);
+        assert_eq!(s2.sigma_squared_product(), Rational::from(Integer::from(36i64)));
+    }
+
+    #[test]
+    fn distinct_sigma_counts_exactly() {
+        // Identity: one distinct singular value (1, with multiplicity n).
+        let i3 = int_matrix(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]);
+        let s = svd_structure(&i3);
+        assert_eq!(s.rank, 3);
+        assert_eq!(distinct_sigma_count(&s), 1);
+
+        // diag(1, 2, 3): three distinct singular values.
+        let d = int_matrix(&[&[1, 0, 0], &[0, 2, 0], &[0, 0, 3]]);
+        assert_eq!(distinct_sigma_count(&svd_structure(&d)), 3);
+
+        // diag(2, 2, 5): two distinct.
+        let d2 = int_matrix(&[&[2, 0, 0], &[0, 2, 0], &[0, 0, 5]]);
+        assert_eq!(distinct_sigma_count(&svd_structure(&d2)), 2);
+
+        // Zero matrix: none.
+        let z = int_matrix(&[&[0, 0], &[0, 0]]);
+        assert_eq!(distinct_sigma_count(&svd_structure(&z)), 0);
+    }
+
+    #[test]
+    fn distinct_sigma_bounded_by_rank_randomized() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..15 {
+            let rows = rng.gen_range(1..=4);
+            let cols = rng.gen_range(1..=4);
+            let m = Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
+            let s = svd_structure(&m);
+            let distinct = distinct_sigma_count(&s);
+            assert!(distinct <= s.rank, "more distinct σ than rank on {m:?}");
+            if s.rank > 0 {
+                assert!(distinct >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_fewer_sigmas() {
+        let m = int_matrix(&[&[1, 2, 3], &[2, 4, 6], &[0, 0, 1]]);
+        let s = svd_structure(&m);
+        assert_eq!(s.rank, 2);
+        let mask = s.sigma_mask();
+        assert_eq!((0..3).filter(|&i| mask[(i, i)]).count(), 2);
+    }
+}

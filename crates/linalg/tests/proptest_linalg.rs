@@ -1,0 +1,151 @@
+//! Property-based tests for the exact linear algebra substrate:
+//! cross-oracle agreement (Bareiss vs rational elimination vs CRT),
+//! determinant identities, rank laws, and decomposition roundtrips.
+
+use ccmx_bigint::{Integer, Natural, Rational};
+use ccmx_linalg::bareiss;
+use ccmx_linalg::gauss;
+use ccmx_linalg::lup::{lup, verify_lup};
+use ccmx_linalg::matrix::Matrix;
+use ccmx_linalg::modular::{det_mod, det_via_crt, rank_mod};
+use ccmx_linalg::qr::{qr, verify_qr};
+use ccmx_linalg::ring::{IntegerRing, PrimeField, RationalField};
+use ccmx_linalg::solve;
+use ccmx_linalg::svd::svd_structure;
+use proptest::prelude::*;
+
+const ENTRY: i64 = 20;
+
+fn arb_square(n: usize) -> impl Strategy<Value = Matrix<Integer>> {
+    prop::collection::vec(-ENTRY..=ENTRY, n * n)
+        .prop_map(move |v| Matrix::from_vec(n, n, v.into_iter().map(Integer::from).collect()))
+}
+
+fn arb_rect() -> impl Strategy<Value = Matrix<Integer>> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-ENTRY..=ENTRY, r * c)
+            .prop_map(move |v| Matrix::from_vec(r, c, v.into_iter().map(Integer::from).collect()))
+    })
+}
+
+fn to_q(m: &Matrix<Integer>) -> Matrix<Rational> {
+    m.map(|e| Rational::from(e.clone()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bareiss_det_matches_rational_elimination(m in (1usize..=5).prop_flat_map(arb_square)) {
+        let f = RationalField;
+        prop_assert_eq!(Rational::from(bareiss::det(&m)), gauss::det(&f, &to_q(&m)));
+    }
+
+    #[test]
+    fn bareiss_det_matches_crt(m in (1usize..=4).prop_flat_map(arb_square)) {
+        let d = det_via_crt(&m, &Natural::from(ENTRY as u64), 1);
+        prop_assert_eq!(d, bareiss::det(&m));
+    }
+
+    #[test]
+    fn rank_agreement_and_bounds(m in arb_rect()) {
+        let f = RationalField;
+        let rb = bareiss::rank(&m);
+        let rq = gauss::rank(&f, &to_q(&m));
+        prop_assert_eq!(rb, rq);
+        prop_assert!(rb <= m.rows().min(m.cols()));
+        // Rank mod p never exceeds rank over Q.
+        for p in [2u64, 3, 1_000_000_007] {
+            prop_assert!(rank_mod(&m, p) <= rb);
+        }
+        // Transpose preserves rank.
+        prop_assert_eq!(bareiss::rank(&m.transpose()), rb);
+    }
+
+    #[test]
+    fn det_multiplicative(a in arb_square(3), b in arb_square(3)) {
+        let zz = IntegerRing;
+        prop_assert_eq!(bareiss::det(&a.mul(&zz, &b)), bareiss::det(&a) * bareiss::det(&b));
+    }
+
+    #[test]
+    fn det_row_scaling(m in arb_square(3), c in -5i64..=5) {
+        prop_assume!(c != 0);
+        let mut scaled = m.clone();
+        for j in 0..3 {
+            scaled[(0, j)] = &scaled[(0, j)] * &Integer::from(c);
+        }
+        prop_assert_eq!(bareiss::det(&scaled), bareiss::det(&m) * Integer::from(c));
+    }
+
+    #[test]
+    fn det_mod_is_det_reduced(m in arb_square(4), pidx in 0usize..3) {
+        let p = [97u64, 1_000_000_007, 5][pidx];
+        let exact = bareiss::det(&m);
+        let expect = ccmx_bigint::modular::reduce_integer_u64(&exact, p);
+        prop_assert_eq!(det_mod(&m, p), expect);
+    }
+
+    #[test]
+    fn lup_roundtrip_rational(m in arb_rect()) {
+        let f = RationalField;
+        let mq = to_q(&m);
+        let d = lup(&f, &mq);
+        prop_assert!(verify_lup(&f, &mq, &d));
+    }
+
+    #[test]
+    fn lup_roundtrip_gfp(m in arb_rect()) {
+        let f = PrimeField::new(10007);
+        let mf = m.map(|e| f.reduce(e));
+        let d = lup(&f, &mf);
+        prop_assert!(verify_lup(&f, &mf, &d));
+    }
+
+    #[test]
+    fn qr_roundtrip(m in arb_rect()) {
+        let mq = to_q(&m);
+        let d = qr(&mq);
+        prop_assert!(verify_qr(&mq, &d));
+    }
+
+    #[test]
+    fn svd_structure_rank_law(m in arb_rect()) {
+        let s = svd_structure(&m);
+        prop_assert_eq!(s.rank, bareiss::rank(&m));
+        if s.rank > 0 {
+            prop_assert!(!s.sigma_squared_poly[0].is_zero());
+        }
+        prop_assert_eq!(s.sigma_squared_poly.last().cloned(), Some(Integer::one()));
+    }
+
+    #[test]
+    fn solvability_oracles_agree(m in arb_rect(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b: Vec<Integer> = (0..m.rows()).map(|_| Integer::from(rng.gen_range(-ENTRY..=ENTRY))).collect();
+        prop_assert_eq!(solve::is_solvable(&m, &b), solve::is_solvable_by_rank(&m, &b));
+    }
+
+    #[test]
+    fn singularity_iff_nontrivial_kernel(m in (1usize..=4).prop_flat_map(arb_square)) {
+        let f = RationalField;
+        let mq = to_q(&m);
+        let singular = bareiss::det(&m).is_zero();
+        let ns = gauss::nullspace(&f, &mq);
+        prop_assert_eq!(singular, !ns.is_empty());
+        for v in &ns {
+            let mv = mq.mul_vec(&f, v);
+            prop_assert!(mv.iter().all(|e| e.is_zero()));
+        }
+    }
+
+    #[test]
+    fn echelon_rank_nullity(m in arb_rect()) {
+        let f = RationalField;
+        let mq = to_q(&m);
+        let e = gauss::echelon(&f, &mq);
+        let ns = gauss::nullspace(&f, &mq);
+        prop_assert_eq!(e.rank() + ns.len(), m.cols());
+    }
+}

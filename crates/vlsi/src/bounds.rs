@@ -1,0 +1,148 @@
+//! Area–time lower-bound formulas.
+//!
+//! Everything here is a consequence of a single quantity: the
+//! communication complexity `I` of the function the chip computes. The
+//! paper instantiates `I = Θ(k n²)` (Theorem 1.1); we expose both the
+//! generic formulas and the paper's instantiations, including the
+//! comparison against Chazelle–Monier's determinant bounds.
+
+use ccmx_core::counting::{self};
+use ccmx_core::Params;
+
+/// The family of lower bounds implied by communication complexity `I`
+/// (in bits) for any chip computing the function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VlsiBounds {
+    /// The information content `I` (communication complexity, bits).
+    pub info_bits: f64,
+    /// Thompson: `A·T² ≥ c·I²` (we report `I²`).
+    pub at2: f64,
+    /// Brent–Kung/Vuillemin/Yao: `A ≥ c·I`.
+    pub area: f64,
+    /// `A·T ≥ c·I^{3/2}` (the `a = 1/2` point of `A·T^{2a} = Ω(I^{1+a})`).
+    pub at: f64,
+    /// If `A = Θ(I)` (area-optimal chip), then `T ≥ c·I^{1/2}`.
+    pub time_if_area_optimal: f64,
+}
+
+impl VlsiBounds {
+    /// Bounds from a raw information content in bits.
+    pub fn from_info(info_bits: f64) -> Self {
+        VlsiBounds {
+            info_bits,
+            at2: info_bits * info_bits,
+            area: info_bits,
+            at: info_bits.powf(1.5),
+            time_if_area_optimal: info_bits.sqrt(),
+        }
+    }
+
+    /// `A·T^{2a}` lower bound for any `0 ≤ a ≤ 1`: `I^{1+a}`.
+    pub fn at_pow(&self, a: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&a), "exponent a must be in [0, 1]");
+        self.info_bits.powf(1.0 + a)
+    }
+
+    /// The paper's instantiation for singularity testing (and everything
+    /// Corollary 1.2/1.3 reduces to it): `I = Θ(k n²)`. We use the
+    /// *certified* lower bound from the counting engine, not just the
+    /// asymptotic formula.
+    pub fn for_singularity(params: Params) -> Self {
+        let b = counting::theorem_bound(params);
+        VlsiBounds::from_info(b.lower_bound_bits)
+    }
+
+    /// The *asymptotic* instantiation `I = k n²` (the headline formulas
+    /// `AT² = Ω(k²n⁴)`, `AT = Ω(k^{3/2}n³)`, `T = Ω(k^{1/2}n)`).
+    pub fn for_singularity_asymptotic(n: usize, k: u32) -> Self {
+        VlsiBounds::from_info(k as f64 * (n * n) as f64)
+    }
+}
+
+/// Chazelle & Monier (1985) determinant bounds in their constant-delay
+/// wire model with boundary I/O: `T = Ω(n)` and `AT = Ω(n²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChazelleMonier {
+    /// Their time bound `n`.
+    pub time: f64,
+    /// Their area-time bound `n²`.
+    pub at: f64,
+}
+
+impl ChazelleMonier {
+    /// Instantiate at matrix dimension `n`.
+    pub fn at_n(n: usize) -> Self {
+        ChazelleMonier { time: n as f64, at: (n * n) as f64 }
+    }
+}
+
+/// The improvement factors Section 1 claims over Chazelle–Monier:
+/// `T` sharper by `k^{1/2}`, `AT` sharper by `k^{3/2}·n`.
+pub fn improvement_over_chazelle_monier(n: usize, k: u32) -> (f64, f64) {
+    let ours = VlsiBounds::for_singularity_asymptotic(n, k);
+    let cm = ChazelleMonier::at_n(n);
+    (ours.time_if_area_optimal / cm.time, ours.at / cm.at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_scale_correctly() {
+        let b = VlsiBounds::from_info(100.0);
+        assert_eq!(b.at2, 10_000.0);
+        assert_eq!(b.area, 100.0);
+        assert!((b.at - 1000.0).abs() < 1e-9);
+        assert!((b.time_if_area_optimal - 10.0).abs() < 1e-9);
+        // Endpoints of the interpolation family.
+        assert!((b.at_pow(0.0) - 100.0).abs() < 1e-9);
+        assert!((b.at_pow(1.0) - 10_000.0).abs() < 1e-9);
+        assert!((b.at_pow(0.5) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymptotic_headline_bounds() {
+        // AT² = (k n²)² = k² n⁴; AT = (k n²)^{3/2} = k^{3/2} n³;
+        // T = (k n²)^{1/2} = k^{1/2} n.
+        let n = 10;
+        let k = 4;
+        let b = VlsiBounds::for_singularity_asymptotic(n, k);
+        assert!((b.at2 - (k as f64).powi(2) * (n as f64).powi(4)).abs() < 1e-6);
+        assert!((b.at - (k as f64).powf(1.5) * (n as f64).powi(3)).abs() < 1e-6);
+        assert!((b.time_if_area_optimal - (k as f64).sqrt() * n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_k_doubles_information() {
+        let b1 = VlsiBounds::for_singularity_asymptotic(8, 4);
+        let b2 = VlsiBounds::for_singularity_asymptotic(8, 8);
+        assert!((b2.info_bits / b1.info_bits - 2.0).abs() < 1e-9);
+        assert!((b2.at2 / b1.at2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certified_bounds_below_asymptotic() {
+        // The certified bound carries the proof's constants, so it sits
+        // below the clean asymptotic k n² but has the same shape.
+        let p = Params::new(61, 4);
+        let cert = VlsiBounds::for_singularity(p);
+        let asym = VlsiBounds::for_singularity_asymptotic(p.n, p.k);
+        assert!(cert.info_bits > 0.0);
+        assert!(cert.info_bits <= asym.info_bits);
+    }
+
+    #[test]
+    fn improvement_factors() {
+        let (t_ratio, at_ratio) = improvement_over_chazelle_monier(100, 16);
+        // T improvement = sqrt(k) = 4; AT improvement = k^{3/2} n = 6400.
+        assert!((t_ratio - 4.0).abs() < 1e-9);
+        assert!((at_ratio - 64.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn at_pow_rejects_bad_exponent() {
+        let _ = VlsiBounds::from_info(10.0).at_pow(1.5);
+    }
+}

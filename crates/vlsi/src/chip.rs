@@ -1,0 +1,215 @@
+//! The Thompson grid chip model and its bisection argument.
+//!
+//! A chip is a `w × h` rectangular grid of unit cells; wires run between
+//! adjacent cells with unit bandwidth. Thompson's observation (1979): a
+//! vertical (or horizontal) cut through the shorter dimension separates
+//! the chip into two parts crossed by at most `min(w, h) ≤ √A` wires, so
+//! if the input bits are spread so that each side holds about half, the
+//! two sides form a two-party protocol whose communication is at most
+//! `(cut width) × T`. Hence `T ≥ I / √A` and `A·T² ≥ I²`.
+
+/// A rectangular chip: `width × height` unit cells, each holding a number
+/// of input bits (the I/O port assignment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chip {
+    width: usize,
+    height: usize,
+    /// `bits[y][x]` = number of input bits read at cell `(x, y)`.
+    bits: Vec<Vec<u64>>,
+}
+
+/// A vertical cut between columns `at-1` and `at` (`1 ≤ at < width`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cut {
+    /// Cut position.
+    pub at: usize,
+    /// Wires crossing the cut (= chip height for a vertical cut).
+    pub wires: usize,
+    /// Input bits on the left side.
+    pub left_bits: u64,
+    /// Input bits on the right side.
+    pub right_bits: u64,
+}
+
+impl Chip {
+    /// A chip with the given port assignment. The grid is normalized so
+    /// `width >= height` (rotate if needed) — cuts are then vertical and
+    /// cross `height ≤ √A` wires.
+    pub fn new(bits: Vec<Vec<u64>>) -> Self {
+        assert!(!bits.is_empty() && !bits[0].is_empty(), "empty chip");
+        let h = bits.len();
+        let w = bits[0].len();
+        assert!(bits.iter().all(|row| row.len() == w), "ragged chip rows");
+        if w >= h {
+            Chip { width: w, height: h, bits }
+        } else {
+            // Rotate 90°.
+            let rot: Vec<Vec<u64>> = (0..w).map(|x| (0..h).map(|y| bits[y][x]).collect()).collect();
+            Chip { width: h, height: w, bits: rot }
+        }
+    }
+
+    /// Uniform port assignment: `total_bits` spread as evenly as possible
+    /// over a `w × h` grid.
+    pub fn uniform(w: usize, h: usize, total_bits: u64) -> Self {
+        let cells = (w * h) as u64;
+        let base = total_bits / cells;
+        let extra = (total_bits % cells) as usize;
+        let bits = (0..h)
+            .map(|y| (0..w).map(|x| base + u64::from(y * w + x < extra)).collect())
+            .collect();
+        Chip::new(bits)
+    }
+
+    /// Area in unit cells.
+    pub fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Total input bits.
+    pub fn total_bits(&self) -> u64 {
+        self.bits.iter().flatten().sum()
+    }
+
+    /// Bits in columns `[0, at)`.
+    fn bits_left_of(&self, at: usize) -> u64 {
+        self.bits.iter().map(|row| row[..at].iter().sum::<u64>()).sum()
+    }
+
+    /// Thompson's cut: the vertical cut that best balances the input
+    /// bits. Returns the cut and the imbalance `|left − right|`.
+    pub fn thompson_cut(&self) -> Cut {
+        let total = self.total_bits();
+        let mut best: Option<(u64, Cut)> = None;
+        for at in 1..self.width {
+            let left = self.bits_left_of(at);
+            let right = total - left;
+            let imbalance = left.abs_diff(right);
+            let cut = Cut { at, wires: self.height, left_bits: left, right_bits: right };
+            if best.as_ref().is_none_or(|(imb, _)| imbalance < *imb) {
+                best = Some((imbalance, cut));
+            }
+        }
+        best.expect("width >= 2").1
+    }
+
+    /// The `A·T² ≥ I²` chain made explicit for this chip: given that the
+    /// function needs `info_bits` of communication across any
+    /// near-balanced cut, the minimum time is `info_bits / wires`, and
+    /// the implied `A·T²` is reported for comparison with `I²`.
+    pub fn time_lower_bound(&self, info_bits: f64) -> f64 {
+        let cut = self.thompson_cut();
+        info_bits / cut.wires as f64
+    }
+}
+
+/// The natural chip for the paper's input: one cell per matrix entry
+/// (`dim × dim` grid), `k` bits of I/O per cell.
+pub fn entry_grid_chip(enc: &ccmx_comm::MatrixEncoding) -> Chip {
+    Chip::new(vec![vec![enc.k as u64; enc.dim]; enc.dim])
+}
+
+/// The input partition a vertical chip cut *induces*: bits of entries in
+/// columns `< at` go to agent A, the rest to agent B. This is the
+/// executable form of Thompson's reduction — a chip's bisection turns
+/// the chip into a two-party protocol; for `at = dim/2` the induced
+/// partition is exactly the paper's `π₀`.
+pub fn induced_partition(enc: &ccmx_comm::MatrixEncoding, at: usize) -> ccmx_comm::Partition {
+    use ccmx_comm::partition::Owner;
+    assert!(at >= 1 && at < enc.dim, "cut must be interior");
+    let mut owners = vec![Owner::B; enc.total_bits()];
+    for col in 0..at {
+        for pos in enc.column_positions(col) {
+            owners[pos] = Owner::A;
+        }
+    }
+    ccmx_comm::Partition::new(owners)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_grid_and_induced_partition() {
+        let enc = ccmx_comm::MatrixEncoding::new(4, 3);
+        let chip = entry_grid_chip(&enc);
+        assert_eq!(chip.area(), 16);
+        assert_eq!(chip.total_bits(), 48);
+        // The balanced Thompson cut of the uniform entry grid is the
+        // center column cut, and the induced partition is exactly π₀.
+        let cut = chip.thompson_cut();
+        assert_eq!(cut.at, 2);
+        let induced = induced_partition(&enc, cut.at);
+        assert_eq!(induced, ccmx_comm::Partition::pi_zero(&enc));
+        assert!(induced.is_even());
+        // Off-center cuts induce uneven (but valid) partitions.
+        let skew = induced_partition(&enc, 1);
+        assert!(!skew.is_even());
+        assert_eq!(skew.count_a(), 12);
+    }
+
+    #[test]
+    fn uniform_chip_accounting() {
+        let c = Chip::uniform(8, 4, 100);
+        assert_eq!(c.area(), 32);
+        assert_eq!(c.total_bits(), 100);
+    }
+
+    #[test]
+    fn rotation_normalizes_orientation() {
+        let tall = Chip::new(vec![vec![1], vec![2], vec![3]]); // 1 wide, 3 tall
+        assert_eq!(tall.area(), 3);
+        let cut = tall.thompson_cut();
+        // After rotation the chip is 3 wide, 1 tall: cuts cross 1 wire.
+        assert_eq!(cut.wires, 1);
+        assert_eq!(tall.total_bits(), 6);
+    }
+
+    #[test]
+    fn thompson_cut_balances() {
+        let c = Chip::uniform(16, 4, 64 * 10);
+        let cut = c.thompson_cut();
+        assert_eq!(cut.wires, 4);
+        // Perfectly uniform: the best cut is dead center.
+        assert_eq!(cut.at, 8);
+        assert_eq!(cut.left_bits, cut.right_bits);
+    }
+
+    #[test]
+    fn skewed_ports_shift_the_cut() {
+        // All bits in the leftmost column: the best cut is right after it.
+        let mut bits = vec![vec![0u64; 8]; 4];
+        for row in bits.iter_mut() {
+            row[0] = 25;
+        }
+        let c = Chip::new(bits);
+        let cut = c.thompson_cut();
+        assert_eq!(cut.at, 1);
+        assert_eq!(cut.left_bits, 100);
+        assert_eq!(cut.right_bits, 0);
+    }
+
+    #[test]
+    fn at2_chain() {
+        // A square chip of area A: cut width √A; time >= I/√A;
+        // so A·T² >= I² exactly in this model.
+        let side = 16;
+        let info = 1024.0;
+        let c = Chip::uniform(side, side, 4096);
+        let t = c.time_lower_bound(info);
+        let at2 = c.area() as f64 * t * t;
+        assert!((at2 - info * info).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wider_chip_needs_less_time_but_more_area() {
+        let info = 4096.0;
+        let square = Chip::uniform(32, 32, 1 << 12);
+        let flat = Chip::uniform(256, 4, 1 << 12);
+        let t_square = square.time_lower_bound(info);
+        let t_flat = flat.time_lower_bound(info);
+        // The flat chip has a narrower cut → larger time lower bound.
+        assert!(t_flat > t_square);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ccmx-vlsi
+//!
+//! The VLSI side of the paper's Section 1: converting communication
+//! complexity into chip area–time trade-offs, and a small cycle-accurate
+//! systolic-array simulator whose measured bisection traffic *realizes*
+//! the information flow those trade-offs bound.
+//!
+//! The chain of results (Thompson 1979; Brent & Kung 1981; Vuillemin
+//! 1983; Yao 1981), with `I` the communication complexity of the function
+//! being computed:
+//!
+//! * `A·T² = Ω(I²)` — a chip of area `A` can be bisected by a cut crossed
+//!   by only `O(√A)` wires, each carrying `O(1)` bits per unit time,
+//! * `A = Ω(I)`,
+//! * combined: `A·T^{2a} = Ω(I^{1+a})` for `0 ≤ a ≤ 1`.
+//!
+//! With Theorem 1.1's `I = Θ(k n²)` for singularity testing (hence for
+//! determinant, rank, the decompositions, and solvability), the paper
+//! reports `AT² = Ω(k²n⁴)`, `AT = Ω(k^{3/2}n³)` and `T = Ω(k^{1/2}n)` —
+//! strictly sharper than the Chazelle–Monier (1985) determinant bounds
+//! `T = Ω(n)`, `AT = Ω(n²)` obtained in their wire-delay model.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bounds;
+pub mod chip;
+pub mod systolic;
+
+pub use bounds::VlsiBounds;
+pub use chip::Chip;
+pub use systolic::{SystolicMatMul, SystolicMatVec};

@@ -1,0 +1,100 @@
+//! Property tests for the VLSI layer: bound algebra, chip cuts, and the
+//! systolic simulators against exact references.
+
+use ccmx_linalg::ring::PrimeField;
+use ccmx_linalg::Matrix;
+use ccmx_vlsi::bounds::VlsiBounds;
+use ccmx_vlsi::{Chip, SystolicMatMul, SystolicMatVec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bound_algebra(info in 1.0f64..1e9) {
+        let b = VlsiBounds::from_info(info);
+        prop_assert!((b.at2 - info * info).abs() / b.at2 < 1e-12);
+        prop_assert!((b.at - info.powf(1.5)).abs() / b.at < 1e-12);
+        // Interpolation endpoints and midpoint monotonicity.
+        prop_assert!(b.at_pow(0.0) <= b.at_pow(0.5));
+        prop_assert!(b.at_pow(0.5) <= b.at_pow(1.0));
+    }
+
+    #[test]
+    fn thompson_cut_is_balanced_optimum(w in 2usize..24, h in 1usize..8, total in 1u64..5_000) {
+        let chip = Chip::uniform(w, h, total);
+        prop_assert_eq!(chip.total_bits(), total);
+        let cut = chip.thompson_cut();
+        prop_assert_eq!(cut.left_bits + cut.right_bits, total);
+        // For a uniform chip the best cut's imbalance is at most one
+        // column's worth of bits (the load is near-linear in the cut
+        // position, so the optimum straddles the halfway point).
+        let width = chip.area() / cut.wires; // width after normalization
+        let per_column = total.div_ceil(width as u64);
+        let best = cut.left_bits.abs_diff(cut.right_bits);
+        prop_assert!(
+            best <= per_column,
+            "imbalance {best} exceeds one column's load {per_column}"
+        );
+        // And the cut lies near the middle.
+        prop_assert!(cut.at >= width / 4 && cut.at <= 3 * width.div_ceil(4) + 1, "cut at {} of width {width}", cut.at);
+    }
+
+    #[test]
+    fn systolic_matmul_matches_reference(n in 1usize..8, seed in any::<u64>()) {
+        let p = 1009u64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, n, |_, _| rand::Rng::gen_range(&mut rng, 0..p));
+        let b = Matrix::from_fn(n, n, |_, _| rand::Rng::gen_range(&mut rng, 0..p));
+        let mesh = SystolicMatMul::new(p, 10);
+        let (c, report) = mesh.run(&a, &b);
+        let field = PrimeField::new(p);
+        prop_assert_eq!(c, a.mul(&field, &b));
+        prop_assert_eq!(report.cycles, 3 * n - 2);
+        prop_assert_eq!(report.crossings, SystolicMatMul::expected_crossings(n).min(if n > 1 { usize::MAX } else { 0 }));
+    }
+
+    #[test]
+    fn systolic_matvec_matches_reference(n in 1usize..10, seed in any::<u64>()) {
+        let p = 257u64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, n, |_, _| rand::Rng::gen_range(&mut rng, 0..p));
+        let x: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..p)).collect();
+        let array = SystolicMatVec::new(p, 8);
+        let (y, report) = array.run(&a, &x);
+        let field = PrimeField::new(p);
+        prop_assert_eq!(y, a.mul_vec(&field, &x));
+        prop_assert_eq!(report.crossings, SystolicMatVec::expected_crossings(n));
+    }
+
+    #[test]
+    fn cut_induces_partition_consistent_with_columns(dim in 2usize..7, k in 1u32..5, at_seed in any::<u64>()) {
+        let enc = ccmx_comm::MatrixEncoding::new(dim, k);
+        let at = 1 + (at_seed as usize) % (dim - 1);
+        let part = ccmx_vlsi::chip::induced_partition(&enc, at);
+        // Every bit of a column is on one side, whole columns only.
+        for col in 0..dim {
+            let owners: std::collections::HashSet<_> = enc
+                .column_positions(col)
+                .into_iter()
+                .map(|p| part.owner(p))
+                .collect();
+            prop_assert_eq!(owners.len(), 1, "column {} split by the cut", col);
+        }
+        prop_assert_eq!(part.count_a(), at * dim * k as usize);
+    }
+
+    #[test]
+    fn traffic_report_at2_consistency(n in 2usize..12, k in 1u32..16) {
+        let p = 8191u64;
+        let mesh = SystolicMatMul::new(p, k);
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) as u64) % p);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) as u64) % p);
+        let (_, report) = mesh.run(&a, &b);
+        prop_assert_eq!(report.bits, (n * n) as u64 * k as u64);
+        let at2 = report.at2();
+        let expect = (n * n) as f64 * ((3 * n - 2) as f64).powi(2);
+        prop_assert!((at2 - expect).abs() < 1e-6);
+    }
+}

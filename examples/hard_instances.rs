@@ -1,0 +1,128 @@
+//! The hard-instance factory: Figs. 1 & 3 and Lemmas 3.2–3.7 in action.
+//!
+//! Walks through the paper's Section 3 on live instances: builds the
+//! restricted family, completes instances into singular ones (Lemma 3.5),
+//! verifies the singularity ⟺ span-membership bridge (Lemma 3.2),
+//! demonstrates span distinctness (Lemma 3.4) and watches span
+//! intersections shrink as rectangles grow rows (Lemmas 3.3/3.6).
+//!
+//! Run with: `cargo run --release --example hard_instances`
+
+use ccmx::core::{construction::RestrictedInstance, counting, lemma32, lemma34, lemma35, rectangles, Params};
+use ccmx_bigint::Integer;
+use ccmx_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let params = Params::new(9, 2);
+    let q = params.q_u64();
+    println!("=== The restricted family at n = {}, k = {} (q = {q}) ===", params.n, params.k);
+    println!(
+        "M is {0}x{0}; free entries: C {1}x{1}, D {1}x{2}, E {1}x{3}, y 1x{4}",
+        params.dim(),
+        params.h(),
+        params.d_width(),
+        params.e_width(),
+        params.n - 1
+    );
+
+    // ------------------------------------------------------------------
+    // Lemma 3.5: every (C, E) completes to a singular instance.
+    // ------------------------------------------------------------------
+    println!("\n--- Lemma 3.5: completion ---");
+    let h = params.h();
+    let rand_block = |rng: &mut StdRng, r: usize, c: usize| {
+        Matrix::from_fn(r, c, |_, _| Integer::from(rng.gen_range(0..q) as i64))
+    };
+    let mut completed = 0;
+    for t in 0..20 {
+        let c = rand_block(&mut rng, h, h);
+        let e = rand_block(&mut rng, h, params.e_width());
+        let inst = lemma35::complete(params, &c, &e).expect("Lemma 3.5 guarantees a completion");
+        assert!(lemma32::m_is_singular(&inst), "trial {t}");
+        completed += 1;
+    }
+    println!("completed {completed}/20 random (C, E) pairs into verified singular matrices");
+
+    // Show one completed instance's witness.
+    let c = rand_block(&mut rng, h, h);
+    let e = rand_block(&mut rng, h, params.e_width());
+    let inst = lemma35::complete(params, &c, &e).unwrap();
+    let x = lemma35::completion_witness(&inst).expect("integral witness");
+    println!("witness x with A·x = B·u: {:?}", x.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+
+    // ------------------------------------------------------------------
+    // Lemma 3.2 on random (almost surely nonsingular) instances.
+    // ------------------------------------------------------------------
+    println!("\n--- Lemma 3.2: singular(M) ⟺ B·u ∈ Span(A) ---");
+    let mut singular_count = 0;
+    for _ in 0..50 {
+        let inst = RestrictedInstance::random(params, &mut rng);
+        assert!(lemma32::lemma32_holds(&inst));
+        if lemma32::m_is_singular(&inst) {
+            singular_count += 1;
+        }
+    }
+    println!("equivalence held on 50/50 random instances ({singular_count} happened to be singular)");
+
+    // ------------------------------------------------------------------
+    // Lemma 3.4: distinct C ⇒ distinct spans.
+    // ------------------------------------------------------------------
+    println!("\n--- Lemma 3.4: span distinctness ---");
+    let tiny = Params::new(5, 2);
+    let count = lemma34::verify_injectivity_exhaustive(tiny, 200).unwrap();
+    println!(
+        "n = 5, k = 2: all q^(h²) = {count} C-instances give distinct Span(A) (exhaustive check)"
+    );
+    let sampled = lemma34::verify_injectivity_sampled(params, 25, &mut rng);
+    println!("n = {}, k = {}: {sampled} random perturbation pairs all distinct", params.n, params.k);
+
+    // ------------------------------------------------------------------
+    // Lemmas 3.3/3.6: intersections shrink as rectangles grow rows.
+    // ------------------------------------------------------------------
+    println!("\n--- Lemmas 3.3/3.6: span intersections under growing row sets ---");
+    let mut cs: Vec<Matrix<Integer>> = Vec::new();
+    print!("rows:dim  ");
+    for r in 1..=6 {
+        cs.push(rand_block(&mut rng, h, h));
+        let dim = rectangles::intersection_dimension(params, &cs);
+        print!("{r}:{dim}  ");
+    }
+    println!("\n(dimension starts at n−1 = {} and must fall below 7n/8−1 = {:.2} for huge row counts)",
+        params.n - 1,
+        rectangles::lemma36_dimension_bound(params));
+
+    // ------------------------------------------------------------------
+    // The counting that assembles Theorem 1.1.
+    // ------------------------------------------------------------------
+    println!("\n--- Theorem 1.1 counting (log_q scale) ---");
+    println!(
+        "{:>4} {:>3} | {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} | {:>12}",
+        "n", "k", "rows", "cols", "ones", "small-rect", "large-rect", "d(f)", "bound(bits)"
+    );
+    for p in [Params::new(21, 2), Params::new(41, 4), Params::new(61, 8), Params::new(99, 8)] {
+        let b = counting::theorem_bound(p);
+        println!(
+            "{:>4} {:>3} | {:>10.1} {:>10.1} {:>10.1} {:>12.1} {:>12.1} {:>10.1} | {:>12.0}",
+            p.n,
+            p.k,
+            b.rows_log_q,
+            b.cols_log_q,
+            b.ones_log_q,
+            b.small_rect_area_log_q,
+            b.large_rect_area_log_q,
+            b.d_log_q,
+            b.lower_bound_bits
+        );
+    }
+    println!("\nbound/(k·n²) should approach a constant (the Ω(k n²) shape):");
+    for p in [Params::new(41, 4), Params::new(61, 4), Params::new(99, 4)] {
+        println!(
+            "  n = {:>3}: {:.4}",
+            p.n,
+            counting::normalized_lower_bound(p)
+        );
+    }
+}

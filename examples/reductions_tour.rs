@@ -1,0 +1,117 @@
+//! Corollaries 1.2 and 1.3: one hardness result, many problems.
+//!
+//! Demonstrates every reduction in the paper's corollaries on live
+//! matrices: determinant, rank, QR, SVD and LUP all reveal singularity;
+//! the `[[I, B], [A, C]]` block trick turns product verification into a
+//! rank question; and the restricted family turns singularity into
+//! linear-system solvability. Ends with the Lovász–Saks vector-space
+//! span problem.
+//!
+//! Run with: `cargo run --release --example reductions_tour`
+
+use ccmx::core::{reductions, span_problem, Params, RestrictedInstance};
+use ccmx::linalg::lup::lup;
+use ccmx::linalg::qr::qr;
+use ccmx::linalg::ring::{IntegerRing, RationalField};
+use ccmx::linalg::svd::svd_structure;
+use ccmx::linalg::{bareiss, solve, Matrix};
+use ccmx::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let zz = IntegerRing;
+    let qf = RationalField;
+
+    println!("=== Corollary 1.2: every decomposition answers singularity ===\n");
+    let n = 4;
+    for trial in 0..3 {
+        let mut m = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-4i64..=4)));
+        if trial == 1 {
+            // Make it singular.
+            for r in 0..n {
+                m[(r, n - 1)] = m[(r, 0)].clone();
+            }
+        }
+        let truth = bareiss::is_singular(&m);
+        let mq = m.map(|e| Rational::from(e.clone()));
+        let det = bareiss::det(&m);
+        let rank = bareiss::rank(&m);
+        let qr_d = qr(&mq);
+        let svd = svd_structure(&m);
+        let lup_d = lup(&qf, &mq);
+        println!("matrix #{trial}: singular = {truth}");
+        println!("  (a) det        = {det:>8}  → singular: {}", reductions::singular_from_det(&det));
+        println!("  (b) rank       = {rank:>8}  → singular: {}", reductions::singular_from_rank(rank, n));
+        println!(
+            "  (c) QR         = zero Q col → singular: {}",
+            reductions::singular_from_qr(&qr_d)
+        );
+        println!(
+            "  (d) SVD        = {} nonzero σ → singular: {}",
+            svd.rank,
+            reductions::singular_from_svd(&svd)
+        );
+        println!(
+            "  (e) LUP        = U zero row → singular: {}",
+            reductions::singular_from_lup(&lup_d)
+        );
+        assert!(reductions::corollary12_consistent(&m));
+    }
+
+    println!("\n=== The Lin–Wu block trick: A·B = C ⟺ rank([[I,B],[A,C]]) = n ===\n");
+    let a = Matrix::from_fn(3, 3, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
+    let b = Matrix::from_fn(3, 3, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
+    let c = a.mul(&zz, &b);
+    let block = reductions::product_check_matrix(&a, &b, &c);
+    println!("rank of the 6x6 block matrix with the TRUE product:  {}", bareiss::rank(&block));
+    let mut wrong = c.clone();
+    wrong[(1, 1)] += &Integer::one();
+    let block_wrong = reductions::product_check_matrix(&a, &b, &wrong);
+    println!("rank with one entry of C perturbed:                  {}", bareiss::rank(&block_wrong));
+    assert!(reductions::product_check_via_rank(&a, &b, &c));
+    assert!(!reductions::product_check_via_rank(&a, &b, &wrong));
+
+    println!("\n=== Corollary 1.3: singularity ⟺ solvability on the hard family ===\n");
+    let params = Params::new(7, 2);
+    for label in ["random (nonsingular w.h.p.)", "completed (singular)"] {
+        let inst = if label.starts_with("random") {
+            RestrictedInstance::random(params, &mut rng)
+        } else {
+            let free = RestrictedInstance::random(params, &mut rng);
+            ccmx::core::lemma35::complete(params, &free.c, &free.e).unwrap()
+        };
+        let m = inst.assemble();
+        let (mp, rhs) = reductions::solvability_system(&inst);
+        let singular = bareiss::is_singular(&m);
+        let solvable = solve::is_solvable(&mp, &rhs);
+        println!("{label}: singular(M) = {singular}, solvable(M'x = b) = {solvable}");
+        assert_eq!(singular, solvable);
+    }
+
+    println!("\n=== The vector-space span problem (Lovász–Saks) ===\n");
+    let m = Matrix::from_fn(4, 4, |_, _| Integer::from(rng.gen_range(0i64..4)));
+    let (v1, v2) = span_problem::singularity_as_span_instance(&m);
+    let spans = span_problem::union_spans_all(&v1, &v2);
+    println!(
+        "M nonsingular = {}, union of column-half spans covers Q⁴ = {spans}",
+        !bareiss::is_singular(&m)
+    );
+    let (canon, bits) = span_problem::canonical_message(&v1);
+    println!(
+        "fixed-partition protocol: A ships the canonical form of Span(V₁) — {} rows, ≈{} bits",
+        canon.rows(),
+        bits
+    );
+    let x = vec![
+        vec![Integer::from(1i64), Integer::from(0i64)],
+        vec![Integer::from(0i64), Integer::from(1i64)],
+        vec![Integer::from(1i64), Integer::from(1i64)],
+    ];
+    let lattice = span_problem::count_subspace_lattice(&x, 1 << 10);
+    println!(
+        "subspace lattice of X = {{e₁, e₂, e₁+e₂}} has #L = {lattice}; Lovász–Saks bound = log₂#L = {:.2} bits",
+        (lattice as f64).log2()
+    );
+}

@@ -1,0 +1,101 @@
+//! Anatomy of Yao's method, live: protocols *are* rectangle partitions.
+//!
+//! Runs real protocols on every input of a tiny domain, groups the runs
+//! by transcript, and shows that (1) each class is a monochromatic
+//! rectangle of the truth matrix, (2) the class count lower-bounds the
+//! cost, and (3) amplification trades rounds for error exactly as the
+//! one-sided analysis predicts.
+//!
+//! Run with: `cargo run --release --example yao_anatomy`
+
+use ccmx::comm::randomized::{estimate_error, AmplifiedModPrime};
+use ccmx::comm::yao::{classes_match_function, transcript_partition};
+use ccmx::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Transcript classes of real protocols are monochromatic rectangles.
+    // ------------------------------------------------------------------
+    println!("=== Protocols are rectangle partitions (Yao, Section 2) ===\n");
+    let f = Singularity::new(2, 2);
+    let enc = f.enc;
+    let pi0 = Partition::pi_zero(&enc);
+
+    for (name, tp) in [
+        ("send-all", transcript_partition(&SendAll::new(f), &pi0, &Singularity::new(2, 2), 0)),
+        (
+            "mod-prime (coins fixed)",
+            transcript_partition(
+                &ModPrimeSingularity::new(2, 2, 12),
+                &pi0,
+                &Singularity::new(2, 2),
+                7,
+            ),
+        ),
+    ] {
+        let rects = tp.all_monochromatic_rectangles();
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = tp.classes.iter().map(|c| c.members.len()).collect();
+            s.sort_unstable_by(|a, b| b.cmp(a));
+            s.truncate(6);
+            s
+        };
+        println!(
+            "{name:>24}: {} classes over the 16x16 domain; all rectangles: {rects}; \
+             largest classes {sizes:?}; worst cost {} bits ≥ log₂(classes) − 1 = {:.1}",
+            tp.classes.len(),
+            tp.max_cost_bits,
+            (tp.classes.len() as f64).log2() - 1.0
+        );
+        assert!(rects);
+    }
+    println!();
+
+    // A *correct* protocol's classes agree with the function everywhere.
+    let tp = transcript_partition(&SendAll::new(f), &pi0, &Singularity::new(2, 2), 0);
+    println!(
+        "send-all classes match the singularity function on every input: {}\n",
+        classes_match_function(&tp, &pi0, &Singularity::new(2, 2))
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Amplification: rounds vs error for the one-sided protocol.
+    // ------------------------------------------------------------------
+    println!("=== Amplification: error^t at t× the cost (one-sided AND-vote) ===\n");
+    let inner = ModPrimeSingularity::new(4, 3, 8); // deliberately weak window
+    println!(
+        "{:>7} | {:>12} | {:>14} | {:>12}",
+        "rounds", "cost (bits)", "error bound", "measured err"
+    );
+    let p4 = Partition::pi_zero(&inner.enc);
+    let fsing = Singularity::new(4, 3);
+    // An input mix with known answers.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let inputs: Vec<BitString> = (0..12)
+        .map(|i| {
+            let mut m = Matrix::from_fn(4, 4, |_, _| {
+                Integer::from(rand::Rng::gen_range(&mut rng, 0i64..8))
+            });
+            if i % 2 == 0 {
+                for r in 0..4 {
+                    m[(r, 3)] = m[(r, 0)].clone();
+                }
+            }
+            inner.enc.encode(&m)
+        })
+        .collect();
+    for t in [1usize, 2, 4] {
+        let amp = AmplifiedModPrime::new(inner, t);
+        let est = estimate_error(&amp, &p4, &fsing, &inputs, 20);
+        println!(
+            "{:>7} | {:>12} | {:>14.2e} | {:>12.4}",
+            t,
+            amp.predicted_cost(),
+            amp.error_bound(),
+            est.rate()
+        );
+        assert!(est.observed_one_sided());
+    }
+    println!("\n(singular inputs were never misclassified in any run — the one-sided");
+    println!(" guarantee — and the no-side error shrinks with rounds.)");
+}

@@ -1,0 +1,132 @@
+//! `ccmx` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ccmx singular <rows>            decide singularity of a matrix, e.g. "1,2;3,4"
+//! ccmx protocol <2n> <k> [--rand] run a metered protocol on a random instance
+//! ccmx bounds <n> <k>             print the Theorem 1.1 / VLSI bound breakdown
+//! ccmx construct <n> <k> [--complete]  generate a restricted instance (Fig. 1/3)
+//! ccmx truth <2n> <k>             enumerate the π₀ truth matrix + certificates
+//! ```
+
+use ccmx::core::{counting, lemma32, lemma35, Params, RestrictedInstance};
+use ccmx::linalg::{bareiss, smith, Matrix};
+use ccmx::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_matrix(s: &str) -> Matrix<Integer> {
+    let rows: Vec<Vec<Integer>> = s
+        .split(';')
+        .map(|row| {
+            row.split(',')
+                .map(|e| {
+                    Integer::from_decimal_str(e.trim())
+                        .unwrap_or_else(|| panic!("bad entry {e:?}"))
+                })
+                .collect()
+        })
+        .collect();
+    let r = rows.len();
+    let c = rows.first().map_or(0, |x| x.len());
+    assert!(rows.iter().all(|x| x.len() == c), "ragged matrix");
+    Matrix::from_fn(r, c, |i, j| rows[i][j].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("singular") => {
+            let m = parse_matrix(args.get(1).unwrap_or_else(|| usage()));
+            println!("matrix:\n{m}");
+            let det = bareiss::det(&m);
+            let s = smith::smith_normal_form(&m);
+            println!("det        = {det}");
+            println!("rank       = {}", bareiss::rank(&m));
+            println!(
+                "invariants = {:?}",
+                s.invariant_factors().iter().map(|f| f.to_string()).collect::<Vec<_>>()
+            );
+            println!("singular   = {}", det.is_zero());
+        }
+        Some("protocol") => {
+            let dim: usize = args.get(1).unwrap_or_else(|| usage()).parse().expect("2n");
+            let k: u32 = args.get(2).unwrap_or_else(|| usage()).parse().expect("k");
+            let randomized = args.iter().any(|a| a == "--rand");
+            let f = Singularity::new(dim, k);
+            let enc = f.enc;
+            let pi0 = Partition::pi_zero(&enc);
+            let mut rng = StdRng::seed_from_u64(42);
+            let m = Matrix::from_fn(dim, dim, |_, _| {
+                Integer::from(rand::Rng::gen_range(&mut rng, 0..(1i64 << k)))
+            });
+            let input = enc.encode(&m);
+            println!("random {dim}x{dim} matrix of {k}-bit entries; input = {} bits", input.len());
+            let run = if randomized {
+                let p = ModPrimeSingularity::new(dim, k, 20);
+                println!("protocol: mod-random-prime (error ≤ {:.2e})", p.error_bound());
+                run_threaded(&p, &pi0, &input, 1)
+            } else {
+                println!("protocol: deterministic send-all");
+                run_threaded(&SendAll::new(f), &pi0, &input, 1)
+            };
+            println!("output    = {} (exact: {})", run.output, bareiss::is_singular(&m));
+            println!("cost      = {} bits over {} message(s)", run.cost_bits(), run.transcript.rounds());
+        }
+        Some("bounds") => {
+            let n: usize = args.get(1).unwrap_or_else(|| usage()).parse().expect("n");
+            let k: u32 = args.get(2).unwrap_or_else(|| usage()).parse().expect("k");
+            let p = Params::new(n, k);
+            let b = counting::theorem_bound(p);
+            println!("Theorem 1.1 at n = {n}, k = {k} (q = {}):", p.q_u64());
+            println!("  truth matrix     : q^{:.0} rows × q^{:.0} cols", b.rows_log_q, b.cols_log_q);
+            println!("  ones (≥)         : q^{:.0}", b.ones_log_q);
+            println!("  max 1-rect area  : q^{:.0}", b.small_rect_area_log_q.max(b.large_rect_area_log_q));
+            println!("  d(f) (≥)         : q^{:.0}", b.d_log_q);
+            println!("  lower bound      : {:.0} bits", b.lower_bound_bits);
+            println!("  upper bound      : {:.0} bits (send-all)", counting::deterministic_upper_bound_bits(p));
+            println!("  randomized       : {:.0} bits (mod-prime, sec 20)", counting::probabilistic_upper_bound_bits(p, 20));
+            let v = VlsiBounds::for_singularity_asymptotic(n, k);
+            println!("  VLSI (I = k n²)  : AT² ≥ {:.3e}, AT ≥ {:.3e}, T ≥ {:.0}", v.at2, v.at, v.time_if_area_optimal);
+        }
+        Some("construct") => {
+            let n: usize = args.get(1).unwrap_or_else(|| usage()).parse().expect("n");
+            let k: u32 = args.get(2).unwrap_or_else(|| usage()).parse().expect("k");
+            let p = Params::new(n, k);
+            let mut rng = StdRng::seed_from_u64(7);
+            let inst = if args.iter().any(|a| a == "--complete") {
+                let free = RestrictedInstance::random(p, &mut rng);
+                lemma35::complete(p, &free.c, &free.e).expect("Lemma 3.5")
+            } else {
+                RestrictedInstance::random(p, &mut rng)
+            };
+            println!("M ({0}x{0}):\n{1}", p.dim(), inst.assemble());
+            println!("\nsingular        = {}", lemma32::m_is_singular(&inst));
+            println!("B·u ∈ Span(A)   = {}", lemma32::bu_in_span_a(&inst));
+        }
+        Some("truth") => {
+            let dim: usize = args.get(1).unwrap_or_else(|| usage()).parse().expect("2n");
+            let k: u32 = args.get(2).unwrap_or_else(|| usage()).parse().expect("k");
+            let f = Singularity::new(dim, k);
+            let enc = f.enc;
+            let pi0 = Partition::pi_zero(&enc);
+            let t = ccmx::comm::truth::TruthMatrix::enumerate(&f, &pi0, 4);
+            println!("truth matrix under π₀: {} × {}", t.rows(), t.cols());
+            println!("ones            = {}", t.count_ones());
+            println!("distinct rows   = {}", t.distinct_rows());
+            let r = ccmx::comm::bounds::lower_bounds(&t);
+            println!("rank GF(2)      = {}", r.rank_gf2);
+            println!("rank GF(p)      = {}", r.rank_big_prime);
+            println!("fooling set     = {}", r.fooling_set);
+            println!("lower bound     = {:.2} bits (Yao)", r.comm_lower_bound_bits);
+            println!("one-way bound   = {:.2} bits", ccmx::comm::bounds::one_way_lower_bound_bits(&t));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,138 @@
+//! Workspace-level property tests: invariants that span crates.
+
+use ccmx::core::{lemma32, lemma35, Params, RestrictedInstance};
+use ccmx::prelude::*;
+use ccmx_bigint::Integer;
+use ccmx_linalg::{bareiss, Matrix};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    prop_oneof![
+        Just(Params::new(5, 2)),
+        Just(Params::new(7, 2)),
+        Just(Params::new(7, 3)),
+        Just(Params::new(9, 2)),
+        Just(Params::new(9, 4)),
+    ]
+}
+
+fn arb_instance(params: Params) -> impl Strategy<Value = RestrictedInstance> {
+    let h = params.h();
+    let q = params.q_u64();
+    let total = h * h + h * params.d_width() + h * params.e_width() + (params.n - 1);
+    prop::collection::vec(0..q, total).prop_map(move |vals| {
+        let mut it = vals.into_iter().map(|v| Integer::from(v as i64));
+        let c = Matrix::from_fn(h, h, |_, _| it.next().unwrap());
+        let d = Matrix::from_fn(h, params.d_width(), |_, _| it.next().unwrap());
+        let e = Matrix::from_fn(h, params.e_width(), |_, _| it.next().unwrap());
+        let y = (0..params.n - 1).map(|_| it.next().unwrap()).collect();
+        RestrictedInstance::new(params, c, d, e, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma32_always_holds(params in arb_params(), seed in any::<u64>()) {
+        let inst = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            RestrictedInstance::random(params, &mut rng)
+        };
+        prop_assert!(lemma32::lemma32_holds(&inst));
+    }
+
+    #[test]
+    fn arbitrary_instances_roundtrip_and_stay_in_range(
+        inst in arb_params().prop_flat_map(arb_instance)
+    ) {
+        let m = inst.assemble();
+        let enc = inst.params.encoding();
+        let bits = enc.encode(&m);
+        prop_assert_eq!(enc.decode(&bits), m.clone());
+        // Every entry fits k bits.
+        let max = Integer::from((1i64 << inst.params.k) - 1);
+        for e in m.data() {
+            prop_assert!(!e.is_negative());
+            prop_assert!(e <= &max);
+        }
+        // rank(A) is always n-1 (Fig. 3 diagonal).
+        prop_assert_eq!(bareiss::rank(&inst.matrix_a()), inst.params.n - 1);
+    }
+
+    #[test]
+    fn completion_is_idempotent_on_its_blocks(
+        params in arb_params(),
+        seed in any::<u64>()
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let free = RestrictedInstance::random(params, &mut rng);
+        let done = lemma35::complete(params, &free.c, &free.e);
+        prop_assert!(done.is_some(), "completion failed");
+        let done = done.unwrap();
+        prop_assert_eq!(&done.c, &free.c);
+        prop_assert_eq!(&done.e, &free.e);
+        prop_assert!(lemma32::m_is_singular(&done));
+        // Completing again from the completed blocks gives the same D, y
+        // (the algorithm is deterministic).
+        let again = lemma35::complete(params, &done.c, &done.e).unwrap();
+        prop_assert_eq!(again, done);
+    }
+
+    #[test]
+    fn protocol_outputs_match_oracle_on_random_inputs(
+        dimk in prop_oneof![Just((2usize, 2u32)), Just((4, 1)), Just((4, 2))],
+        bits_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let (dim, k) = dimk;
+        let f = Singularity::new(dim, k);
+        let enc = f.enc;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(bits_seed);
+        let input = BitString::from_bits((0..enc.total_bits()).map(|_| rng.gen()).collect());
+        let p = Partition::random_even(enc.total_bits(), &mut rng);
+        let proto = SendAll::new(Singularity::new(dim, k));
+        let run = run_sequential(&proto, &p, &input, run_seed);
+        prop_assert_eq!(run.output, f.eval(&input));
+        prop_assert_eq!(run.cost_bits(), p.count_a());
+    }
+
+    #[test]
+    fn partition_split_is_a_partition(
+        len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Partition::random_even(len, &mut rng);
+        prop_assert!(p.is_even());
+        let input = BitString::from_bits((0..len).map(|_| rng.gen()).collect());
+        let (a, b) = p.split(&input);
+        prop_assert_eq!(a.len() + b.len(), len);
+        for pos in 0..len {
+            let v = input.get(pos);
+            match (a.get(pos), b.get(pos)) {
+                (Some(av), None) => prop_assert_eq!(av, v),
+                (None, Some(bv)) => prop_assert_eq!(bv, v),
+                _ => prop_assert!(false, "bit {pos} not in exactly one share"),
+            }
+        }
+    }
+
+    #[test]
+    fn padding_preserves_determinant(
+        m_dim in 10usize..16,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        use ccmx::core::padding;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (n, _) = padding::split(m_dim);
+        let core = Matrix::from_fn(2 * n, 2 * n, |_, _| Integer::from(rng.gen_range(-2i64..=2)));
+        let padded = padding::pad(&core, m_dim);
+        prop_assert_eq!(bareiss::det(&padded), bareiss::det(&core));
+    }
+}

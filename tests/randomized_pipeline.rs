@@ -1,0 +1,137 @@
+//! End-to-end pipeline for the randomized side: hard instances from the
+//! paper's construction, run under amplified randomized protocols, with
+//! Lemma 3.9-normalized partitions — the full loop from Section 3's
+//! objects to executed bits.
+
+use ccmx::comm::randomized::{estimate_error, AmplifiedModPrime};
+use ccmx::core::{lemma35, proper};
+use ccmx::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn amplified_protocol_on_hard_instances() {
+    // Completed (singular) members of the restricted family must be
+    // classified singular by every amplified run — the one-sided
+    // guarantee survives amplification and arbitrary even partitions.
+    let mut rng = StdRng::seed_from_u64(1);
+    let params = Params::new(5, 2);
+    let enc = params.encoding();
+    let inner = ModPrimeSingularity::new(params.dim(), params.k, 10);
+    let proto = AmplifiedModPrime::new(inner, 3);
+    for t in 0..8u64 {
+        let free = RestrictedInstance::random(params, &mut rng);
+        let inst = lemma35::complete(params, &free.c, &free.e).unwrap();
+        let input = inst.encode();
+        let p = if t % 2 == 0 {
+            Partition::pi_zero(&enc)
+        } else {
+            Partition::random_even(enc.total_bits(), &mut rng)
+        };
+        let run = run_sequential(&proto, &p, &input, t);
+        assert!(run.output, "amplified protocol missed a hard singular instance, t={t}");
+    }
+}
+
+#[test]
+fn normalized_partitions_leave_protocols_correct() {
+    // Lemma 3.9's permutation is a relabeling of the *matrix*; protocols
+    // run on the permuted instance under the normalized partition must
+    // reach the same answer as on the original instance under the
+    // original partition.
+    let mut rng = StdRng::seed_from_u64(2);
+    let params = Params::new(5, 2);
+    let enc = params.encoding();
+    let f = Singularity::new(params.dim(), params.k);
+    let det = SendAll::new(Singularity::new(params.dim(), params.k));
+    for t in 0..5u64 {
+        let part = Partition::random_even(enc.total_bits(), &mut rng);
+        let w = proper::normalize(&part, params).expect("Lemma 3.9");
+        let inst = RestrictedInstance::random(params, &mut rng);
+        let m = inst.assemble();
+        let permuted = m.permute_rows(&w.row_perm).permute_cols(&w.col_perm);
+
+        let run_orig = run_sequential(&det, &part, &enc.encode(&m), t);
+        let run_perm = run_sequential(&det, &w.partition, &enc.encode(&permuted), t);
+        assert_eq!(run_orig.output, run_perm.output, "t={t}");
+        assert_eq!(run_orig.output, f.eval(&enc.encode(&m)));
+    }
+}
+
+#[test]
+fn error_estimation_on_the_hard_family() {
+    // The Monte-Carlo referee over the hard family: one-sidedness holds
+    // and the rate is inside the analysis.
+    let mut rng = StdRng::seed_from_u64(3);
+    let params = Params::new(5, 2);
+    let enc = params.encoding();
+    let inner = ModPrimeSingularity::new(params.dim(), params.k, 12);
+    let f = Singularity::new(params.dim(), params.k);
+    let inputs: Vec<BitString> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                let free = RestrictedInstance::random(params, &mut rng);
+                lemma35::complete(params, &free.c, &free.e).unwrap().encode()
+            } else {
+                RestrictedInstance::random(params, &mut rng).encode()
+            }
+        })
+        .collect();
+    let p = Partition::pi_zero(&enc);
+    let est = estimate_error(&inner, &p, &f, &inputs, 12);
+    assert!(est.observed_one_sided(), "singular instance missed");
+    assert!(est.rate() < 0.05, "error rate {} above analysis", est.rate());
+    assert_eq!(est.yes_runs, 48, "half the inputs are singular by construction");
+}
+
+#[test]
+fn solvability_protocol_on_corollary13_systems() {
+    // Corollary 1.3's reduction feeds the randomized solvability
+    // protocol: M singular ⟺ M'x = b solvable, decided mod p.
+    use ccmx::comm::protocols::ModPrimeSolvability;
+    use ccmx::core::reductions;
+    let mut rng = StdRng::seed_from_u64(4);
+    let params = Params::new(5, 2);
+    let sf = Solvability::new(params.dim(), params.k);
+    let proto = ModPrimeSolvability::new(params.dim(), params.k, 20);
+    let p = Partition::random_even(sf.num_bits(), &mut rng);
+    for t in 0..8u64 {
+        let inst = if t % 2 == 0 {
+            let free = RestrictedInstance::random(params, &mut rng);
+            lemma35::complete(params, &free.c, &free.e).unwrap()
+        } else {
+            RestrictedInstance::random(params, &mut rng)
+        };
+        let (mp, b) = reductions::solvability_system(&inst);
+        let input = sf.encode(&mp, &b);
+        let expect = ccmx::core::lemma32::m_is_singular(&inst);
+        let run = run_sequential(&proto, &p, &input, t);
+        assert_eq!(run.output, expect, "t={t}");
+    }
+}
+
+#[test]
+fn bisect_equality_on_matrix_encodings() {
+    // The multi-round protocol finds single-bit differences between two
+    // encoded hard instances.
+    use ccmx::comm::protocols::BisectEquality;
+    use ccmx::comm::protocols::fingerprint::fixed_partition;
+    let mut rng = StdRng::seed_from_u64(5);
+    let params = Params::new(5, 2);
+    let inst = RestrictedInstance::random(params, &mut rng);
+    let bits = inst.encode();
+    let half = bits.len();
+    let proto = BisectEquality::new(half, 30);
+    let p = fixed_partition(half);
+    // Equal copies.
+    let mut input = bits.clone();
+    input.extend(&bits);
+    assert!(run_sequential(&proto, &p, &input, 0).output);
+    // Flip one bit in the copy.
+    let flip = rng.gen_range(0..half);
+    let mut other = bits.clone();
+    other.set(flip, !other.get(flip));
+    let mut input2 = bits.clone();
+    input2.extend(&other);
+    assert!(!run_sequential(&proto, &p, &input2, 1).output);
+}
