@@ -25,9 +25,11 @@ fn bench_determinants(c: &mut Criterion) {
         let m = random_matrix(n, bits, &mut rng);
         let mq = m.map(|e| Rational::from(e.clone()));
         let bound = Natural::power_of_two(bits as u64);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("bareiss_n{n}_b{bits}")), &m, |b, m| {
-            b.iter(|| bareiss::det(m))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("bareiss_n{n}_b{bits}")),
+            &m,
+            |b, m| b.iter(|| bareiss::det(m)),
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("rational_n{n}_b{bits}")),
             &mq,
@@ -141,7 +143,9 @@ fn bench_bigint(c: &mut Criterion) {
         Natural::from_limbs(
             (0..limbs)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     x | 1
                 })
                 .collect(),
@@ -150,9 +154,11 @@ fn bench_bigint(c: &mut Criterion) {
     for limbs in [8usize, 32, 128, 512] {
         let a = mk(limbs, 1);
         let b = mk(limbs, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("mul_{limbs}_limbs")), &limbs, |bch, _| {
-            bch.iter(|| &a * &b)
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("mul_{limbs}_limbs")),
+            &limbs,
+            |bch, _| bch.iter(|| &a * &b),
+        );
     }
     for limbs in [16usize, 64, 256] {
         let a = mk(limbs, 3);

@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("lattice_count_5_vectors", |b| {
         let x: Vec<Vec<ccmx_bigint::Integer>> = (0..5)
-            .map(|i| (0..3).map(|j| ccmx_bigint::Integer::from(((i * j + i) % 3) as i64)).collect())
+            .map(|i| {
+                (0..3)
+                    .map(|j| ccmx_bigint::Integer::from(((i * j + i) % 3) as i64))
+                    .collect()
+            })
             .collect();
         b.iter(|| span_problem::count_subspace_lattice(&x, 1 << 10))
     });

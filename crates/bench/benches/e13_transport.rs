@@ -1,0 +1,72 @@
+//! E13: transport overhead — the same protocol run executed over the
+//! in-memory framed transport vs a real TCP-loopback connection, with
+//! the in-process sequential runner as the zero-transport baseline.
+//! Every runner produces bit-identical transcripts; only the medium
+//! (and hence the wall-clock cost) differs.
+
+use ccmx_bench::{pi_zero, protocol_inputs, rng_for, singularity};
+use ccmx_comm::protocols::{ModPrimeSingularity, SendAll};
+use ccmx_comm::run_sequential;
+use ccmx_net::{run_mem_transport, run_tcp_loopback};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_transport");
+    group.sample_size(10);
+
+    for &dim in &[4usize, 8, 16] {
+        let k = 2u32;
+        let mut rng = rng_for("e13");
+        let p = pi_zero(dim, k);
+        let inputs = protocol_inputs(dim, k, 4, &mut rng);
+
+        let send_all = SendAll::new(singularity(dim, k));
+        let mod_prime = ModPrimeSingularity::new(dim, k, 20);
+
+        for (proto_name, proto) in [
+            ("send_all", &send_all as &dyn ccmx_comm::TwoPartyProtocol),
+            ("mod_prime", &mod_prime as &dyn ccmx_comm::TwoPartyProtocol),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{proto_name}/sequential"), dim),
+                &inputs,
+                |b, inputs| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let input = &inputs[i % inputs.len()];
+                        i += 1;
+                        run_sequential(proto, &p, input, i as u64)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{proto_name}/mem_framed"), dim),
+                &inputs,
+                |b, inputs| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let input = &inputs[i % inputs.len()];
+                        i += 1;
+                        run_mem_transport(proto, &p, input, i as u64)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{proto_name}/tcp_loopback"), dim),
+                &inputs,
+                |b, inputs| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let input = &inputs[i % inputs.len()];
+                        i += 1;
+                        run_tcp_loopback(proto, &p, input, i as u64)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

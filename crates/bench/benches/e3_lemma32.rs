@@ -8,7 +8,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_lemma32");
-    for params in [Params::new(5, 2), Params::new(7, 3), Params::new(9, 4), Params::new(13, 4)] {
+    for params in [
+        Params::new(5, 2),
+        Params::new(7, 3),
+        Params::new(9, 4),
+        Params::new(13, 4),
+    ] {
         let mut rng = rng_for("e3");
         let insts: Vec<_> = (0..4).map(|_| random_instance(params, &mut rng)).collect();
         group.bench_with_input(

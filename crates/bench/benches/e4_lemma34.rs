@@ -8,7 +8,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_lemma34");
-    for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 3), Params::new(13, 4)] {
+    for params in [
+        Params::new(5, 2),
+        Params::new(7, 2),
+        Params::new(9, 3),
+        Params::new(13, 4),
+    ] {
         let mut rng = rng_for("e4");
         let cs: Vec<_> = (0..4).map(|_| random_c_e(params, &mut rng).0).collect();
         group.bench_with_input(

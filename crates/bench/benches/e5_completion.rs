@@ -7,7 +7,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_completion");
-    for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 4), Params::new(13, 4), Params::new(17, 4)] {
+    for params in [
+        Params::new(5, 2),
+        Params::new(7, 2),
+        Params::new(9, 4),
+        Params::new(13, 4),
+        Params::new(17, 4),
+    ] {
         let mut rng = rng_for("e5");
         let blocks: Vec<_> = (0..4).map(|_| random_c_e(params, &mut rng)).collect();
         group.bench_with_input(

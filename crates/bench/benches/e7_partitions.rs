@@ -12,8 +12,9 @@ fn bench(c: &mut Criterion) {
     for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 3)] {
         let enc = params.encoding();
         let mut rng = rng_for("e7");
-        let parts: Vec<Partition> =
-            (0..4).map(|_| Partition::random_even(enc.total_bits(), &mut rng)).collect();
+        let parts: Vec<Partition> = (0..4)
+            .map(|_| Partition::random_even(enc.total_bits(), &mut rng))
+            .collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("normalize_n{}_k{}", params.n, params.k)),
             &parts,

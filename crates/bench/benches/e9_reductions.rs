@@ -15,21 +15,31 @@ fn bench(c: &mut Criterion) {
         let mut rng = rng_for("e9");
         let m = random_matrix(n, 8, &mut rng);
         let mq = m.map(|e| Rational::from(e.clone()));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("det_bareiss_n{n}")), &m, |b, m| {
-            b.iter(|| bareiss::det(m))
-        });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("rank_n{n}")), &m, |b, m| {
-            b.iter(|| bareiss::rank(m))
-        });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("qr_n{n}")), &mq, |b, mq| {
-            b.iter(|| qr::qr(mq))
-        });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("svd_structure_n{n}")), &m, |b, m| {
-            b.iter(|| svd::svd_structure(m))
-        });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("lup_n{n}")), &mq, |b, mq| {
-            b.iter(|| lup::lup(&f, mq))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("det_bareiss_n{n}")),
+            &m,
+            |b, m| b.iter(|| bareiss::det(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rank_n{n}")),
+            &m,
+            |b, m| b.iter(|| bareiss::rank(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("qr_n{n}")),
+            &mq,
+            |b, mq| b.iter(|| qr::qr(mq)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("svd_structure_n{n}")),
+            &m,
+            |b, m| b.iter(|| svd::svd_structure(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("lup_n{n}")),
+            &mq,
+            |b, mq| b.iter(|| lup::lup(&f, mq)),
+        );
         let a = random_matrix(n, 4, &mut rng);
         let bm = random_matrix(n, 4, &mut rng);
         let zz = ccmx_linalg::ring::IntegerRing;

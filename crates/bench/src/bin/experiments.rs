@@ -12,7 +12,10 @@ use ccmx_comm::meter::meter_inputs;
 use ccmx_comm::protocols::{ModPrimeSingularity, SendAll};
 use ccmx_comm::truth::TruthMatrix;
 use ccmx_comm::Partition;
-use ccmx_core::{counting, lemma32, lemma34, lemma35, padding, proper, rectangles, reductions, span_problem, Params};
+use ccmx_core::{
+    counting, lemma32, lemma34, lemma35, padding, proper, rectangles, reductions, span_problem,
+    Params,
+};
 use ccmx_linalg::bareiss;
 use ccmx_vlsi::bounds::{improvement_over_chazelle_monier, VlsiBounds};
 use ccmx_vlsi::SystolicMatMul;
@@ -67,7 +70,14 @@ fn e1_deterministic_upper_bound() {
     println!("\n--- E1 (Theorem 1.1, upper side): deterministic send-all costs 2k·n² ---");
     println!("paper: Comm(singularity) = O(k n²); the trivial protocol ships A's half.\n");
     let mut rng = rng_for("e1");
-    let mut t = Table::new(&["2n", "k", "input bits", "predicted 2k·n²", "measured max", "errors"]);
+    let mut t = Table::new(&[
+        "2n",
+        "k",
+        "input bits",
+        "predicted 2k·n²",
+        "measured max",
+        "errors",
+    ]);
     for dim in [4usize, 8, 16, 32] {
         for k in [2u32, 8, 16] {
             let f = singularity(dim, k);
@@ -93,7 +103,16 @@ fn e1_deterministic_upper_bound() {
 fn e2_certified_lower_bounds() {
     println!("\n--- E2 (Theorem 1.1, lower side): certified rectangle bounds ---");
     println!("paper: Comm ≥ log₂ d(f) − 2 (Yao); the certificates grow with k·n².\n");
-    let mut t = Table::new(&["2n", "k", "truth matrix", "rank GF(2)", "rank GF(p)", "fooling", "LB bits", "send-all"]);
+    let mut t = Table::new(&[
+        "2n",
+        "k",
+        "truth matrix",
+        "rank GF(2)",
+        "rank GF(p)",
+        "fooling",
+        "LB bits",
+        "send-all",
+    ]);
     for (dim, k) in [(2usize, 1u32), (2, 2), (2, 3), (2, 4), (4, 1)] {
         let f = singularity(dim, k);
         let p = pi_zero(dim, k);
@@ -112,14 +131,31 @@ fn e2_certified_lower_bounds() {
     }
     println!("{}", t.render());
     println!("asymptotic counting bound (n odd, restricted family, log_q scale → bits):\n");
-    let mut t2 = Table::new(&["n", "k", "ones", "max rect area", "d(f)", "LB bits", "UB bits", "LB/(k·n²)"]);
-    for p in [Params::new(21, 2), Params::new(41, 4), Params::new(61, 8), Params::new(99, 8)] {
+    let mut t2 = Table::new(&[
+        "n",
+        "k",
+        "ones",
+        "max rect area",
+        "d(f)",
+        "LB bits",
+        "UB bits",
+        "LB/(k·n²)",
+    ]);
+    for p in [
+        Params::new(21, 2),
+        Params::new(41, 4),
+        Params::new(61, 8),
+        Params::new(99, 8),
+    ] {
         let b = counting::theorem_bound(p);
         t2.row(vec![
             p.n.to_string(),
             p.k.to_string(),
             format!("{:.0}", b.ones_log_q),
-            format!("{:.0}", b.small_rect_area_log_q.max(b.large_rect_area_log_q)),
+            format!(
+                "{:.0}",
+                b.small_rect_area_log_q.max(b.large_rect_area_log_q)
+            ),
             format!("{:.0}", b.d_log_q),
             format!("{:.0}", b.lower_bound_bits),
             format!("{:.0}", counting::deterministic_upper_bound_bits(p)),
@@ -133,8 +169,19 @@ fn e3_lemma32() {
     println!("\n--- E3 (Lemma 3.2): singular(M) ⟺ B·u ∈ Span(A) ---");
     println!("paper: exact equivalence given dim Span(A) = n−1.\n");
     let mut rng = rng_for("e3");
-    let mut t = Table::new(&["n", "k", "instances", "equivalence held", "singular side seen"]);
-    for params in [Params::new(5, 2), Params::new(7, 2), Params::new(7, 3), Params::new(9, 4)] {
+    let mut t = Table::new(&[
+        "n",
+        "k",
+        "instances",
+        "equivalence held",
+        "singular side seen",
+    ]);
+    for params in [
+        Params::new(5, 2),
+        Params::new(7, 2),
+        Params::new(7, 3),
+        Params::new(9, 4),
+    ] {
         let mut held = 0;
         let mut singular = 0;
         let trials = 30;
@@ -190,7 +237,9 @@ fn e4_lemma34() {
 
 fn e5_completion() {
     println!("\n--- E5 (Lemma 3.5): ∀(C, E) ∃(D, y) making M singular; row density ---");
-    println!("paper: each truth-matrix row has between q^(n²/2 − O(n log_q n)) and q^(n²/2) ones.\n");
+    println!(
+        "paper: each truth-matrix row has between q^(n²/2 − O(n log_q n)) and q^(n²/2) ones.\n"
+    );
     let mut rng = rng_for("e5");
     let mut t = Table::new(&[
         "n",
@@ -200,7 +249,13 @@ fn e5_completion() {
         "ones/row ≥ (log_q)",
         "ones/row ≤ (log_q)",
     ]);
-    for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 2), Params::new(9, 4), Params::new(11, 3)] {
+    for params in [
+        Params::new(5, 2),
+        Params::new(7, 2),
+        Params::new(9, 2),
+        Params::new(9, 4),
+        Params::new(11, 3),
+    ] {
         let trials = 25;
         let mut ok = 0;
         for _ in 0..trials {
@@ -226,7 +281,9 @@ fn e5_completion() {
     // version of claim 2a). n=5, k=2 is *degenerate*: E is empty, so
     // membership is C-independent and all rows are identical — precisely
     // why the construction needs E nonempty (n ≥ L+4) for rows to differ.
-    use ccmx_core::restricted_truth::{all_c_blocks, completed_columns, sample_columns, RowEvaluator};
+    use ccmx_core::restricted_truth::{
+        all_c_blocks, completed_columns, sample_columns, RowEvaluator,
+    };
     let params = ccmx_core::Params::new(5, 2);
     let rows = all_c_blocks(params, 100).expect("81 rows");
     let shared_cols = sample_columns(params, 200, &mut rng);
@@ -256,14 +313,23 @@ fn e5_completion() {
     }
     let distinct: std::collections::HashSet<usize> = per_row.iter().copied().collect();
     println!("restricted truth matrix, n=7, k=2 (20 sampled rows × 150 shared random columns):");
-    println!("  ones per row: {per_row:?} — {} distinct densities (rows genuinely differ)", distinct.len());
+    println!(
+        "  ones per row: {per_row:?} — {} distinct densities (rows genuinely differ)",
+        distinct.len()
+    );
 
     // Exact census: ALL 3^12 = 531,441 columns of the n=5, k=2 family.
     use ccmx_core::restricted_truth::exact_row_census;
     let c = ccmx_core::RestrictedInstance::random(params, &mut rng).c;
     let census = exact_row_census(params, &c, 1 << 20).expect("tiny family");
-    println!("exact census, n=5, k=2: {} of {} columns are singular per row", census.ones, census.columns);
-    println!("  (paper bracket: >= q^|E| = 1 and <= q^12 = {}; measured exactly)\n", census.columns);
+    println!(
+        "exact census, n=5, k=2: {} of {} columns are singular per row",
+        census.ones, census.columns
+    );
+    println!(
+        "  (paper bracket: >= q^|E| = 1 and <= q^12 = {}; measured exactly)\n",
+        census.columns
+    );
 }
 
 fn e6_rectangles() {
@@ -271,7 +337,11 @@ fn e6_rectangles() {
     println!("paper: ≥ r rows ⇒ dim(∩ Span) < 7n/8 − 1 ⇒ ≤ q^(3n²/8·…) columns.\n");
     let mut rng = rng_for("e6");
     let params = Params::new(9, 2);
-    let mut t = Table::new(&["rows in rectangle", "dim(∩ Span(A_i))", "paper dim bound (huge r)"]);
+    let mut t = Table::new(&[
+        "rows in rectangle",
+        "dim(∩ Span(A_i))",
+        "paper dim bound (huge r)",
+    ]);
     let mut cs = Vec::new();
     for r in 1..=7 {
         cs.push(random_c_e(params, &mut rng).0);
@@ -305,7 +375,13 @@ fn e6_rectangles() {
 fn e7_proper_partitions() {
     println!("\n--- E7 (Lemma 3.9): every even partition normalizes to a proper one ---");
     let mut rng = rng_for("e7");
-    let mut t = Table::new(&["n", "k", "partitions", "normalized + verified proper", "agent swaps used"]);
+    let mut t = Table::new(&[
+        "n",
+        "k",
+        "partitions",
+        "normalized + verified proper",
+        "agent swaps used",
+    ]);
     for params in [Params::new(5, 2), Params::new(7, 2), Params::new(7, 3)] {
         let enc = params.encoding();
         let trials = 15;
@@ -336,7 +412,15 @@ fn e8_randomized() {
     println!("paper: the probabilistic complexity is O(n² max(log n, log k)) — an");
     println!("exponential-in-k/(log k) separation from the deterministic bound.\n");
     let mut rng = rng_for("e8");
-    let mut t = Table::new(&["2n", "k", "send-all bits", "mod-prime bits", "ratio", "errors/60", "error bound"]);
+    let mut t = Table::new(&[
+        "2n",
+        "k",
+        "send-all bits",
+        "mod-prime bits",
+        "ratio",
+        "errors/60",
+        "error bound",
+    ]);
     for dim in [8usize, 16] {
         for k in [8u32, 24, 48, 60] {
             let f = singularity(dim, k);
@@ -375,7 +459,12 @@ fn e8_randomized() {
 fn e9_reductions() {
     println!("\n--- E9 (Corollary 1.2): det/rank/QR/SVD/LUP all reveal singularity ---");
     let mut rng = rng_for("e9");
-    let mut t = Table::new(&["n", "trials", "all five extractions consistent", "A·B=C block trick consistent"]);
+    let mut t = Table::new(&[
+        "n",
+        "trials",
+        "all five extractions consistent",
+        "A·B=C block trick consistent",
+    ]);
     for n in [3usize, 4, 5] {
         let trials = 20;
         let mut ok12 = 0;
@@ -416,7 +505,13 @@ fn e9_reductions() {
 fn e10_solvability() {
     println!("\n--- E10 (Corollary 1.3): singular(M) ⟺ M'x = b solvable, on the family ---");
     let mut rng = rng_for("e10");
-    let mut t = Table::new(&["n", "k", "instances", "equivalence held", "padding checks (m=2n+d)"]);
+    let mut t = Table::new(&[
+        "n",
+        "k",
+        "instances",
+        "equivalence held",
+        "padding checks (m=2n+d)",
+    ]);
     for params in [Params::new(5, 2), Params::new(7, 2), Params::new(7, 3)] {
         let trials = 20;
         let mut ok = 0;
@@ -464,7 +559,9 @@ fn e10_solvability() {
             let b: Vec<ccmx_bigint::Integer> = if t % 2 == 0 {
                 (0..dim).map(|i| a[(i, 0)].clone()).collect()
             } else {
-                (0..dim).map(|_| ccmx_bigint::Integer::from(rng.gen_range(0..(1i64 << k)))).collect()
+                (0..dim)
+                    .map(|_| ccmx_bigint::Integer::from(rng.gen_range(0..(1i64 << k))))
+                    .collect()
             };
             let input = sf.encode(&a, &b);
             let run = ccmx_comm::run_sequential(&proto, &part, &input, t);
@@ -486,7 +583,15 @@ fn e10_solvability() {
 
 fn e11_vlsi() {
     println!("\n--- E11 (Section 1): AT² = Ω(k²n⁴), AT = Ω(k^3/2 n³), T = Ω(k^1/2 n) ---");
-    let mut t = Table::new(&["n", "k", "AT² ≥", "AT ≥", "T ≥", "vs CM: T ×", "vs CM: AT ×"]);
+    let mut t = Table::new(&[
+        "n",
+        "k",
+        "AT² ≥",
+        "AT ≥",
+        "T ≥",
+        "vs CM: T ×",
+        "vs CM: AT ×",
+    ]);
     for n in [64usize, 256, 1024] {
         for k in [8u32, 32] {
             let v = VlsiBounds::for_singularity_asymptotic(n, k);
@@ -505,7 +610,14 @@ fn e11_vlsi() {
     println!("{}", t.render());
     println!("systolic chip realization (measured bisection traffic vs k·n²):\n");
     let mut rng = rng_for("e11");
-    let mut t2 = Table::new(&["mesh n", "k", "cycles", "traffic bits", "k·n²", "product verified"]);
+    let mut t2 = Table::new(&[
+        "mesh n",
+        "k",
+        "cycles",
+        "traffic bits",
+        "k·n²",
+        "product verified",
+    ]);
     for n in [8usize, 16, 32] {
         let k = 13u32;
         let p = 8191u64;
@@ -530,7 +642,13 @@ fn e11_vlsi() {
 fn e12_span_problem() {
     println!("\n--- E12 (Lovász–Saks): the vector-space span problem ---");
     let mut rng = rng_for("e12");
-    let mut t = Table::new(&["dim", "trials", "span-union ⟺ nonsingular", "example #L", "log₂ #L bits"]);
+    let mut t = Table::new(&[
+        "dim",
+        "trials",
+        "span-union ⟺ nonsingular",
+        "example #L",
+        "log₂ #L bits",
+    ]);
     for dim in [4usize, 6] {
         let trials = 20;
         let mut ok = 0;

@@ -24,7 +24,9 @@ pub fn rng_for(experiment: &str) -> StdRng {
 
 /// A uniform random `dim × dim` matrix of `k`-bit entries.
 pub fn random_matrix(dim: usize, k: u32, rng: &mut StdRng) -> Matrix<Integer> {
-    Matrix::from_fn(dim, dim, |_, _| Integer::from(rng.gen_range(0..(1i64 << k))))
+    Matrix::from_fn(dim, dim, |_, _| {
+        Integer::from(rng.gen_range(0..(1i64 << k)))
+    })
 }
 
 /// A random matrix forced singular by duplicating a column.
@@ -73,7 +75,9 @@ pub fn random_c_e(params: Params, rng: &mut StdRng) -> (Matrix<Integer>, Matrix<
     let h = params.h();
     let q = params.q_u64();
     let c = Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64));
-    let e = Matrix::from_fn(h, params.e_width(), |_, _| Integer::from(rng.gen_range(0..q) as i64));
+    let e = Matrix::from_fn(h, params.e_width(), |_, _| {
+        Integer::from(rng.gen_range(0..q) as i64)
+    });
     (c, e)
 }
 
@@ -91,7 +95,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringified cells).

@@ -1,7 +1,7 @@
 //! Greatest common divisors and the extended Euclidean algorithm.
 
-use crate::{Integer, Natural};
 use crate::integer::Sign;
+use crate::{Integer, Natural};
 
 /// Euclidean GCD of two naturals (`gcd(0, 0) = 0`).
 pub fn gcd(a: &Natural, b: &Natural) -> Natural {
@@ -131,7 +131,15 @@ mod tests {
 
     #[test]
     fn extended_gcd_bezout_identity() {
-        let cases = [(240i64, 46), (-240, 46), (240, -46), (-240, -46), (0, 5), (5, 0), (1, 1)];
+        let cases = [
+            (240i64, 46),
+            (-240, 46),
+            (240, -46),
+            (-240, -46),
+            (0, 5),
+            (5, 0),
+            (1, 1),
+        ];
         for (a, b) in cases {
             let (g, x, y) = extended_gcd(&z(a), &z(b));
             assert_eq!(&(&z(a) * &x) + &(&z(b) * &y), g, "bezout for {a},{b}");

@@ -56,6 +56,9 @@ mod crate_tests {
         let b = Natural::from(7u64);
         assert_eq!((-a).to_natural().unwrap(), b);
         let r = Rational::new(Integer::from(1i64), Integer::from(2i64));
-        assert_eq!(r + Rational::new(Integer::from(1i64), Integer::from(2i64)), Rational::one());
+        assert_eq!(
+            r + Rational::new(Integer::from(1i64), Integer::from(2i64)),
+            Rational::one()
+        );
     }
 }

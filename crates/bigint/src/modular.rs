@@ -84,7 +84,9 @@ pub fn inv_mod_u64(a: u64, m: u64) -> Option<u64> {
 /// Reduce an [`Integer`] into `[0, m)` for a `u64` modulus.
 pub fn reduce_integer_u64(a: &Integer, m: u64) -> u64 {
     assert!(m > 0);
-    let r = (a.magnitude() % &Natural::from(m)).to_u64().expect("residue fits u64");
+    let r = (a.magnitude() % &Natural::from(m))
+        .to_u64()
+        .expect("residue fits u64");
     if a.is_negative() && r != 0 {
         m - r
     } else {
@@ -164,12 +166,18 @@ mod tests {
         let m = 1_000_000_007u64;
         for a in [0u64, 1, 5, m - 1] {
             for b in [0u64, 1, 7, m - 1] {
-                assert_eq!(add_mod_u64(a, b, m), ((a as u128 + b as u128) % m as u128) as u64);
+                assert_eq!(
+                    add_mod_u64(a, b, m),
+                    ((a as u128 + b as u128) % m as u128) as u64
+                );
                 assert_eq!(
                     sub_mod_u64(a, b, m),
                     ((a as i128 - b as i128).rem_euclid(m as i128)) as u64
                 );
-                assert_eq!(mul_mod_u64(a, b, m), ((a as u128 * b as u128) % m as u128) as u64);
+                assert_eq!(
+                    mul_mod_u64(a, b, m),
+                    ((a as u128 * b as u128) % m as u128) as u64
+                );
             }
         }
     }
@@ -179,7 +187,10 @@ mod tests {
         let m = u64::MAX - 58; // large modulus: the overflowing path
         let a = m - 1;
         let b = m - 2;
-        assert_eq!(add_mod_u64(a, b, m), ((a as u128 + b as u128) % m as u128) as u64);
+        assert_eq!(
+            add_mod_u64(a, b, m),
+            ((a as u128 + b as u128) % m as u128) as u64
+        );
     }
 
     #[test]
@@ -232,10 +243,22 @@ mod tests {
     #[test]
     fn symmetric_representatives() {
         let m = Natural::from(100u64);
-        assert_eq!(symmetric_representative(&Natural::from(3u64), &m), Integer::from(3i64));
-        assert_eq!(symmetric_representative(&Natural::from(97u64), &m), Integer::from(-3i64));
-        assert_eq!(symmetric_representative(&Natural::from(50u64), &m), Integer::from(50i64));
-        assert_eq!(symmetric_representative(&Natural::from(51u64), &m), Integer::from(-49i64));
+        assert_eq!(
+            symmetric_representative(&Natural::from(3u64), &m),
+            Integer::from(3i64)
+        );
+        assert_eq!(
+            symmetric_representative(&Natural::from(97u64), &m),
+            Integer::from(-3i64)
+        );
+        assert_eq!(
+            symmetric_representative(&Natural::from(50u64), &m),
+            Integer::from(50i64)
+        );
+        assert_eq!(
+            symmetric_representative(&Natural::from(51u64), &m),
+            Integer::from(-49i64)
+        );
     }
 
     #[test]

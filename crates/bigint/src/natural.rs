@@ -74,7 +74,8 @@ impl Natural {
         match self.limbs.last() {
             None => 0,
             Some(&top) => {
-                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64 + (LIMB_BITS - top.leading_zeros()) as u64
+                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64
+                    + (LIMB_BITS - top.leading_zeros()) as u64
             }
         }
     }
@@ -245,7 +246,11 @@ impl Natural {
         // Split at half of the longer operand.
         let half = a.len().div_ceil(2);
         let (a0, a1) = a.split_at(half.min(a.len()));
-        let (b0, b1) = if b.len() > half { b.split_at(half) } else { (b, &[][..]) };
+        let (b0, b1) = if b.len() > half {
+            b.split_at(half)
+        } else {
+            (b, &[][..])
+        };
         let a0n = Natural::from_limbs(a0.to_vec());
         let a1n = Natural::from_limbs(a1.to_vec());
         let b0n = Natural::from_limbs(b0.to_vec());
@@ -375,13 +380,27 @@ impl Natural {
         let shift = v[n - 1].leading_zeros();
         let mut vn = vec![0u32; n];
         for i in (1..n).rev() {
-            vn[i] = (v[i] << shift) | if shift == 0 { 0 } else { v[i - 1] >> (32 - shift) };
+            vn[i] = (v[i] << shift)
+                | if shift == 0 {
+                    0
+                } else {
+                    v[i - 1] >> (32 - shift)
+                };
         }
         vn[0] = v[0] << shift;
         let mut un = vec![0u32; u.len() + 1];
-        un[u.len()] = if shift == 0 { 0 } else { u[u.len() - 1] >> (32 - shift) };
+        un[u.len()] = if shift == 0 {
+            0
+        } else {
+            u[u.len() - 1] >> (32 - shift)
+        };
         for i in (1..u.len()).rev() {
-            un[i] = (u[i] << shift) | if shift == 0 { 0 } else { u[i - 1] >> (32 - shift) };
+            un[i] = (u[i] << shift)
+                | if shift == 0 {
+                    0
+                } else {
+                    u[i - 1] >> (32 - shift)
+                };
         }
         un[0] = u[0] << shift;
 
@@ -858,7 +877,10 @@ mod tests {
 
     #[test]
     fn multiplication_small() {
-        assert_eq!(&n(123456789) * &n(987654321), n(123456789u128 * 987654321u128));
+        assert_eq!(
+            &n(123456789) * &n(987654321),
+            n(123456789u128 * 987654321u128)
+        );
     }
 
     #[test]
@@ -875,9 +897,13 @@ mod tests {
         let mut limbs_b = Vec::new();
         let mut x = 0x9E3779B97F4A7C15u64;
         for _ in 0..(KARATSUBA_THRESHOLD * 3) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             limbs_a.push(x);
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             limbs_b.push(x);
         }
         let a = Natural::from_limbs(limbs_a);
@@ -931,7 +957,10 @@ mod tests {
             // u, v
             ("800000008000000200000005", "8000000080000002"),
             ("80000000fffffffe00000000", "80000000ffffffff"),
-            ("00007fff800000010000000000000000", "00008000000000010000000000000000"),
+            (
+                "00007fff800000010000000000000000",
+                "00008000000000010000000000000000",
+            ),
             ("7fffffff800000010000000000000000", "8000000080000001"),
         ];
         for (us, vs) in cases {
@@ -946,7 +975,14 @@ mod tests {
     #[test]
     fn division_stress_structured_limbs() {
         // Dividends/divisors built from extreme limb patterns.
-        let patterns = [0u64, 1, u64::MAX, u64::MAX - 1, 1u64 << 63, (1u64 << 63) - 1];
+        let patterns = [
+            0u64,
+            1,
+            u64::MAX,
+            u64::MAX - 1,
+            1u64 << 63,
+            (1u64 << 63) - 1,
+        ];
         for &a0 in &patterns {
             for &a1 in &patterns {
                 for &b0 in &patterns {
@@ -1023,7 +1059,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let vals = [n(0), n(1), n(2), n(u64::MAX as u128), n(u64::MAX as u128 + 1), n(u128::MAX)];
+        let vals = [
+            n(0),
+            n(1),
+            n(2),
+            n(u64::MAX as u128),
+            n(u64::MAX as u128 + 1),
+            n(u128::MAX),
+        ];
         for w in vals.windows(2) {
             assert!(w[0] < w[1]);
         }
@@ -1038,7 +1081,16 @@ mod tests {
 
     #[test]
     fn hex_roundtrip_matches_u128() {
-        for v in [0u128, 1, 15, 16, 255, 0xDEADBEEF, u64::MAX as u128, u128::MAX] {
+        for v in [
+            0u128,
+            1,
+            15,
+            16,
+            255,
+            0xDEADBEEF,
+            u64::MAX as u128,
+            u128::MAX,
+        ] {
             let n = Natural::from(v);
             assert_eq!(n.to_hex(), format!("{v:x}"));
             assert_eq!(Natural::from_hex_str(&n.to_hex()).unwrap(), n);

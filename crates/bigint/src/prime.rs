@@ -96,7 +96,10 @@ pub struct PrimeWindow {
 impl PrimeWindow {
     /// Construct a window of the given bit size.
     pub fn new(bits: u32) -> Self {
-        assert!((2..=63).contains(&bits), "PrimeWindow bits must be in 2..=63");
+        assert!(
+            (2..=63).contains(&bits),
+            "PrimeWindow bits must be in 2..=63"
+        );
         PrimeWindow { bits }
     }
 
@@ -138,7 +141,10 @@ impl PrimeWindow {
     /// Exact prime count in the window (only feasible for small windows;
     /// used by tests to validate `count_lower_bound`).
     pub fn count_exact(&self) -> u64 {
-        assert!(self.bits <= 24, "exact count only supported for small windows");
+        assert!(
+            self.bits <= 24,
+            "exact count only supported for small windows"
+        );
         let primes = sieve(self.hi() as usize);
         primes.iter().filter(|&&p| p >= self.lo()).count() as u64
     }
@@ -182,7 +188,10 @@ mod tests {
         let primes: Vec<u64> = (0..100).filter(|&n| is_prime_u64(n)).collect();
         assert_eq!(
             primes,
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
         );
     }
 

@@ -65,7 +65,11 @@ pub fn nonzero_integer<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Integer {
     loop {
         let m = natural_with_bits(rng, bits);
         if !m.is_zero() {
-            let sign = if rng.gen::<bool>() { Sign::Positive } else { Sign::Negative };
+            let sign = if rng.gen::<bool>() {
+                Sign::Positive
+            } else {
+                Sign::Negative
+            };
             return Integer::from_sign_magnitude(sign, m);
         }
     }
@@ -99,7 +103,10 @@ mod tests {
             assert!(v < 10);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "uniform sampler missed a value in [0,10)");
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform sampler missed a value in [0,10)"
+        );
     }
 
     #[test]

@@ -23,12 +23,18 @@ pub struct Rational {
 impl Rational {
     /// The value 0.
     pub fn zero() -> Self {
-        Rational { num: Integer::zero(), den: Natural::one() }
+        Rational {
+            num: Integer::zero(),
+            den: Natural::one(),
+        }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        Rational { num: Integer::one(), den: Natural::one() }
+        Rational {
+            num: Integer::one(),
+            den: Natural::one(),
+        }
     }
 
     /// Build `num / den`, normalizing. Panics if `den` is zero.
@@ -96,7 +102,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Convert to [`Integer`] if the denominator is 1.
@@ -112,7 +121,10 @@ impl Rational {
 
 impl From<Integer> for Rational {
     fn from(i: Integer) -> Self {
-        Rational { num: i, den: Natural::one() }
+        Rational {
+            num: i,
+            den: Natural::one(),
+        }
     }
 }
 
@@ -168,13 +180,19 @@ impl AddAssign<&Rational> for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 

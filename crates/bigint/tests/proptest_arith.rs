@@ -24,7 +24,8 @@ fn arb_integer() -> impl Strategy<Value = Integer> {
 }
 
 fn arb_rational() -> impl Strategy<Value = Rational> {
-    (any::<i64>(), 1..=u32::MAX).prop_map(|(n, d)| Rational::new(Integer::from(n), Integer::from(d as i64)))
+    (any::<i64>(), 1..=u32::MAX)
+        .prop_map(|(n, d)| Rational::new(Integer::from(n), Integer::from(d as i64)))
 }
 
 proptest! {
@@ -75,10 +76,10 @@ proptest! {
     fn natural_matches_u128(a in any::<u128>(), b in any::<u128>()) {
         let (na, nb) = (Natural::from(a), Natural::from(b));
         prop_assert_eq!((&na + &nb).to_string(), (a.checked_add(b).map(|s| s.to_string())).unwrap_or_else(|| (&na + &nb).to_string()));
-        if b != 0 {
+        if let (Some(expect_q), Some(expect_r)) = (a.checked_div(b), a.checked_rem(b)) {
             let (q, r) = na.div_rem(&nb);
-            prop_assert_eq!(q.to_u128().unwrap(), a / b);
-            prop_assert_eq!(r.to_u128().unwrap(), a % b);
+            prop_assert_eq!(q.to_u128().unwrap(), expect_q);
+            prop_assert_eq!(r.to_u128().unwrap(), expect_r);
         }
     }
 
@@ -90,9 +91,9 @@ proptest! {
     #[test]
     fn natural_isqrt_bounds(a in arb_natural()) {
         let s = a.isqrt();
-        prop_assert!(&(&s * &s) <= &a);
+        prop_assert!((&s * &s) <= a);
         let s1 = &s + &Natural::one();
-        prop_assert!(&(&s1 * &s1) > &a);
+        prop_assert!((&s1 * &s1) > a);
     }
 
     #[test]

@@ -11,7 +11,9 @@ pub struct BitString {
 impl BitString {
     /// All-zero string of the given length.
     pub fn zeros(len: usize) -> Self {
-        BitString { bits: vec![false; len] }
+        BitString {
+            bits: vec![false; len],
+        }
     }
 
     /// From a `Vec<bool>`.
@@ -22,13 +24,18 @@ impl BitString {
     /// The low `len` bits of `value`, LSB first.
     pub fn from_u64(value: u64, len: usize) -> Self {
         assert!(len <= 64);
-        BitString { bits: (0..len).map(|i| (value >> i) & 1 == 1).collect() }
+        BitString {
+            bits: (0..len).map(|i| (value >> i) & 1 == 1).collect(),
+        }
     }
 
     /// Interpret as an integer, LSB first. Panics if longer than 64 bits.
     pub fn to_u64(&self) -> u64 {
         assert!(self.bits.len() <= 64, "BitString too long for u64");
-        self.bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
     }
 
     /// Length in bits.
@@ -94,8 +101,15 @@ impl Share {
     /// Build a share; `positions` must be strictly increasing and aligned
     /// with `values`.
     pub fn new(positions: Vec<usize>, values: Vec<bool>) -> Self {
-        assert_eq!(positions.len(), values.len(), "share positions/values mismatch");
-        assert!(positions.windows(2).all(|w| w[0] < w[1]), "share positions must be strictly increasing");
+        assert_eq!(
+            positions.len(),
+            values.len(),
+            "share positions/values mismatch"
+        );
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "share positions must be strictly increasing"
+        );
         Share { positions, values }
     }
 
@@ -121,7 +135,10 @@ impl Share {
 
     /// Value of global bit position `pos`, if owned.
     pub fn get(&self, pos: usize) -> Option<bool> {
-        self.positions.binary_search(&pos).ok().map(|i| self.values[i])
+        self.positions
+            .binary_search(&pos)
+            .ok()
+            .map(|i| self.values[i])
     }
 
     /// Does this share own position `pos`?

@@ -72,9 +72,7 @@ pub fn fooling_set_greedy(t: &TruthMatrix) -> Vec<(usize, usize)> {
             if !t.get(x, y) {
                 continue;
             }
-            let compatible = set
-                .iter()
-                .all(|&(px, py)| !t.get(x, py) || !t.get(px, y));
+            let compatible = set.iter().all(|&(px, py)| !t.get(x, py) || !t.get(px, y));
             if compatible {
                 set.push((x, y));
             }
@@ -137,8 +135,8 @@ pub fn largest_one_rectangle_greedy(t: &TruthMatrix) -> (Vec<usize>, Vec<usize>)
                     best_gain = Some((cand, inter, area));
                 }
             }
-            let current_area = (rows.len() as u64)
-                * col_mask.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+            let current_area =
+                (rows.len() as u64) * col_mask.iter().map(|w| w.count_ones() as u64).sum::<u64>();
             match best_gain {
                 Some((cand, inter, area)) if area > current_area => {
                     rows.push(cand);
@@ -263,9 +261,7 @@ mod tests {
         // Plant a 3x5 all-ones rectangle in a sparse sea.
         let rows = [1usize, 4, 6];
         let cols = [0usize, 2, 3, 8, 9];
-        let t = TruthMatrix::from_fn(8, 12, |x, y| {
-            rows.contains(&x) && cols.contains(&y)
-        });
+        let t = TruthMatrix::from_fn(8, 12, |x, y| rows.contains(&x) && cols.contains(&y));
         let (rs, cs) = largest_one_rectangle_greedy(&t);
         assert!(is_one_rectangle(&t, &rs, &cs));
         assert_eq!(rs.len() * cs.len(), 15);
@@ -302,7 +298,12 @@ mod tests {
         let n = 16;
         let t = TruthMatrix::from_fn(n, n, |x, y| x >= y);
         let fs = fooling_set_greedy(&t);
-        assert!(fs.len() >= n, "greedy found only {} of {} diagonal pairs", fs.len(), n);
+        assert!(
+            fs.len() >= n,
+            "greedy found only {} of {} diagonal pairs",
+            fs.len(),
+            n
+        );
         assert_eq!(rank_mod_p(&t, 1_000_000_007), n);
     }
 }

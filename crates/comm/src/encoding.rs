@@ -61,24 +61,36 @@ impl MatrixEncoding {
 
     /// All bit positions of column `col`.
     pub fn column_positions(&self, col: usize) -> Vec<usize> {
-        (0..self.dim).flat_map(|r| self.entry_positions(r, col)).collect()
+        (0..self.dim)
+            .flat_map(|r| self.entry_positions(r, col))
+            .collect()
     }
 
     /// All bit positions of row `row`.
     pub fn row_positions(&self, row: usize) -> Vec<usize> {
-        (0..self.dim).flat_map(|c| self.entry_positions(row, c)).collect()
+        (0..self.dim)
+            .flat_map(|c| self.entry_positions(row, c))
+            .collect()
     }
 
     /// Encode a matrix (entries must be in `[0, 2^k − 1]`).
     pub fn encode(&self, m: &Matrix<Integer>) -> BitString {
-        assert_eq!((m.rows(), m.cols()), (self.dim, self.dim), "matrix shape mismatch");
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (self.dim, self.dim),
+            "matrix shape mismatch"
+        );
         let mut bits = BitString::zeros(self.total_bits());
         for r in 0..self.dim {
             for c in 0..self.dim {
                 let e = &m[(r, c)];
                 assert!(!e.is_negative(), "entries must be non-negative");
                 let mag = e.magnitude();
-                assert!(mag.bit_len() <= self.k as u64, "entry {e} exceeds {} bits", self.k);
+                assert!(
+                    mag.bit_len() <= self.k as u64,
+                    "entry {e} exceeds {} bits",
+                    self.k
+                );
                 for b in 0..self.k {
                     bits.set(self.position(r, c, b), mag.bit(b as u64));
                 }

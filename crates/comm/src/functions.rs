@@ -43,7 +43,9 @@ pub struct Singularity {
 impl Singularity {
     /// Singularity of `dim × dim` matrices of `k`-bit entries.
     pub fn new(dim: usize, k: u32) -> Self {
-        Singularity { enc: MatrixEncoding::new(dim, k) }
+        Singularity {
+            enc: MatrixEncoding::new(dim, k),
+        }
     }
 }
 
@@ -75,7 +77,9 @@ pub struct Solvability {
 impl Solvability {
     /// Solvability for `dim × dim` systems of `k`-bit integers.
     pub fn new(dim: usize, k: u32) -> Self {
-        Solvability { enc: MatrixEncoding::new(dim, k) }
+        Solvability {
+            enc: MatrixEncoding::new(dim, k),
+        }
     }
 
     /// Split an input into `(A, b)`.
@@ -140,21 +144,29 @@ pub struct ProductCheck {
 impl ProductCheck {
     /// Product check for `dim × dim` matrices of `k`-bit entries.
     pub fn new(dim: usize, k: u32) -> Self {
-        ProductCheck { enc: MatrixEncoding::new(dim, k) }
+        ProductCheck {
+            enc: MatrixEncoding::new(dim, k),
+        }
     }
 
     /// Split the input into `(A, B, C)`.
     pub fn decode(&self, input: &BitString) -> (Matrix<Integer>, Matrix<Integer>, Matrix<Integer>) {
         let per = self.enc.total_bits();
         let part = |i: usize| {
-            self.enc
-                .decode(&BitString::from_bits(input.as_slice()[i * per..(i + 1) * per].to_vec()))
+            self.enc.decode(&BitString::from_bits(
+                input.as_slice()[i * per..(i + 1) * per].to_vec(),
+            ))
         };
         (part(0), part(1), part(2))
     }
 
     /// Encode `(A, B, C)`.
-    pub fn encode(&self, a: &Matrix<Integer>, b: &Matrix<Integer>, c: &Matrix<Integer>) -> BitString {
+    pub fn encode(
+        &self,
+        a: &Matrix<Integer>,
+        b: &Matrix<Integer>,
+        c: &Matrix<Integer>,
+    ) -> BitString {
         let mut bits = self.enc.encode(a);
         bits.extend(&self.enc.encode(b));
         bits.extend(&self.enc.encode(c));

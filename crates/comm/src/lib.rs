@@ -54,4 +54,7 @@ pub mod yao;
 pub use bits::BitString;
 pub use encoding::MatrixEncoding;
 pub use partition::Partition;
-pub use protocol::{run_sequential, run_threaded, Step, Transcript, Turn, TwoPartyProtocol};
+pub use protocol::{
+    mem_channel_pair, run_agent, run_sequential, run_threaded, ChannelError, MemChannel, Message,
+    MsgChannel, RunResult, Step, Transcript, Turn, TwoPartyProtocol, WireMsg,
+};

@@ -69,7 +69,11 @@ pub fn meter_exhaustive(
     for v in 0u64..(1u64 << n) {
         let input = BitString::from_u64(v, n);
         let r = run_sequential(proto, partition, &input, seed ^ v);
-        runs.push((r.cost_bits(), r.transcript.rounds(), r.output == f.eval(&input)));
+        runs.push((
+            r.cost_bits(),
+            r.transcript.rounds(),
+            r.output == f.eval(&input),
+        ));
     }
     MeterReport::from_runs(proto.name(), &runs)
 }
@@ -88,7 +92,11 @@ pub fn meter_random(
     for t in 0..trials {
         let input = BitString::from_bits((0..n).map(|_| rng.gen()).collect());
         let r = run_sequential(proto, partition, &input, seed.wrapping_add(t as u64));
-        runs.push((r.cost_bits(), r.transcript.rounds(), r.output == f.eval(&input)));
+        runs.push((
+            r.cost_bits(),
+            r.transcript.rounds(),
+            r.output == f.eval(&input),
+        ));
     }
     MeterReport::from_runs(proto.name(), &runs)
 }
@@ -102,12 +110,37 @@ pub fn meter_inputs(
     inputs: &[BitString],
     seed: u64,
 ) -> MeterReport {
+    meter_inputs_with(&run_sequential, proto, partition, f, inputs, seed)
+}
+
+/// The runner seam: any executor with [`run_sequential`]'s signature.
+///
+/// `ccmx-net` passes TCP-transported executors through this to meter a
+/// protocol *over real sockets* with the same referee; the reports must
+/// agree bit-for-bit with the sequential runner's.
+pub type Runner =
+    dyn Fn(&dyn TwoPartyProtocol, &Partition, &BitString, u64) -> crate::protocol::RunResult;
+
+/// [`meter_inputs`] with an explicit runner (sequential, threaded, or a
+/// wire transport supplied by another crate).
+pub fn meter_inputs_with(
+    runner: &Runner,
+    proto: &dyn TwoPartyProtocol,
+    partition: &Partition,
+    f: &dyn BooleanFunction,
+    inputs: &[BitString],
+    seed: u64,
+) -> MeterReport {
     let runs: Vec<(usize, usize, bool)> = inputs
         .iter()
         .enumerate()
         .map(|(i, input)| {
-            let r = run_sequential(proto, partition, input, seed.wrapping_add(i as u64));
-            (r.cost_bits(), r.transcript.rounds(), r.output == f.eval(input))
+            let r = runner(proto, partition, input, seed.wrapping_add(i as u64));
+            (
+                r.cost_bits(),
+                r.transcript.rounds(),
+                r.output == f.eval(input),
+            )
         })
         .collect();
     MeterReport::from_runs(proto.name(), &runs)
@@ -140,7 +173,10 @@ mod tests {
         let enc = proto.enc;
         let p = Partition::pi_zero(&enc);
         let rep = meter_exhaustive(&proto, &p, &Singularity::new(2, 2), 7);
-        assert_eq!(rep.errors, 0, "2^-25 error should not materialize in 256 trials");
+        assert_eq!(
+            rep.errors, 0,
+            "2^-25 error should not materialize in 256 trials"
+        );
         assert_eq!(rep.max_bits, proto.predicted_cost());
     }
 
@@ -160,7 +196,10 @@ mod tests {
         let f = Equality { half_bits: 2 };
         let proto = SendAll::new(Equality { half_bits: 2 });
         let p = crate::protocols::fingerprint::fixed_partition(2);
-        let inputs = vec![BitString::from_u64(0b0101, 4), BitString::from_u64(0b1101, 4)];
+        let inputs = vec![
+            BitString::from_u64(0b0101, 4),
+            BitString::from_u64(0b1101, 4),
+        ];
         let rep = meter_inputs(&proto, &p, &f, &inputs, 0);
         assert_eq!(rep.trials, 2);
         assert_eq!(rep.errors, 0);

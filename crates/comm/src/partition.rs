@@ -98,7 +98,10 @@ impl Partition {
     /// The paper's `π₀` (Definition 2.1): for a `2m × 2m` matrix, agent A
     /// reads all bits of the first `m` columns, agent B the rest.
     pub fn pi_zero(enc: &MatrixEncoding) -> Partition {
-        assert!(enc.dim.is_multiple_of(2), "π₀ requires even matrix dimension");
+        assert!(
+            enc.dim.is_multiple_of(2),
+            "π₀ requires even matrix dimension"
+        );
         let half = enc.dim / 2;
         let mut owners = vec![Owner::B; enc.total_bits()];
         for col in 0..half {
@@ -121,7 +124,10 @@ impl Partition {
     /// The row-split partition: A owns the top half of the rows. (Used as
     /// an alternative fixed partition in the metering experiments.)
     pub fn row_split(enc: &MatrixEncoding) -> Partition {
-        assert!(enc.dim.is_multiple_of(2), "row split requires even dimension");
+        assert!(
+            enc.dim.is_multiple_of(2),
+            "row split requires even dimension"
+        );
         let half = enc.dim / 2;
         let mut owners = vec![Owner::B; enc.total_bits()];
         for row in 0..half {
@@ -139,7 +145,12 @@ impl Partition {
     /// This is the transformation Lemma 3.9 is allowed to make: permuting
     /// rows and columns of the input matrix does not change its rank, and
     /// relabels which bit positions each agent reads.
-    pub fn permuted(&self, enc: &MatrixEncoding, row_perm: &[usize], col_perm: &[usize]) -> Partition {
+    pub fn permuted(
+        &self,
+        enc: &MatrixEncoding,
+        row_perm: &[usize],
+        col_perm: &[usize],
+    ) -> Partition {
         assert_eq!(self.len(), enc.total_bits());
         assert_eq!(row_perm.len(), enc.dim);
         assert_eq!(col_perm.len(), enc.dim);
@@ -268,7 +279,7 @@ mod tests {
     fn permuted_tracks_coordinates() {
         let enc = MatrixEncoding::new(2, 1);
         let p = Partition::pi_zero(&enc); // A owns column 0
-        // Swap the two columns: now A's bits sit where column 1 is.
+                                          // Swap the two columns: now A's bits sit where column 1 is.
         let q = p.permuted(&enc, &[0, 1], &[1, 0]);
         for r in 0..2 {
             for pos in enc.entry_positions(r, 0) {

@@ -58,7 +58,15 @@ pub struct Transcript {
 impl Transcript {
     /// Empty transcript.
     pub fn new() -> Self {
-        Transcript { messages: Vec::new() }
+        Transcript {
+            messages: Vec::new(),
+        }
+    }
+
+    /// Reassemble a transcript from decoded messages (the wire-transport
+    /// layer's deserialization path).
+    pub fn from_messages(messages: Vec<Message>) -> Self {
+        Transcript { messages }
     }
 
     /// Append a message.
@@ -187,14 +195,23 @@ pub fn run_sequential(
             Turn::A => (&share_a, &mut rng_a),
             Turn::B => (&share_b, &mut rng_b),
         };
-        let ctx = AgentCtx { turn, share, partition, transcript: &transcript };
+        let ctx = AgentCtx {
+            turn,
+            share,
+            partition,
+            transcript: &transcript,
+        };
         match proto.step(&ctx, rng) {
             Step::Send(bits) => {
                 transcript.push(turn, bits);
                 turn = turn.other();
             }
             Step::Output(value) => {
-                return RunResult { output: value, announced_by: turn, transcript };
+                return RunResult {
+                    output: value,
+                    announced_by: turn,
+                    transcript,
+                };
             }
         }
     }
@@ -204,9 +221,143 @@ pub fn run_sequential(
     );
 }
 
-enum Wire {
+/// One unit on the wire between two agents: either a protocol message or
+/// the announced output. This is the *entire* vocabulary two separated
+/// parties exchange — any transport that can carry `WireMsg` can host a
+/// protocol run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A protocol message (its bits are metered).
     Bits(BitString),
+    /// The announced output; the run ends.
     Final(bool),
+}
+
+/// Error from a [`MsgChannel`]: the peer vanished, timed out, or sent
+/// garbage. Carries a human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelError(pub String);
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// The transport seam: a duplex channel carrying [`WireMsg`] between the
+/// two agents. `ccmx-comm` ships the in-memory implementation
+/// ([`MemChannel`]); `ccmx-net` adds framed TCP sockets. [`run_agent`]
+/// is written against this trait only, so every transport executes the
+/// *identical* agent state machine.
+pub trait MsgChannel {
+    /// Deliver a message to the peer.
+    fn send_msg(&mut self, msg: WireMsg) -> Result<(), ChannelError>;
+    /// Block until the peer's next message arrives.
+    fn recv_msg(&mut self) -> Result<WireMsg, ChannelError>;
+}
+
+/// In-memory transport: a pair of crossbeam channels. [`mem_channel_pair`]
+/// builds the two connected endpoints.
+pub struct MemChannel {
+    tx: crossbeam::channel::Sender<WireMsg>,
+    rx: crossbeam::channel::Receiver<WireMsg>,
+}
+
+/// Two connected in-memory endpoints (first for agent A, second for B).
+pub fn mem_channel_pair() -> (MemChannel, MemChannel) {
+    let (to_b, from_a) = crossbeam::channel::unbounded::<WireMsg>();
+    let (to_a, from_b) = crossbeam::channel::unbounded::<WireMsg>();
+    (
+        MemChannel {
+            tx: to_b,
+            rx: from_b,
+        },
+        MemChannel {
+            tx: to_a,
+            rx: from_a,
+        },
+    )
+}
+
+impl MsgChannel for MemChannel {
+    fn send_msg(&mut self, msg: WireMsg) -> Result<(), ChannelError> {
+        self.tx
+            .send(msg)
+            .map_err(|_| ChannelError("peer hung up".into()))
+    }
+
+    fn recv_msg(&mut self) -> Result<WireMsg, ChannelError> {
+        self.rx
+            .recv()
+            .map_err(|_| ChannelError("peer hung up".into()))
+    }
+}
+
+/// Execute one agent's half of a protocol over an arbitrary transport.
+///
+/// The agent sees only its own share; everything else arrives through
+/// `chan`. Returns the agent's independently assembled [`RunResult`]
+/// (both sides of a correct run assemble identical transcripts — the
+/// runners assert this). Transport failures surface as `Err`; a
+/// protocol exceeding [`round_limit`] panics, exactly as in
+/// [`run_sequential`].
+pub fn run_agent(
+    proto: &dyn TwoPartyProtocol,
+    partition: &Partition,
+    share: &Share,
+    turn: Turn,
+    seed: u64,
+    limit: usize,
+    chan: &mut dyn MsgChannel,
+) -> Result<RunResult, ChannelError> {
+    let mut rng = rng_for(seed, turn);
+    let mut transcript = Transcript::new();
+    let mut my_turn = proto.first_turn() == turn;
+    for _ in 0..limit {
+        if my_turn {
+            let ctx = AgentCtx {
+                turn,
+                share,
+                partition,
+                transcript: &transcript,
+            };
+            match proto.step(&ctx, &mut rng) {
+                Step::Send(bits) => {
+                    transcript.push(turn, bits.clone());
+                    chan.send_msg(WireMsg::Bits(bits))?;
+                    my_turn = false;
+                }
+                Step::Output(value) => {
+                    chan.send_msg(WireMsg::Final(value))?;
+                    return Ok(RunResult {
+                        output: value,
+                        announced_by: turn,
+                        transcript,
+                    });
+                }
+            }
+        } else {
+            match chan.recv_msg()? {
+                WireMsg::Bits(bits) => {
+                    transcript.push(turn.other(), bits);
+                    my_turn = true;
+                }
+                WireMsg::Final(value) => {
+                    return Ok(RunResult {
+                        output: value,
+                        announced_by: turn.other(),
+                        transcript,
+                    });
+                }
+            }
+        }
+    }
+    panic!(
+        "protocol '{}' exceeded the round limit ({limit}) in transported run",
+        proto.name()
+    );
 }
 
 /// Execute a protocol as two OS threads over crossbeam channels.
@@ -223,56 +374,50 @@ pub fn run_threaded(
 ) -> RunResult {
     let (share_a, share_b) = partition.split(input);
     let limit = round_limit(input.len());
-    let (to_b, from_a) = crossbeam::channel::unbounded::<Wire>();
-    let (to_a, from_b) = crossbeam::channel::unbounded::<Wire>();
-
-    let agent = |turn: Turn,
-                 share: Share,
-                 tx: crossbeam::channel::Sender<Wire>,
-                 rx: crossbeam::channel::Receiver<Wire>|
-     -> (bool, Turn, Transcript) {
-        let mut rng = rng_for(seed, turn);
-        let mut transcript = Transcript::new();
-        let mut my_turn = proto.first_turn() == turn;
-        for _ in 0..limit {
-            if my_turn {
-                let ctx = AgentCtx { turn, share: &share, partition, transcript: &transcript };
-                match proto.step(&ctx, &mut rng) {
-                    Step::Send(bits) => {
-                        transcript.push(turn, bits.clone());
-                        tx.send(Wire::Bits(bits)).expect("peer hung up");
-                        my_turn = false;
-                    }
-                    Step::Output(value) => {
-                        tx.send(Wire::Final(value)).expect("peer hung up");
-                        return (value, turn, transcript);
-                    }
-                }
-            } else {
-                match rx.recv().expect("peer hung up") {
-                    Wire::Bits(bits) => {
-                        transcript.push(turn.other(), bits);
-                        my_turn = true;
-                    }
-                    Wire::Final(value) => {
-                        return (value, turn.other(), transcript);
-                    }
-                }
-            }
-        }
-        panic!("protocol '{}' exceeded the round limit in threaded run", proto.name());
-    };
+    let (mut chan_a, mut chan_b) = mem_channel_pair();
 
     let (res_a, res_b) = crossbeam::scope(|s| {
-        let ha = s.spawn(|_| agent(Turn::A, share_a, to_b, from_b));
-        let hb = s.spawn(|_| agent(Turn::B, share_b, to_a, from_a));
-        (ha.join().expect("agent A panicked"), hb.join().expect("agent B panicked"))
+        let ha = s.spawn(|_| {
+            run_agent(
+                proto,
+                partition,
+                &share_a,
+                Turn::A,
+                seed,
+                limit,
+                &mut chan_a,
+            )
+            .expect("peer hung up")
+        });
+        let hb = s.spawn(|_| {
+            run_agent(
+                proto,
+                partition,
+                &share_b,
+                Turn::B,
+                seed,
+                limit,
+                &mut chan_b,
+            )
+            .expect("peer hung up")
+        });
+        (
+            ha.join().expect("agent A panicked"),
+            hb.join().expect("agent B panicked"),
+        )
     })
     .expect("thread scope failed");
 
-    assert_eq!(res_a.0, res_b.0, "agents disagree on the output");
-    assert_eq!(res_a.2, res_b.2, "agents hold different transcripts");
-    RunResult { output: res_a.0, announced_by: res_a.1, transcript: res_a.2 }
+    assert_eq!(res_a.output, res_b.output, "agents disagree on the output");
+    assert_eq!(
+        res_a.transcript, res_b.transcript,
+        "agents hold different transcripts"
+    );
+    RunResult {
+        output: res_a.output,
+        announced_by: res_a.announced_by,
+        transcript: res_a.transcript,
+    }
 }
 
 #[cfg(test)]
@@ -290,8 +435,8 @@ mod tests {
                 Turn::A => Step::Send(ctx.share.to_bitstring()),
                 Turn::B => {
                     let received = ctx.transcript.bits_from(Turn::A);
-                    let ones = received.count_ones()
-                        + ctx.share.values().iter().filter(|&&b| b).count();
+                    let ones =
+                        received.count_ones() + ctx.share.values().iter().filter(|&&b| b).count();
                     Step::Output(ones % 2 == 1)
                 }
             }
@@ -314,7 +459,11 @@ mod tests {
     }
 
     fn any_partition(len: usize) -> Partition {
-        Partition::new((0..len).map(|i| if i % 2 == 0 { Owner::A } else { Owner::B }).collect())
+        Partition::new(
+            (0..len)
+                .map(|i| if i % 2 == 0 { Owner::A } else { Owner::B })
+                .collect(),
+        )
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl BisectEquality {
     pub fn new(half_bits: usize, security: u32) -> Self {
         assert!(half_bits >= 1);
         let bound = Natural::power_of_two(half_bits as u64);
-        BisectEquality { half_bits, window: window_for_error(&bound, security) }
+        BisectEquality {
+            half_bits,
+            window: window_for_error(&bound, security),
+        }
     }
 
     /// Number of bisection rounds for the full search.

@@ -35,7 +35,10 @@ impl FingerprintEquality {
     /// fingerprinted is `x - y` with `|x - y| < 2^half_bits`.
     pub fn new(half_bits: usize, security: u32) -> Self {
         let bound = Natural::power_of_two(half_bits as u64);
-        FingerprintEquality { half_bits, window: window_for_error(&bound, security) }
+        FingerprintEquality {
+            half_bits,
+            window: window_for_error(&bound, security),
+        }
     }
 
     /// Cost of every run: prime + residue.
@@ -51,7 +54,10 @@ impl FingerprintEquality {
         };
         let mut v = Natural::zero();
         for i in 0..self.half_bits {
-            if ctx.share.get(offset + i).expect("fixed-partition protocol: agent must own its half")
+            if ctx
+                .share
+                .get(offset + i)
+                .expect("fixed-partition protocol: agent must own its half")
             {
                 v.set_bit(i as u64, true);
             }
@@ -79,8 +85,7 @@ impl TwoPartyProtocol for FingerprintEquality {
             Turn::B => {
                 let msg = &ctx.transcript.messages()[0].bits;
                 let p = BitString::from_bits(msg.as_slice()[..64].to_vec()).to_u64();
-                let a_res =
-                    BitString::from_bits(msg.as_slice()[64..].to_vec()).to_u64();
+                let a_res = BitString::from_bits(msg.as_slice()[64..].to_vec()).to_u64();
                 let y = self.my_value(ctx);
                 let b_res = (&y % &Natural::from(p)).to_u64().expect("residue fits");
                 Step::Output(a_res == b_res)
@@ -147,7 +152,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert_eq!(wrong, 0, "fingerprint equality erred far above the analysis");
+        assert_eq!(
+            wrong, 0,
+            "fingerprint equality erred far above the analysis"
+        );
     }
 
     #[test]
@@ -170,7 +178,10 @@ mod tests {
             let mut input = BitString::from_u64(x, half);
             input.extend(&BitString::from_u64(y, half));
             let r = run_sequential(&proto, &p, &input, flip as u64);
-            assert!(!r.output, "missed a single-bit difference at position {flip}");
+            assert!(
+                !r.output,
+                "missed a single-bit difference at position {flip}"
+            );
         }
     }
 

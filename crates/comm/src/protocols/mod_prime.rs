@@ -46,7 +46,10 @@ impl ModPrimeSingularity {
     pub fn new(dim: usize, k: u32, security: u32) -> Self {
         let enc = MatrixEncoding::new(dim, k);
         let bound = hadamard_bound_k_bits(dim, k);
-        ModPrimeSingularity { enc, window: window_for_error(&bound, security) }
+        ModPrimeSingularity {
+            enc,
+            window: window_for_error(&bound, security),
+        }
     }
 
     /// Exact cost in bits of every run: the prime (64) plus one residue of
@@ -94,8 +97,8 @@ impl TwoPartyProtocol for ModPrimeSingularity {
                 let d = self.enc.dim;
                 let m = Matrix::from_fn(d, d, |r, c| {
                     let idx = 64 + (r * d + c) * bits_per;
-                    let a_res = BitString::from_bits(msg.as_slice()[idx..idx + bits_per].to_vec())
-                        .to_u64();
+                    let a_res =
+                        BitString::from_bits(msg.as_slice()[idx..idx + bits_per].to_vec()).to_u64();
                     field.add(&a_res, &field.reduce(&my_partials[(r, c)]))
                 });
                 Step::Output(gauss::is_singular(&field, &m))

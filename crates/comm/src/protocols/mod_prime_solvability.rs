@@ -42,7 +42,10 @@ impl ModPrimeSolvability {
         let function = Solvability::new(dim, k);
         // Minors of [A | b] are at most (dim)x(dim); bound accordingly.
         let bound = hadamard_bound_k_bits(dim, k);
-        ModPrimeSolvability { function, window: window_for_error(&bound, security) }
+        ModPrimeSolvability {
+            function,
+            window: window_for_error(&bound, security),
+        }
     }
 
     /// Exact cost in bits: prime + one residue per entry of `A` and `b`.
@@ -73,7 +76,10 @@ impl ModPrimeSolvability {
                 b[rel / k].set_bit((rel % k) as u64, true);
             }
         }
-        (a.map(|n| Integer::from(n.clone())), b.into_iter().map(Integer::from).collect())
+        (
+            a.map(|n| Integer::from(n.clone())),
+            b.into_iter().map(Integer::from).collect(),
+        )
     }
 }
 
@@ -143,7 +149,9 @@ mod tests {
             let j = rng.gen_range(0..dim);
             (0..dim).map(|i| a[(i, j)].clone()).collect()
         } else {
-            (0..dim).map(|_| Integer::from(rng.gen_range(0..(1i64 << k)))).collect()
+            (0..dim)
+                .map(|_| Integer::from(rng.gen_range(0..(1i64 << k))))
+                .collect()
         };
         f.encode(&a, &b)
     }

@@ -63,7 +63,12 @@ pub fn estimate_error(
     inputs: &[BitString],
     seeds: u64,
 ) -> ErrorEstimate {
-    let mut est = ErrorEstimate { yes_runs: 0, yes_errors: 0, no_runs: 0, no_errors: 0 };
+    let mut est = ErrorEstimate {
+        yes_runs: 0,
+        yes_errors: 0,
+        no_runs: 0,
+        no_errors: 0,
+    };
     for (i, input) in inputs.iter().enumerate() {
         let truth = f.eval(input);
         for s in 0..seeds {
@@ -253,11 +258,24 @@ mod tests {
         let p = Partition::pi_zero(&enc);
         let f = Singularity::new(4, 2);
         let inputs: Vec<BitString> = (0..6)
-            .map(|i| if i % 2 == 0 { singular_input(&enc, i) } else { random_input(&enc, i) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    singular_input(&enc, i)
+                } else {
+                    random_input(&enc, i)
+                }
+            })
             .collect();
         let est = estimate_error(&inner, &p, &f, &inputs, 10);
-        assert!(est.observed_one_sided(), "mod-prime must never miss singular inputs");
-        assert!(est.rate() <= 0.1, "error rate {} far above analysis", est.rate());
+        assert!(
+            est.observed_one_sided(),
+            "mod-prime must never miss singular inputs"
+        );
+        assert!(
+            est.rate() <= 0.1,
+            "error rate {} far above analysis",
+            est.rate()
+        );
         assert_eq!(est.yes_runs + est.no_runs, 60);
         assert!(est.yes_runs >= 30, "singular inputs present");
     }
@@ -272,14 +290,16 @@ mod tests {
         let p = Partition::pi_zero(&enc);
         let input = {
             // Identity matrix: robustly nonsingular mod every prime.
-            let m = Matrix::from_fn(4, 4, |i, j| {
-                Integer::from(if i == j { 1i64 } else { 0 })
-            });
+            let m = Matrix::from_fn(4, 4, |i, j| Integer::from(if i == j { 1i64 } else { 0 }));
             enc.encode(&m)
         };
         let run = run_sequential(&proto, &p, &input, 5);
         assert!(!run.output);
-        assert_eq!(run.cost_bits(), inner.predicted_cost(), "should stop after round 1");
+        assert_eq!(
+            run.cost_bits(),
+            inner.predicted_cost(),
+            "should stop after round 1"
+        );
     }
 
     #[test]

@@ -43,12 +43,22 @@ impl TruthMatrix {
     /// assert_eq!(t.count_ones(), 8); // the identity matrix
     /// ```
     pub fn enumerate(f: &dyn BooleanFunction, partition: &Partition, threads: usize) -> Self {
-        assert_eq!(f.num_bits(), partition.len(), "function/partition size mismatch");
+        assert_eq!(
+            f.num_bits(),
+            partition.len(),
+            "function/partition size mismatch"
+        );
         let a_pos = partition.positions_of(Owner::A);
         let b_pos = partition.positions_of(Owner::B);
         let (na, nb) = (a_pos.len(), b_pos.len());
-        assert!(na <= MAX_SIDE_BITS && nb <= MAX_SIDE_BITS, "side too large to enumerate");
-        assert!(na + nb <= MAX_TOTAL_BITS, "truth matrix too large to enumerate");
+        assert!(
+            na <= MAX_SIDE_BITS && nb <= MAX_SIDE_BITS,
+            "side too large to enumerate"
+        );
+        assert!(
+            na + nb <= MAX_TOTAL_BITS,
+            "truth matrix too large to enumerate"
+        );
         let rows = 1usize << na;
         let cols = 1usize << nb;
         let words = cols.div_ceil(64);
@@ -111,7 +121,11 @@ impl TruthMatrix {
 
     /// Total number of `1` entries.
     pub fn count_ones(&self) -> u64 {
-        self.data.iter().flatten().map(|w| w.count_ones() as u64).sum()
+        self.data
+            .iter()
+            .flatten()
+            .map(|w| w.count_ones() as u64)
+            .sum()
     }
 
     /// Number of `1`s in row `x`.

@@ -38,9 +38,10 @@ impl TranscriptClass {
         if self.members.len() != self.rows.len() * self.cols.len() {
             return false;
         }
-        let set: std::collections::HashSet<(usize, usize)> =
-            self.members.iter().copied().collect();
-        self.rows.iter().all(|&r| self.cols.iter().all(|&c| set.contains(&(r, c))))
+        let set: std::collections::HashSet<(usize, usize)> = self.members.iter().copied().collect();
+        self.rows
+            .iter()
+            .all(|&r| self.cols.iter().all(|&c| set.contains(&(r, c))))
     }
 }
 
@@ -129,7 +130,10 @@ pub fn transcript_partition(
             cost_bits: a.cost,
         })
         .collect();
-    TranscriptPartition { classes, max_cost_bits: max_cost }
+    TranscriptPartition {
+        classes,
+        max_cost_bits: max_cost,
+    }
 }
 
 /// Check monochromaticity against the function itself (stronger than

@@ -70,8 +70,16 @@ impl RestrictedInstance {
     ) -> Self {
         let h = params.h();
         assert_eq!((c.rows(), c.cols()), (h, h), "C must be h × h");
-        assert_eq!((d.rows(), d.cols()), (h, params.d_width()), "D must be h × (L+2)");
-        assert_eq!((e.rows(), e.cols()), (h, params.e_width()), "E must be h × (n-3-L)");
+        assert_eq!(
+            (d.rows(), d.cols()),
+            (h, params.d_width()),
+            "D must be h × (L+2)"
+        );
+        assert_eq!(
+            (e.rows(), e.cols()),
+            (h, params.e_width()),
+            "E must be h × (n-3-L)"
+        );
         assert_eq!(y.len(), params.n - 1, "y must have n-1 entries");
         let q = params.q();
         check_range("C", c.data().iter().cloned(), &q);
@@ -89,7 +97,9 @@ impl RestrictedInstance {
         let c = Matrix::from_fn(h, h, &mut gen);
         let d = Matrix::from_fn(h, params.d_width(), &mut gen);
         let e = Matrix::from_fn(h, params.e_width(), &mut gen);
-        let y = (0..params.n - 1).map(|_| Integer::from(rng.gen_range(0..q) as i64)).collect();
+        let y = (0..params.n - 1)
+            .map(|_| Integer::from(rng.gen_range(0..q) as i64))
+            .collect();
         RestrictedInstance::new(params, c, d, e, y)
     }
 
@@ -275,7 +285,12 @@ mod tests {
         // Lemma 3.4's premise: the fixed diagonal makes rank(A) = n-1 for
         // every C.
         let mut rng = StdRng::seed_from_u64(2);
-        for params in [Params::new(5, 2), Params::new(7, 2), Params::new(7, 3), Params::new(9, 4)] {
+        for params in [
+            Params::new(5, 2),
+            Params::new(7, 2),
+            Params::new(7, 3),
+            Params::new(9, 4),
+        ] {
             for _ in 0..5 {
                 let inst = RestrictedInstance::random(params, &mut rng);
                 assert_eq!(
@@ -363,8 +378,11 @@ mod tests {
         let inst = RestrictedInstance::random(params, &mut rng);
         let bu = inst.b_dot_u();
         let m = inst.modulus_m();
-        for i in 0..params.h() {
-            assert!(bu[i].divisible_by(&m), "b_{i}·u = {} not divisible by m = {m}", bu[i]);
+        for (i, bu_i) in bu.iter().enumerate().take(params.h()) {
+            assert!(
+                bu_i.divisible_by(&m),
+                "b_{i}·u = {bu_i} not divisible by m = {m}"
+            );
         }
     }
 
@@ -401,7 +419,9 @@ mod tests {
         let f = RationalField;
         for _ in 0..5 {
             let inst = RestrictedInstance::random(p7(), &mut rng);
-            let m = inst.assemble().map(|e| ccmx_bigint::Rational::from(e.clone()));
+            let m = inst
+                .assemble()
+                .map(|e| ccmx_bigint::Rational::from(e.clone()));
             let r = gauss::rank(&f, &m);
             assert!(r == 13 || r == 14, "rank {r}");
         }

@@ -110,11 +110,21 @@ mod tests {
 
     #[test]
     fn breakdown_internally_consistent() {
-        for params in [Params::new(7, 2), Params::new(11, 3), Params::new(21, 4), Params::new(41, 8)]
-        {
+        for params in [
+            Params::new(7, 2),
+            Params::new(11, 3),
+            Params::new(21, 4),
+            Params::new(41, 8),
+        ] {
             let b = theorem_bound(params);
-            assert!(b.ones_log_q <= b.rows_log_q + b.cols_log_q, "more ones than cells");
-            assert!(b.ones_log_q >= b.rows_log_q, "Lemma 3.5(a): at least one 1 per row");
+            assert!(
+                b.ones_log_q <= b.rows_log_q + b.cols_log_q,
+                "more ones than cells"
+            );
+            assert!(
+                b.ones_log_q >= b.rows_log_q,
+                "Lemma 3.5(a): at least one 1 per row"
+            );
             assert!(b.d_log_q >= 0.0);
             assert!(b.lower_bound_bits >= 0.0);
             assert!(
@@ -135,7 +145,10 @@ mod tests {
         for k in [2u32, 4, 8] {
             let mid = normalized_lower_bound(Params::new(61, k));
             let large = normalized_lower_bound(Params::new(99, k));
-            assert!(mid > 0.02, "normalized bound vanished: {mid} at n=61, k={k}");
+            assert!(
+                mid > 0.02,
+                "normalized bound vanished: {mid} at n=61, k={k}"
+            );
             assert!(
                 large >= mid,
                 "bound degraded with n: {mid} -> {large} at k={k}"
@@ -153,7 +166,11 @@ mod tests {
         let n = params.n as f64;
         let predicted = n * n / 8.0;
         let rel = (b.d_log_q - predicted).abs() / predicted;
-        assert!(rel < 0.25, "leading term off by {rel}: d = {}, predicted {predicted}", b.d_log_q);
+        assert!(
+            rel < 0.25,
+            "leading term off by {rel}: d = {}, predicted {predicted}",
+            b.d_log_q
+        );
     }
 
     #[test]
@@ -185,8 +202,14 @@ mod tests {
         // within the expected narrow band.
         let small_n = randomized_crossover_k(9, 8).expect("crossover must exist");
         let large_n = randomized_crossover_k(61, 8).expect("crossover must exist");
-        assert!(small_n <= large_n, "log n enters the window: {small_n} vs {large_n}");
-        assert!(large_n - small_n <= 8, "crossover drift too large: {small_n} -> {large_n}");
+        assert!(
+            small_n <= large_n,
+            "log n enters the window: {small_n} vs {large_n}"
+        );
+        assert!(
+            large_n - small_n <= 8,
+            "crossover drift too large: {small_n} -> {large_n}"
+        );
         // At the crossover, the randomized protocol really is cheaper.
         let k = large_n;
         let proto = ccmx_comm::protocols::ModPrimeSingularity::new(122, k, 8);

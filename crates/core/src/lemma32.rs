@@ -24,7 +24,11 @@ pub fn m_is_singular(inst: &RestrictedInstance) -> bool {
 pub fn bu_in_span_a(inst: &RestrictedInstance) -> bool {
     let f = RationalField;
     let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
-    let bu: Vec<Rational> = inst.b_dot_u().iter().map(|e| Rational::from(e.clone())).collect();
+    let bu: Vec<Rational> = inst
+        .b_dot_u()
+        .iter()
+        .map(|e| Rational::from(e.clone()))
+        .collect();
     gauss::in_column_span(&f, &a, &bu)
 }
 
@@ -44,7 +48,12 @@ mod tests {
     #[test]
     fn equivalence_on_random_instances() {
         let mut rng = StdRng::seed_from_u64(11);
-        for params in [Params::new(5, 2), Params::new(7, 2), Params::new(7, 3), Params::new(9, 4)] {
+        for params in [
+            Params::new(5, 2),
+            Params::new(7, 2),
+            Params::new(7, 3),
+            Params::new(9, 4),
+        ] {
             for t in 0..20 {
                 let inst = RestrictedInstance::random(params, &mut rng);
                 assert!(

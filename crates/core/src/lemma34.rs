@@ -63,7 +63,11 @@ pub fn verify_injectivity_exhaustive(params: Params, max_instances: u64) -> Opti
 /// Randomized collision search: sample `trials` pairs of distinct `C`
 /// blocks and assert their spans differ. Returns the number of pairs
 /// checked.
-pub fn verify_injectivity_sampled<R: Rng + ?Sized>(params: Params, trials: usize, rng: &mut R) -> usize {
+pub fn verify_injectivity_sampled<R: Rng + ?Sized>(
+    params: Params,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
     let h = params.h();
     let q = params.q_u64();
     let mut checked = 0;
@@ -78,7 +82,10 @@ pub fn verify_injectivity_sampled<R: Rng + ?Sized>(params: Params, trials: usize
         assert_ne!(c1, c2);
         let s1 = span_canonical(params, &c1);
         let s2 = span_canonical(params, &c2);
-        assert_ne!(s1, s2, "distinct C blocks with identical spans: {c1:?} vs {c2:?}");
+        assert_ne!(
+            s1, s2,
+            "distinct C blocks with identical spans: {c1:?} vs {c2:?}"
+        );
         checked += 1;
     }
     checked
@@ -123,7 +130,11 @@ mod tests {
         for _ in 0..10 {
             let c = Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64));
             let canon = span_canonical(params, &c);
-            assert_eq!(canon.rows(), params.n - 1, "canonical form must have n-1 basis rows");
+            assert_eq!(
+                canon.rows(),
+                params.n - 1,
+                "canonical form must have n-1 basis rows"
+            );
         }
     }
 }

@@ -45,7 +45,11 @@ use crate::params::Params;
 /// let inst = lemma35::complete(params, &blocks.c, &blocks.e).unwrap();
 /// assert!(lemma32::m_is_singular(&inst)); // Lemma 3.5 ⇒ Lemma 3.2 ⇒ singular
 /// ```
-pub fn complete(params: Params, c: &Matrix<Integer>, e: &Matrix<Integer>) -> Option<RestrictedInstance> {
+pub fn complete(
+    params: Params,
+    c: &Matrix<Integer>,
+    e: &Matrix<Integer>,
+) -> Option<RestrictedInstance> {
     let n = params.n;
     let h = params.h();
     let q = params.q_u64();
@@ -120,7 +124,11 @@ pub fn completion_witness(inst: &RestrictedInstance) -> Option<Vec<Integer>> {
     use ccmx_linalg::ring::RationalField;
     let f = RationalField;
     let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
-    let bu: Vec<Rational> = inst.b_dot_u().iter().map(|e| Rational::from(e.clone())).collect();
+    let bu: Vec<Rational> = inst
+        .b_dot_u()
+        .iter()
+        .map(|e| Rational::from(e.clone()))
+        .collect();
     let x = ccmx_linalg::gauss::solve(&f, &a, &bu)?;
     x.into_iter().map(|r| r.to_integer()).collect()
 }
@@ -170,8 +178,9 @@ mod tests {
         ] {
             for t in 0..10 {
                 let (c, e) = random_blocks(params, &mut rng);
-                let inst = complete(params, &c, &e)
-                    .unwrap_or_else(|| panic!("completion failed at n={}, k={}, t={t}", params.n, params.k));
+                let inst = complete(params, &c, &e).unwrap_or_else(|| {
+                    panic!("completion failed at n={}, k={}, t={t}", params.n, params.k)
+                });
                 assert!(
                     m_is_singular(&inst),
                     "completed instance not singular at n={}, k={}, t={t}",
@@ -284,7 +293,10 @@ mod tests {
             // Paper's asymptotic shape: lower = n²/2 − O(n log_q n).
             let n = params.n as f64;
             let slack = n * (params.log_q_n_ceil() as f64 + 3.0);
-            assert!(lo >= n * n / 2.0 - slack, "lower bound shape violated: {lo}");
+            assert!(
+                lo >= n * n / 2.0 - slack,
+                "lower bound shape violated: {lo}"
+            );
         }
     }
 }

@@ -119,8 +119,10 @@ mod tests {
     fn power_vector_matches_paper_u() {
         // n = 5, q = 3: u = [(-3)^3, (-3)^2, -3, 1] = [-27, 9, -3, 1].
         let u = power_vector(3, 4);
-        let expect: Vec<Integer> =
-            [-27i64, 9, -3, 1].iter().map(|&v| Integer::from(v)).collect();
+        let expect: Vec<Integer> = [-27i64, 9, -3, 1]
+            .iter()
+            .map(|&v| Integer::from(v))
+            .collect();
         assert_eq!(u, expect);
     }
 
@@ -129,8 +131,11 @@ mod tests {
         // digits (MSB-first against power_vector) == from_digits(LSB-first).
         let q = 3u64;
         let digits_lsb = vec![2u64, 0, 1, 2];
-        let as_int: Vec<Integer> =
-            digits_lsb.iter().rev().map(|&d| Integer::from(d as i64)).collect();
+        let as_int: Vec<Integer> = digits_lsb
+            .iter()
+            .rev()
+            .map(|&d| Integer::from(d as i64))
+            .collect();
         let u = power_vector(q, 4);
         assert_eq!(dot(&as_int, &u), from_digits(&digits_lsb, q));
     }

@@ -16,7 +16,10 @@ use ccmx_linalg::{bareiss, Matrix};
 /// For a target dimension `m ≥ 10`, the paper's split `(n, d)` with
 /// `m = 2n + d`, `n` odd, `0 ≤ d ≤ 3`.
 pub fn split(m: usize) -> (usize, usize) {
-    assert!(m >= 10, "padding needs m >= 10 to leave a usable 2n x 2n core");
+    assert!(
+        m >= 10,
+        "padding needs m >= 10 to leave a usable 2n x 2n core"
+    );
     let d = (m - 2) % 4;
     let n = (m - d) / 2;
     debug_assert!(n % 2 == 1, "n = {n} not odd for m = {m}");
@@ -82,13 +85,13 @@ mod tests {
         for m in [11usize, 12, 13, 15] {
             let (n, _) = split(m);
             for _ in 0..10 {
-                let core = Matrix::from_fn(2 * n, 2 * n, |_, _| {
-                    Integer::from(rng.gen_range(0i64..4))
-                });
+                let core =
+                    Matrix::from_fn(2 * n, 2 * n, |_, _| Integer::from(rng.gen_range(0i64..4)));
                 assert!(equivalence_holds(&core, m), "m={m}");
             }
             // A deliberately singular core stays singular after padding.
-            let mut sing = Matrix::from_fn(2 * n, 2 * n, |_, _| Integer::from(rng.gen_range(0i64..4)));
+            let mut sing =
+                Matrix::from_fn(2 * n, 2 * n, |_, _| Integer::from(rng.gen_range(0i64..4)));
             for r in 0..2 * n {
                 sing[(r, 1)] = sing[(r, 0)].clone();
             }

@@ -42,9 +42,17 @@ pub fn e_region(params: Params) -> (Vec<usize>, Vec<usize>) {
     (rows, cols)
 }
 
-fn owned_bits_in_entry(partition: &Partition, params: Params, r: usize, c: usize, who: Owner) -> usize {
+fn owned_bits_in_entry(
+    partition: &Partition,
+    params: Params,
+    r: usize,
+    c: usize,
+    who: Owner,
+) -> usize {
     let enc = params.encoding();
-    enc.entry_positions(r, c).filter(|&p| partition.owner(p) == who).count()
+    enc.entry_positions(r, c)
+        .filter(|&p| partition.owner(p) == who)
+        .count()
 }
 
 /// Is the partition proper (Definition 3.8)?
@@ -103,7 +111,11 @@ pub fn normalize(partition: &Partition, params: Params) -> Option<ProperWitness>
     let mut rng = StdRng::seed_from_u64(0x3_9_3_9);
 
     for swap in [false, true] {
-        let base = if swap { partition.swapped() } else { partition.clone() };
+        let base = if swap {
+            partition.swapped()
+        } else {
+            partition.clone()
+        };
         for attempt in 0..40 {
             // Per-entry counts of A-owned and B-owned bits.
             let a_cnt: Vec<Vec<usize>> = (0..dim)
@@ -117,7 +129,13 @@ pub fn normalize(partition: &Partition, params: Params) -> Option<ProperWitness>
             let h = params.h();
             let ew = params.e_width();
 
-            let jitter = |rng: &mut StdRng| if attempt == 0 { 0i64 } else { rng.gen_range(-2..=2) };
+            let jitter = |rng: &mut StdRng| {
+                if attempt == 0 {
+                    0i64
+                } else {
+                    rng.gen_range(-2..=2)
+                }
+            };
 
             // 1. Columns for C: maximize A ownership.
             let mut cols: Vec<usize> = (0..dim).collect();
@@ -148,8 +166,7 @@ pub fn normalize(partition: &Partition, params: Params) -> Option<ProperWitness>
             }
 
             // 3. Columns for E (disjoint from C's): maximize B ownership.
-            let mut rem_cols: Vec<usize> =
-                (0..dim).filter(|c| !c_cols_phys.contains(c)).collect();
+            let mut rem_cols: Vec<usize> = (0..dim).filter(|c| !c_cols_phys.contains(c)).collect();
             let b_col_score: Vec<i64> = (0..dim)
                 .map(|c| {
                     (0..dim)
@@ -164,11 +181,9 @@ pub fn normalize(partition: &Partition, params: Params) -> Option<ProperWitness>
 
             // 4. Rows for E (disjoint from C's): every chosen row must be
             // at least half B-owned within the chosen columns.
-            let mut rem_rows: Vec<usize> =
-                (0..dim).filter(|r| !c_rows_phys.contains(r)).collect();
-            let b_row_score = |r: usize| -> usize {
-                e_cols_phys.iter().map(|&c| k - a_cnt[r][c]).sum()
-            };
+            let mut rem_rows: Vec<usize> = (0..dim).filter(|r| !c_rows_phys.contains(r)).collect();
+            let b_row_score =
+                |r: usize| -> usize { e_cols_phys.iter().map(|&c| k - a_cnt[r][c]).sum() };
             rem_rows.sort_by_key(|&r| std::cmp::Reverse(b_row_score(r)));
             let e_rows_phys: Vec<usize> = rem_rows[..h].to_vec();
             let e_needed = k * ew / 2;
@@ -180,13 +195,22 @@ pub fn normalize(partition: &Partition, params: Params) -> Option<ProperWitness>
             // rows/cols to the C/E region positions, fill the rest.
             let (c_rows_pos, c_cols_pos) = c_region(params);
             let (e_rows_pos, e_cols_pos) = e_region(params);
-            let row_perm =
-                build_perm(dim, &[(&c_rows_pos, &c_rows_phys), (&e_rows_pos, &e_rows_phys)]);
-            let col_perm =
-                build_perm(dim, &[(&c_cols_pos, &c_cols_phys), (&e_cols_pos, &e_cols_phys)]);
+            let row_perm = build_perm(
+                dim,
+                &[(&c_rows_pos, &c_rows_phys), (&e_rows_pos, &e_rows_phys)],
+            );
+            let col_perm = build_perm(
+                dim,
+                &[(&c_cols_pos, &c_cols_phys), (&e_cols_pos, &e_cols_phys)],
+            );
             let candidate = base.permuted(&enc, &row_perm, &col_perm);
             if is_proper(&candidate, params) {
-                return Some(ProperWitness { swap_agents: swap, row_perm, col_perm, partition: candidate });
+                return Some(ProperWitness {
+                    swap_agents: swap,
+                    row_perm,
+                    col_perm,
+                    partition: candidate,
+                });
             }
             // Shuffle for the next attempt.
             rem_rows.shuffle(&mut rng);
@@ -284,7 +308,11 @@ mod tests {
                 assert!(is_proper(&w.partition, p));
                 // The witness really is a permutation of the original
                 // (same multiset of owners up to swapping).
-                let a_before = if w.swap_agents { part.count_b() } else { part.count_a() };
+                let a_before = if w.swap_agents {
+                    part.count_b()
+                } else {
+                    part.count_a()
+                };
                 assert_eq!(w.partition.count_a(), a_before);
             }
         }

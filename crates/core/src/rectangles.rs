@@ -102,8 +102,11 @@ pub fn rectangle_membership_holds(
         inst.c = c.clone();
         let a = to_q(&inst.matrix_a());
         for col in col_insts {
-            let bu: Vec<Rational> =
-                col.b_dot_u().iter().map(|e| Rational::from(e.clone())).collect();
+            let bu: Vec<Rational> = col
+                .b_dot_u()
+                .iter()
+                .map(|e| Rational::from(e.clone()))
+                .collect();
             if !gauss::in_column_span(&f, &a, &bu) {
                 return false;
             }
@@ -175,7 +178,9 @@ mod tests {
     fn rand_e<R: Rng>(params: Params, rng: &mut R) -> Matrix<Integer> {
         let h = params.h();
         let q = params.q_u64();
-        Matrix::from_fn(h, params.e_width(), |_, _| Integer::from(rng.gen_range(0..q) as i64))
+        Matrix::from_fn(h, params.e_width(), |_, _| {
+            Integer::from(rng.gen_range(0..q) as i64)
+        })
     }
 
     #[test]
@@ -223,7 +228,11 @@ mod tests {
         let params = Params::new(9, 2);
         let cs: Vec<_> = (0..6).map(|_| rand_c(params, &mut rng)).collect();
         let dim = intersection_dimension(params, &cs);
-        assert!(dim >= params.h(), "dim {dim} below the guaranteed h = {}", params.h());
+        assert!(
+            dim >= params.h(),
+            "dim {dim} below the guaranteed h = {}",
+            params.h()
+        );
     }
 
     #[test]
@@ -236,7 +245,11 @@ mod tests {
         let cols: Vec<RestrictedInstance> = (0..4)
             .map(|_| complete(params, &c, &rand_e(params, &mut rng)).unwrap())
             .collect();
-        assert!(rectangle_membership_holds(params, &[c.clone()], &cols));
+        assert!(rectangle_membership_holds(
+            params,
+            std::slice::from_ref(&c),
+            &cols
+        ));
         // A fresh random C almost surely breaks membership for some column.
         let c2 = rand_c(params, &mut rng);
         if c2 != c {
@@ -252,8 +265,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(44);
         let params = Params::new(9, 3);
         let inst = RestrictedInstance::random(params, &mut rng);
-        let bu: Vec<Rational> =
-            inst.b_dot_u().iter().map(|e| Rational::from(e.clone())).collect();
+        let bu: Vec<Rational> = inst
+            .b_dot_u()
+            .iter()
+            .map(|e| Rational::from(e.clone()))
+            .collect();
         let p = project(params, &bu);
         let w = inst.w();
         for (r, val) in p.iter().enumerate() {
@@ -277,7 +293,10 @@ mod tests {
         let full = rank(&RationalField, &a);
         let proj = projected_dimension(params, &a);
         assert_eq!(full, params.n - 1);
-        assert!(proj <= full - params.h(), "projection did not kill the fixed columns");
+        assert!(
+            proj <= full - params.h(),
+            "projection did not kill the fixed columns"
+        );
     }
 
     #[test]

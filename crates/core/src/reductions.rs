@@ -181,7 +181,10 @@ mod tests {
                 assert!(product_check_via_rank(&a, &b, &c), "true product rejected");
                 let mut wrong = c.clone();
                 wrong[(0, 0)] += &Integer::one();
-                assert!(!product_check_via_rank(&a, &b, &wrong), "wrong product accepted");
+                assert!(
+                    !product_check_via_rank(&a, &b, &wrong),
+                    "wrong product accepted"
+                );
             }
         }
     }
@@ -218,7 +221,10 @@ mod tests {
                 let inst = complete(params, &free.c, &free.e).unwrap();
                 assert!(bareiss::is_singular(&inst.assemble()));
                 let (mp, b) = solvability_system(&inst);
-                assert!(solve::is_solvable(&mp, &b), "singular instance must give solvable system");
+                assert!(
+                    solve::is_solvable(&mp, &b),
+                    "singular instance must give solvable system"
+                );
                 assert!(corollary13_holds(&inst));
             }
         }

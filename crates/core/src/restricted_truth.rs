@@ -48,7 +48,9 @@ impl RowEvaluator {
         let mut inst = RestrictedInstance::zero(params);
         inst.c = c.clone();
         let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
-        RowEvaluator { solver: LinearSolver::new(RationalField, &a) }
+        RowEvaluator {
+            solver: LinearSolver::new(RationalField, &a),
+        }
     }
 
     /// Truth-matrix entry for one column: singular ⟺ membership.
@@ -84,8 +86,14 @@ pub fn all_c_blocks(params: Params, max: u64) -> Option<Vec<Matrix<Integer>>> {
 }
 
 /// Sample `count` random columns (uniform `(D, E, y)`).
-pub fn sample_columns<R: Rng + ?Sized>(params: Params, count: usize, rng: &mut R) -> Vec<ColumnKey> {
-    (0..count).map(|_| ColumnKey::of(&RestrictedInstance::random(params, rng))).collect()
+pub fn sample_columns<R: Rng + ?Sized>(
+    params: Params,
+    count: usize,
+    rng: &mut R,
+) -> Vec<ColumnKey> {
+    (0..count)
+        .map(|_| ColumnKey::of(&RestrictedInstance::random(params, rng)))
+        .collect()
 }
 
 /// The columns guaranteed singular for a *given* row: completions of
@@ -126,7 +134,10 @@ pub fn row_density<R: Rng + ?Sized>(
 ) -> RowDensity {
     let row = RowEvaluator::new(params, c);
     let cols = sample_columns(params, columns, rng);
-    RowDensity { columns, ones: row.count_ones(&cols) }
+    RowDensity {
+        columns,
+        ones: row.count_ones(&cols),
+    }
 }
 
 /// The largest 1-rectangle among given rows and columns, greedily: rows
@@ -137,8 +148,10 @@ pub fn greedy_one_rectangle(
     row_cs: &[Matrix<Integer>],
     cols: &[ColumnKey],
 ) -> (Vec<usize>, Vec<usize>) {
-    let evaluators: Vec<RowEvaluator> =
-        row_cs.iter().map(|c| RowEvaluator::new(params, c)).collect();
+    let evaluators: Vec<RowEvaluator> = row_cs
+        .iter()
+        .map(|c| RowEvaluator::new(params, c))
+        .collect();
     let mut best: (usize, Vec<usize>, Vec<usize>) = (0, Vec::new(), Vec::new());
     for seed in 0..evaluators.len() {
         let mut live: Vec<usize> = (0..cols.len())
@@ -207,15 +220,15 @@ pub fn all_column_keys(params: Params, max: u64) -> Option<Vec<ColumnKey>> {
         };
         let mut bu = vec![Integer::zero(); n];
         // D rows: digits at u positions 0..dw-1.
-        for r in 0..h {
+        for row in bu.iter_mut().take(h) {
             for ut in u.iter().take(dw) {
-                bu[r] += &(&digit() * ut);
+                *row += &(&digit() * ut);
             }
         }
         // E rows: digits against w.
-        for r in h..n - 1 {
+        for row in bu.iter_mut().take(n - 1).skip(h) {
             for wt in w.iter().take(ew) {
-                bu[r] += &(&digit() * wt);
+                *row += &(&digit() * wt);
             }
         }
         // y row: digits against the full u.
@@ -230,10 +243,17 @@ pub fn all_column_keys(params: Params, max: u64) -> Option<Vec<ColumnKey>> {
 /// Exact census of a full row of the restricted truth matrix: the
 /// number of singular columns among **all** of them. Only feasible for
 /// the tiniest families (`(n, k) = (5, 2)`: `3¹² = 531 441` columns).
-pub fn exact_row_census(params: Params, c: &Matrix<Integer>, max_columns: u64) -> Option<RowDensity> {
+pub fn exact_row_census(
+    params: Params,
+    c: &Matrix<Integer>,
+    max_columns: u64,
+) -> Option<RowDensity> {
     let cols = all_column_keys(params, max_columns)?;
     let row = RowEvaluator::new(params, c);
-    Some(RowDensity { columns: cols.len(), ones: row.count_ones(&cols) })
+    Some(RowDensity {
+        columns: cols.len(),
+        ones: row.count_ones(&cols),
+    })
 }
 
 #[cfg(test)]
@@ -255,7 +275,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for k in keys.iter().take(5000) {
             let sig: Vec<String> = k.bu.iter().map(|v| v.to_string()).collect();
-            assert!(seen.insert(sig.join(",")), "duplicate B·u among sampled keys");
+            assert!(
+                seen.insert(sig.join(",")),
+                "duplicate B·u among sampled keys"
+            );
         }
         // Oversized families are refused.
         assert!(all_column_keys(Params::new(7, 2), 1 << 20).is_none());
@@ -280,7 +303,11 @@ mod tests {
         let c = RestrictedInstance::random(params, &mut rng).c;
         let row = RowEvaluator::new(params, &c);
         let cols = completed_columns(params, &c, 20, &mut rng);
-        assert_eq!(row.count_ones(&cols), 20, "Lemma 3.5 columns must all be ones");
+        assert_eq!(
+            row.count_ones(&cols),
+            20,
+            "Lemma 3.5 columns must all be ones"
+        );
     }
 
     #[test]
@@ -304,7 +331,10 @@ mod tests {
         let params = Params::new(7, 2);
         let c = RestrictedInstance::random(params, &mut rng).c;
         let d = row_density(params, &c, 60, &mut rng);
-        assert!(d.ones < d.columns / 2, "random columns unexpectedly dense: {d:?}");
+        assert!(
+            d.ones < d.columns / 2,
+            "random columns unexpectedly dense: {d:?}"
+        );
     }
 
     #[test]
@@ -315,8 +345,9 @@ mod tests {
         // return a verified rectangle.
         let mut rng = StdRng::seed_from_u64(64);
         let params = Params::new(5, 2);
-        let rows: Vec<Matrix<Integer>> =
-            (0..4).map(|_| RestrictedInstance::random(params, &mut rng).c).collect();
+        let rows: Vec<Matrix<Integer>> = (0..4)
+            .map(|_| RestrictedInstance::random(params, &mut rng).c)
+            .collect();
         let mut cols = completed_columns(params, &rows[0], 10, &mut rng);
         cols.extend(completed_columns(params, &rows[1], 10, &mut rng));
         let (ridx, cidx) = greedy_one_rectangle(params, &rows, &cols);

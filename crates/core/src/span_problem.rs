@@ -25,7 +25,11 @@ fn to_q(m: &Matrix<Integer>) -> Matrix<Rational> {
 /// Decide whether the columns of `v1` and `v2` together span the full
 /// ambient space ℚ^dim (dim = row count).
 pub fn union_spans_all(v1: &Matrix<Integer>, v2: &Matrix<Integer>) -> bool {
-    assert_eq!(v1.rows(), v2.rows(), "subspaces of different ambient spaces");
+    assert_eq!(
+        v1.rows(),
+        v2.rows(),
+        "subspaces of different ambient spaces"
+    );
     let f = RationalField;
     let joint = Matrix::from_fn(v1.rows(), v1.cols() + v2.cols(), |i, j| {
         if j < v1.cols() {
@@ -77,8 +81,10 @@ pub fn count_subspace_lattice(x: &[Vec<Integer>], max_subsets: usize) -> usize {
     let f = RationalField;
     let mut seen = std::collections::HashSet::new();
     for mask in 0..n_sub {
-        let cols: Vec<&Vec<Integer>> =
-            (0..x.len()).filter(|i| (mask >> i) & 1 == 1).map(|i| &x[i]).collect();
+        let cols: Vec<&Vec<Integer>> = (0..x.len())
+            .filter(|i| (mask >> i) & 1 == 1)
+            .map(|i| &x[i])
+            .collect();
         let m = Matrix::from_fn(dim, cols.len(), |i, j| Rational::from(cols[j][i].clone()));
         let canon = span_canonical_form(&f, &m);
         seen.insert(format!("{canon:?}"));

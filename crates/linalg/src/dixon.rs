@@ -54,7 +54,11 @@ pub fn rational_reconstruct(r: &Natural, m: &Natural, bound: &Natural) -> Option
     if t1.is_zero() || t1.magnitude() > bound_i.magnitude() {
         return None;
     }
-    let (num, den) = if t1.is_negative() { (-r1, -t1) } else { (r1, t1) };
+    let (num, den) = if t1.is_negative() {
+        (-r1, -t1)
+    } else {
+        (r1, t1)
+    };
     // Validity: gcd(den, m) must be 1 for r to really represent n/d.
     if !gcd(den.magnitude(), m).is_one() {
         return None;
@@ -147,11 +151,7 @@ pub fn solve_dixon<R: Rng + ?Sized>(
     let mut out = Vec::with_capacity(n);
     for coord in &x {
         let residue = coord.rem_euclid(&Integer::from(modulus.clone()));
-        let rat = rational_reconstruct(
-            residue.magnitude(),
-            &modulus,
-            &bound,
-        )?;
+        let rat = rational_reconstruct(residue.magnitude(), &modulus, &bound)?;
         out.push(rat);
     }
     Some(out)
@@ -176,9 +176,13 @@ mod tests {
         assert_eq!(got, Rational::new(Integer::one(), Integer::from(3i64)));
         // -7/5 mod m.
         let v = ((m as i64 - 7) as u64 * ccmx_bigint::modular::inv_mod_u64(5, m).unwrap()) % m;
-        let got = rational_reconstruct(&Natural::from(v), &Natural::from(m), &Natural::from(500u64))
-            .unwrap();
-        assert_eq!(got, Rational::new(Integer::from(-7i64), Integer::from(5i64)));
+        let got =
+            rational_reconstruct(&Natural::from(v), &Natural::from(m), &Natural::from(500u64))
+                .unwrap();
+        assert_eq!(
+            got,
+            Rational::new(Integer::from(-7i64), Integer::from(5i64))
+        );
     }
 
     #[test]
@@ -228,9 +232,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let n = 5;
         let big = 1i64 << 40;
-        let a = Matrix::from_fn(n, n, |_, _| Integer::from(rand::Rng::gen_range(&mut rng, -big..=big)));
-        let b: Vec<Integer> =
-            (0..n).map(|_| Integer::from(rand::Rng::gen_range(&mut rng, -big..=big))).collect();
+        let a = Matrix::from_fn(n, n, |_, _| {
+            Integer::from(rand::Rng::gen_range(&mut rng, -big..=big))
+        });
+        let b: Vec<Integer> = (0..n)
+            .map(|_| Integer::from(rand::Rng::gen_range(&mut rng, -big..=big)))
+            .collect();
         if crate::bareiss::det(&a).is_zero() {
             return; // astronomically unlikely
         }
@@ -245,7 +252,11 @@ mod tests {
     fn dixon_identity_and_diagonal() {
         let mut rng = StdRng::seed_from_u64(11);
         let i3 = int_matrix(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]);
-        let b = vec![Integer::from(3i64), Integer::from(-5i64), Integer::from(7i64)];
+        let b = vec![
+            Integer::from(3i64),
+            Integer::from(-5i64),
+            Integer::from(7i64),
+        ];
         let x = solve_dixon(&i3, &b, &mut rng).unwrap();
         let expect: Vec<Rational> = b.iter().map(|v| Rational::from(v.clone())).collect();
         assert_eq!(x, expect);
@@ -267,7 +278,9 @@ mod tests {
         // A dense, ill-conditioned-for-floats system: exact methods agree.
         let mut rng = StdRng::seed_from_u64(13);
         let n = 4;
-        let a = Matrix::from_fn(n, n, |i, j| Integer::from(((i + j + 1) * (i * j + 1)) as i64));
+        let a = Matrix::from_fn(n, n, |i, j| {
+            Integer::from(((i + j + 1) * (i * j + 1)) as i64)
+        });
         if crate::bareiss::det(&a).is_zero() {
             return;
         }

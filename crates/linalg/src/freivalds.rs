@@ -24,7 +24,9 @@ pub fn freivalds_round<R: Rng + ?Sized>(
 ) -> bool {
     assert_eq!(a.cols(), b.rows());
     assert_eq!((a.rows(), b.cols()), (c.rows(), c.cols()));
-    let r: Vec<u64> = (0..b.cols()).map(|_| rng.gen_range(0..field.modulus())).collect();
+    let r: Vec<u64> = (0..b.cols())
+        .map(|_| rng.gen_range(0..field.modulus()))
+        .collect();
     let br = b.mul_vec(field, &r);
     let abr = a.mul_vec(field, &br);
     let cr = c.mul_vec(field, &r);
@@ -45,7 +47,11 @@ pub fn verify_product<R: Rng + ?Sized>(
     for _ in 0..rounds {
         let p = ccmx_bigint::prime::PrimeWindow::new(62).sample(rng);
         let field = PrimeField::new(p);
-        let (am, bm, cm) = (reduce_matrix(a, &field), reduce_matrix(b, &field), reduce_matrix(c, &field));
+        let (am, bm, cm) = (
+            reduce_matrix(a, &field),
+            reduce_matrix(b, &field),
+            reduce_matrix(c, &field),
+        );
         if !freivalds_round(&am, &bm, &cm, &field, rng) {
             return false;
         }
@@ -97,7 +103,10 @@ mod tests {
                 rejected += 1;
             }
         }
-        assert!(rejected >= 19, "Freivalds missed an error too often: {rejected}/20");
+        assert!(
+            rejected >= 19,
+            "Freivalds missed an error too often: {rejected}/20"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub fn echelon<F: Field>(field: &F, m: &Matrix<F::Elem>) -> Echelon<F::Elem> {
     let mut a = m.clone();
     let (rows, cols) = (a.rows(), a.cols());
     let mut pivot_cols = Vec::new();
-    let mut det = if m.is_square() { Some(field.one()) } else { None };
+    let mut det = if m.is_square() {
+        Some(field.one())
+    } else {
+        None
+    };
     let mut pivot_row = 0usize;
     for col in 0..cols {
         // Find a pivot in this column at or below pivot_row.
@@ -75,7 +79,11 @@ pub fn echelon<F: Field>(field: &F, m: &Matrix<F::Elem>) -> Echelon<F::Elem> {
     if m.is_square() && pivot_cols.len() < rows {
         det = Some(field.zero());
     }
-    Echelon { rref: a, pivot_cols, det }
+    Echelon {
+        rref: a,
+        pivot_cols,
+        det,
+    }
 }
 
 /// Rank over a field.
@@ -86,7 +94,9 @@ pub fn rank<F: Field>(field: &F, m: &Matrix<F::Elem>) -> usize {
 /// Determinant of a square matrix over a field.
 pub fn det<F: Field>(field: &F, m: &Matrix<F::Elem>) -> F::Elem {
     assert!(m.is_square(), "determinant of non-square matrix");
-    echelon(field, m).det.expect("square input has a determinant")
+    echelon(field, m)
+        .det
+        .expect("square input has a determinant")
 }
 
 /// Is the square matrix singular?
@@ -219,7 +229,12 @@ impl<F: Field + Clone> LinearSolver<F> {
         let all_rows: Vec<usize> = (0..rows).collect();
         let rref = m.submatrix(&all_rows, &(0..cols).collect::<Vec<_>>());
         let t = m.submatrix(&all_rows, &(cols..cols + rows).collect::<Vec<_>>());
-        LinearSolver { field, t, rref, pivot_cols }
+        LinearSolver {
+            field,
+            t,
+            rref,
+            pivot_cols,
+        }
     }
 
     /// The rank of the factored matrix.
@@ -257,7 +272,11 @@ impl<F: Field + Clone> LinearSolver<F> {
 /// `dim(span(a) ∩ span(b)) = rank(a) + rank(b) - rank([a | b])`.
 ///
 /// Lemma 3.6 is a statement about exactly this quantity across many `A_i`.
-pub fn span_intersection_dim<F: Field>(field: &F, a: &Matrix<F::Elem>, b: &Matrix<F::Elem>) -> usize {
+pub fn span_intersection_dim<F: Field>(
+    field: &F,
+    a: &Matrix<F::Elem>,
+    b: &Matrix<F::Elem>,
+) -> usize {
     assert_eq!(a.rows(), b.rows(), "spans live in different ambient spaces");
     let concat = Matrix::from_fn(a.rows(), a.cols() + b.cols(), |i, j| {
         if j < a.cols() {
@@ -314,7 +333,10 @@ mod tests {
         let f = RationalField;
         assert_eq!(det(&f, &qq_mat(&[&[3]])), q(3));
         assert_eq!(det(&f, &qq_mat(&[&[1, 2], &[3, 4]])), q(-2));
-        assert_eq!(det(&f, &qq_mat(&[&[2, 0, 0], &[0, 3, 0], &[0, 0, 4]])), q(24));
+        assert_eq!(
+            det(&f, &qq_mat(&[&[2, 0, 0], &[0, 3, 0], &[0, 0, 4]])),
+            q(24)
+        );
         assert_eq!(det(&f, &qq_mat(&[&[1, 2], &[2, 4]])), q(0));
         // Row swap flips sign.
         assert_eq!(det(&f, &qq_mat(&[&[0, 1], &[1, 0]])), q(-1));

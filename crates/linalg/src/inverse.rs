@@ -202,7 +202,9 @@ mod tests {
             if d.is_zero() {
                 continue;
             }
-            let b: Vec<Integer> = (0..n).map(|_| Integer::from(rng.gen_range(-4i64..=4))).collect();
+            let b: Vec<Integer> = (0..n)
+                .map(|_| Integer::from(rng.gen_range(-4i64..=4)))
+                .collect();
             let adj_b = adjugate(&a).mul_vec(&zz, &b);
             let x = crate::solve::solve_cramer(&a, &b).unwrap();
             for i in 0..n {

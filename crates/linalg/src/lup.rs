@@ -38,7 +38,10 @@ impl<T: Clone> LupDecomposition<T> {
     /// Boolean masks of the nonzero structure of `(L, U)` — the
     /// information content the paper's Corollary 1.2 lower-bounds.
     pub fn nonzero_structure<F: Field<Elem = T>>(&self, field: &F) -> (Matrix<bool>, Matrix<bool>) {
-        (self.l.map(|e| !field.is_zero(e)), self.u.map(|e| !field.is_zero(e)))
+        (
+            self.l.map(|e| !field.is_zero(e)),
+            self.u.map(|e| !field.is_zero(e)),
+        )
     }
 }
 
@@ -88,7 +91,12 @@ pub fn lup<F: Field>(field: &F, m: &Matrix<F::Elem>) -> LupDecomposition<F::Elem
         pivot_row += 1;
     }
 
-    LupDecomposition { l, u, perm, perm_sign }
+    LupDecomposition {
+        l,
+        u,
+        perm,
+        perm_sign,
+    }
 }
 
 /// Verify `P·M = L·U` exactly.

@@ -136,7 +136,9 @@ impl<T> Matrix<T> {
     where
         T: Clone,
     {
-        Matrix::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])].clone())
+        Matrix::from_fn(rows.len(), cols.len(), |i, j| {
+            self[(rows[i], cols[j])].clone()
+        })
     }
 
     /// Apply a row permutation: row `i` of the result is row `perm[i]` of
@@ -231,13 +233,17 @@ impl<T> Matrix<T> {
     /// Entrywise sum over a ring.
     pub fn add<R: Ring<Elem = T>>(&self, ring: &R, other: &Matrix<T>) -> Matrix<T> {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        Matrix::from_fn(self.rows, self.cols, |i, j| ring.add(&self[(i, j)], &other[(i, j)]))
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            ring.add(&self[(i, j)], &other[(i, j)])
+        })
     }
 
     /// Entrywise difference over a ring.
     pub fn sub<R: Ring<Elem = T>>(&self, ring: &R, other: &Matrix<T>) -> Matrix<T> {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        Matrix::from_fn(self.rows, self.cols, |i, j| ring.sub(&self[(i, j)], &other[(i, j)]))
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            ring.sub(&self[(i, j)], &other[(i, j)])
+        })
     }
 
     /// Is this the zero matrix over a ring?
@@ -250,7 +256,10 @@ impl<T> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -258,7 +267,10 @@ impl<T> Index<(usize, usize)> for Matrix<T> {
 impl<T> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -317,7 +329,14 @@ mod tests {
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 3);
         assert_eq!(m[(1, 2)], Integer::from(6i64));
-        assert_eq!(m.row(0), &[Integer::from(1i64), Integer::from(2i64), Integer::from(3i64)]);
+        assert_eq!(
+            m.row(0),
+            &[
+                Integer::from(1i64),
+                Integer::from(2i64),
+                Integer::from(3i64)
+            ]
+        );
         assert_eq!(m.col(1), vec![Integer::from(2i64), Integer::from(5i64)]);
     }
 
@@ -344,7 +363,14 @@ mod tests {
         let m = int_matrix(&[&[1, 2], &[3, 4], &[5, 6]]);
         let v = vec![Integer::from(10i64), Integer::from(-1i64)];
         let mv = m.mul_vec(&zz, &v);
-        assert_eq!(mv, vec![Integer::from(8i64), Integer::from(26i64), Integer::from(44i64)]);
+        assert_eq!(
+            mv,
+            vec![
+                Integer::from(8i64),
+                Integer::from(26i64),
+                Integer::from(44i64)
+            ]
+        );
     }
 
     #[test]

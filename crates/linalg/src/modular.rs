@@ -75,11 +75,16 @@ pub fn det_via_crt(m: &Matrix<Integer>, entry_bound: &Natural, threads: usize) -
 }
 
 /// Compute `det mod p` for each prime on a crossbeam-scoped worker pool.
-fn parallel_residues(m: &Matrix<Integer>, primes: &[u64], threads: usize) -> Vec<(Natural, Natural)> {
+fn parallel_residues(
+    m: &Matrix<Integer>,
+    primes: &[u64],
+    threads: usize,
+) -> Vec<(Natural, Natural)> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let next = AtomicUsize::new(0);
-    let out_slots: Vec<parking_lot::Mutex<Option<(Natural, Natural)>>> =
-        (0..primes.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let out_slots: Vec<parking_lot::Mutex<Option<(Natural, Natural)>>> = (0..primes.len())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     crossbeam::scope(|s| {
         for _ in 0..threads.min(primes.len()) {
             s.spawn(|_| loop {
@@ -177,7 +182,10 @@ mod tests {
     #[test]
     fn crt_det_handles_negative_and_zero() {
         let neg = int_matrix(&[&[0, 1], &[1, 0]]); // det -1
-        assert_eq!(det_via_crt(&neg, &Natural::from(1u64), 1), Integer::from(-1i64));
+        assert_eq!(
+            det_via_crt(&neg, &Natural::from(1u64), 1),
+            Integer::from(-1i64)
+        );
         let sing = int_matrix(&[&[1, 2], &[2, 4]]);
         assert_eq!(det_via_crt(&sing, &Natural::from(4u64), 1), Integer::zero());
         let empty = Matrix::from_fn(0, 0, |_, _| Integer::zero());

@@ -14,7 +14,10 @@ use crate::ring::Ring;
 /// Number of worker threads to use by default: the available parallelism,
 /// capped to 8 (the kernels here saturate memory bandwidth quickly).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Parallel map over `0..n`: applies `f` to every index on a worker pool

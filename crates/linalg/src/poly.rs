@@ -39,7 +39,12 @@ impl Poly {
 
     /// From `i64` coefficients (tests/examples).
     pub fn from_i64(coeffs: &[i64]) -> Self {
-        Poly::new(coeffs.iter().map(|&c| Rational::from(Integer::from(c))).collect())
+        Poly::new(
+            coeffs
+                .iter()
+                .map(|&c| Rational::from(Integer::from(c)))
+                .collect(),
+        )
     }
 
     /// Coefficients, low-to-high (empty for zero).
@@ -101,7 +106,9 @@ impl Poly {
 
     /// Negation.
     pub fn neg(&self) -> Poly {
-        Poly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+        Poly {
+            coeffs: self.coeffs.iter().map(|c| -c).collect(),
+        }
     }
 
     /// Difference.

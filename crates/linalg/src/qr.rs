@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn rectangular_shapes() {
-        for m in [qq_mat(&[&[1, 2, 3], &[4, 5, 6]]), qq_mat(&[&[1, 2], &[3, 4], &[5, 7]])] {
+        for m in [
+            qq_mat(&[&[1, 2, 3], &[4, 5, 6]]),
+            qq_mat(&[&[1, 2], &[3, 4], &[5, 7]]),
+        ] {
             let d = qr(&m);
             assert!(verify_qr(&m, &d));
             assert_eq!(d.q.rows(), m.rows());

@@ -267,7 +267,10 @@ mod tests {
         let half = qq.div(&qq.one(), &qq.from_i64(2));
         assert_eq!(qq.add(&half, &half), qq.one());
         assert_eq!(qq.inv(&qq.zero()), None);
-        assert_eq!(qq.inv(&qq.from_i64(4)).unwrap(), Rational::new(Integer::one(), Integer::from(4i64)));
+        assert_eq!(
+            qq.inv(&qq.from_i64(4)).unwrap(),
+            Rational::new(Integer::one(), Integer::from(4i64))
+        );
     }
 
     #[test]

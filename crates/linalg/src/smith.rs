@@ -33,7 +33,10 @@ impl SmithNormalForm {
     /// The nonzero invariant factors `d₁ | d₂ | …`, all positive.
     pub fn invariant_factors(&self) -> Vec<Integer> {
         let r = self.d.rows().min(self.d.cols());
-        (0..r).map(|i| self.d[(i, i)].clone()).filter(|x| !x.is_zero()).collect()
+        (0..r)
+            .map(|i| self.d[(i, i)].clone())
+            .filter(|x| !x.is_zero())
+            .collect()
     }
 
     /// Rank = number of nonzero invariant factors.
@@ -182,14 +185,23 @@ fn v_col_op(v: &mut Matrix<Integer>, i: usize, j: usize, q: &Integer) {
 /// Restart the elimination from step `t` with accumulated transforms.
 /// (Divisibility fix-ups strictly shrink the pivot's magnitude, so this
 /// recursion terminates.)
-fn smith_continue(d: Matrix<Integer>, u: Matrix<Integer>, v: Matrix<Integer>, _t: usize) -> SmithNormalForm {
+fn smith_continue(
+    d: Matrix<Integer>,
+    u: Matrix<Integer>,
+    v: Matrix<Integer>,
+    _t: usize,
+) -> SmithNormalForm {
     // Re-run the main loop on the current state. Since the state already
     // carries the transforms, we wrap it through a private entry point:
     // simplest correct approach — run the full algorithm on `d` and
     // compose transforms.
     let zz = IntegerRing;
     let inner = smith_normal_form(&d);
-    SmithNormalForm { u: inner.u.mul(&zz, &u), v: v.mul(&zz, &inner.v), d: inner.d }
+    SmithNormalForm {
+        u: inner.u.mul(&zz, &u),
+        v: v.mul(&zz, &inner.v),
+        d: inner.d,
+    }
 }
 
 fn finish(mut d: Matrix<Integer>, mut u: Matrix<Integer>, v: Matrix<Integer>) -> SmithNormalForm {
@@ -224,8 +236,9 @@ pub fn verify_smith(a: &Matrix<Integer>, s: &SmithNormalForm) -> bool {
         }
     }
     // Divisibility chain and non-negativity.
-    let factors: Vec<&Integer> =
-        (0..s.d.rows().min(s.d.cols())).map(|i| &s.d[(i, i)]).collect();
+    let factors: Vec<&Integer> = (0..s.d.rows().min(s.d.cols()))
+        .map(|i| &s.d[(i, i)])
+        .collect();
     for w in factors.windows(2) {
         if w[0].is_zero() && !w[1].is_zero() {
             return false; // zeros must come last
@@ -302,7 +315,11 @@ mod tests {
         let a = int_matrix(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
         let s = smith_normal_form(&a);
         assert!(verify_smith(&a, &s), "U·A·V != D or invariants broken");
-        let f: Vec<i64> = s.invariant_factors().iter().map(|x| x.to_i64().unwrap()).collect();
+        let f: Vec<i64> = s
+            .invariant_factors()
+            .iter()
+            .map(|x| x.to_i64().unwrap())
+            .collect();
         assert_eq!(f, vec![2, 2, 156]);
     }
 
@@ -346,7 +363,11 @@ mod tests {
             for i in 0..n {
                 prod *= &s.d[(i, i)];
             }
-            assert_eq!(prod.magnitude(), bareiss::det(&a).magnitude(), "|det| mismatch on {a:?}");
+            assert_eq!(
+                prod.magnitude(),
+                bareiss::det(&a).magnitude(),
+                "|det| mismatch on {a:?}"
+            );
         }
     }
 
@@ -373,12 +394,20 @@ mod tests {
             let cols = rng.gen_range(1..=4);
             let a = Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-4i64..=4)));
             // Build a guaranteed-solvable b = A·x₀.
-            let x0: Vec<Integer> =
-                (0..cols).map(|_| Integer::from(rng.gen_range(-3i64..=3))).collect();
+            let x0: Vec<Integer> = (0..cols)
+                .map(|_| Integer::from(rng.gen_range(-3i64..=3)))
+                .collect();
             let b = a.mul_vec(&zz, &x0);
-            assert!(is_solvable_over_z(&a, &b), "constructed system must be solvable");
+            assert!(
+                is_solvable_over_z(&a, &b),
+                "constructed system must be solvable"
+            );
             let x = solve_over_z(&a, &b).expect("solution exists");
-            assert_eq!(a.mul_vec(&zz, &x), b, "solution does not satisfy the system");
+            assert_eq!(
+                a.mul_vec(&zz, &x),
+                b,
+                "solution does not satisfy the system"
+            );
             solvable_seen += 1;
         }
         assert_eq!(solvable_seen, 40);
@@ -389,10 +418,16 @@ mod tests {
         // [[2, 0], [0, 3]] x = (1, 1): needs x1 = 1/2.
         let a = int_matrix(&[&[2, 0], &[0, 3]]);
         assert!(!is_solvable_over_z(&a, &[Integer::one(), Integer::one()]));
-        assert!(is_solvable_over_z(&a, &[Integer::from(2i64), Integer::from(3i64)]));
+        assert!(is_solvable_over_z(
+            &a,
+            &[Integer::from(2i64), Integer::from(3i64)]
+        ));
         // Inconsistent even over Q.
         let dup = int_matrix(&[&[1, 1], &[1, 1]]);
-        assert!(!is_solvable_over_z(&dup, &[Integer::zero(), Integer::one()]));
+        assert!(!is_solvable_over_z(
+            &dup,
+            &[Integer::zero(), Integer::one()]
+        ));
         assert!(solve_over_z(&dup, &[Integer::zero(), Integer::one()]).is_none());
     }
 
@@ -402,7 +437,11 @@ mod tests {
         let a = int_matrix(&[&[4, 0], &[0, 6]]);
         let s = smith_normal_form(&a);
         assert!(verify_smith(&a, &s));
-        let f: Vec<i64> = s.invariant_factors().iter().map(|x| x.to_i64().unwrap()).collect();
+        let f: Vec<i64> = s
+            .invariant_factors()
+            .iter()
+            .map(|x| x.to_i64().unwrap())
+            .collect();
         assert_eq!(f, vec![2, 12]);
     }
 

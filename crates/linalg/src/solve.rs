@@ -61,7 +61,13 @@ pub fn solve_cramer(a: &Matrix<Integer>, b: &[Integer]) -> Option<Vec<Rational>>
     let n = a.rows();
     let mut xs = Vec::with_capacity(n);
     for i in 0..n {
-        let ai = Matrix::from_fn(n, n, |r, c| if c == i { b[r].clone() } else { a[(r, c)].clone() });
+        let ai = Matrix::from_fn(n, n, |r, c| {
+            if c == i {
+                b[r].clone()
+            } else {
+                a[(r, c)].clone()
+            }
+        });
         xs.push(Rational::new(bareiss::det(&ai), d.clone()));
     }
     Some(xs)
@@ -103,7 +109,9 @@ mod tests {
             let rows = rng.gen_range(1..=5);
             let cols = rng.gen_range(1..=5);
             let a = Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
-            let b: Vec<Integer> = (0..rows).map(|_| Integer::from(rng.gen_range(-3i64..=3))).collect();
+            let b: Vec<Integer> = (0..rows)
+                .map(|_| Integer::from(rng.gen_range(-3i64..=3)))
+                .collect();
             assert_eq!(
                 is_solvable(&a, &b),
                 is_solvable_by_rank(&a, &b),
@@ -124,7 +132,9 @@ mod tests {
         for _ in 0..30 {
             let n = rng.gen_range(1..=4);
             let a = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-5i64..=5)));
-            let b: Vec<Integer> = (0..n).map(|_| Integer::from(rng.gen_range(-5i64..=5))).collect();
+            let b: Vec<Integer> = (0..n)
+                .map(|_| Integer::from(rng.gen_range(-5i64..=5)))
+                .collect();
             let cram = solve_cramer(&a, &b);
             match cram {
                 None => assert!(bareiss::det(&a).is_zero()),

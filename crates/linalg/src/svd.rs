@@ -107,12 +107,19 @@ pub fn svd_structure(m: &Matrix<Integer>) -> SvdStructure {
     let f = RationalField;
     let rank = gauss::rank(&f, &m.map(|e| Rational::from(e.clone())));
     let cp = char_poly(&gram); // length cols+1, low-to-high
-    // char poly of Gram = λ^{cols - rank} * g(λ): strip the zero roots.
+                               // char poly of Gram = λ^{cols - rank} * g(λ): strip the zero roots.
     let zero_roots = m.cols() - rank;
-    debug_assert!(cp.iter().take(zero_roots).all(|c| c.is_zero()), "Gram kernel dimension mismatch");
+    debug_assert!(
+        cp.iter().take(zero_roots).all(|c| c.is_zero()),
+        "Gram kernel dimension mismatch"
+    );
     // det(λI - G) is monic with roots = eigenvalues of G = σ² values.
     let sigma_squared_poly: Vec<Integer> = cp[zero_roots..].to_vec();
-    SvdStructure { rank, shape: (m.rows(), m.cols()), sigma_squared_poly }
+    SvdStructure {
+        rank,
+        shape: (m.rows(), m.cols()),
+        sigma_squared_poly,
+    }
 }
 
 #[cfg(test)]
@@ -129,11 +136,18 @@ mod tests {
         let a = int_matrix(&[&[2, 0], &[0, 3]]);
         assert_eq!(
             char_poly(&a),
-            vec![Integer::from(6i64), Integer::from(-5i64), Integer::from(1i64)]
+            vec![
+                Integer::from(6i64),
+                Integer::from(-5i64),
+                Integer::from(1i64)
+            ]
         );
         // Nilpotent: [[0,1],[0,0]] → λ².
         let nil = int_matrix(&[&[0, 1], &[0, 0]]);
-        assert_eq!(char_poly(&nil), vec![Integer::zero(), Integer::zero(), Integer::one()]);
+        assert_eq!(
+            char_poly(&nil),
+            vec![Integer::zero(), Integer::zero(), Integer::one()]
+        );
     }
 
     #[test]
@@ -163,8 +177,14 @@ mod tests {
         assert_eq!(s.rank, 1);
         assert_eq!(s.shape, (2, 2));
         // nonzero σ² = 9: polynomial λ − 9.
-        assert_eq!(s.sigma_squared_poly, vec![Integer::from(-9i64), Integer::one()]);
-        assert_eq!(s.sigma_squared_product(), Rational::from(Integer::from(9i64)));
+        assert_eq!(
+            s.sigma_squared_poly,
+            vec![Integer::from(-9i64), Integer::one()]
+        );
+        assert_eq!(
+            s.sigma_squared_product(),
+            Rational::from(Integer::from(9i64))
+        );
         let mask = s.sigma_mask();
         assert!(mask[(0, 0)]);
         assert!(!mask[(1, 1)]);
@@ -192,10 +212,16 @@ mod tests {
         let m = int_matrix(&[&[1, 2], &[3, 5]]); // det -1
         let s = svd_structure(&m);
         assert_eq!(s.rank, 2);
-        assert_eq!(s.sigma_squared_product(), Rational::from(Integer::from(1i64)));
+        assert_eq!(
+            s.sigma_squared_product(),
+            Rational::from(Integer::from(1i64))
+        );
         let m2 = int_matrix(&[&[2, 0], &[1, 3]]); // det 6
         let s2 = svd_structure(&m2);
-        assert_eq!(s2.sigma_squared_product(), Rational::from(Integer::from(36i64)));
+        assert_eq!(
+            s2.sigma_squared_product(),
+            Rational::from(Integer::from(36i64))
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Request batching: group the runnable requests of a burst by their
+//! protocol setup so instance construction (protocol object, partition,
+//! referee function) happens once per distinct [`ProtoSpec`] instead of
+//! once per request.
+//!
+//! Responses are always returned in the original request order; the
+//! plan only reorders *execution*.
+
+use std::collections::HashMap;
+
+use crate::api::{ProtoSpec, Request};
+
+/// One group of a batch plan: every request index that shares `spec`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchGroup {
+    /// The shared protocol setup.
+    pub spec: ProtoSpec,
+    /// Indices into the original request slice, in arrival order.
+    pub indices: Vec<usize>,
+}
+
+/// Execution plan for a batch: `Run` requests grouped by spec, plus the
+/// indices of everything else (served individually, in order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Groups of `Run` requests sharing a setup, in first-arrival order.
+    pub groups: Vec<BatchGroup>,
+    /// Indices of non-`Run` requests.
+    pub singles: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// Amortization factor: runnable requests per constructed setup.
+    /// `1.0` means batching saved nothing; `8.0` means each setup served
+    /// eight requests.
+    pub fn amortization(&self) -> f64 {
+        let runs: usize = self.groups.iter().map(|g| g.indices.len()).sum();
+        if self.groups.is_empty() {
+            return 1.0;
+        }
+        runs as f64 / self.groups.len() as f64
+    }
+}
+
+/// Plan a burst of requests. Nested batches are treated as opaque
+/// singles (the dispatcher rejects them — one level of batching only).
+pub fn plan(requests: &[Request]) -> BatchPlan {
+    let mut plan = BatchPlan::default();
+    let mut by_spec: HashMap<ProtoSpec, usize> = HashMap::new();
+    for (i, req) in requests.iter().enumerate() {
+        match req {
+            Request::Run { spec, .. } => {
+                let gi = *by_spec.entry(*spec).or_insert_with(|| {
+                    plan.groups.push(BatchGroup {
+                        spec: *spec,
+                        indices: Vec::new(),
+                    });
+                    plan.groups.len() - 1
+                });
+                plan.groups[gi].indices.push(i);
+            }
+            _ => plan.singles.push(i),
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmx_comm::BitString;
+
+    fn run_req(spec: ProtoSpec, seed: u64) -> Request {
+        let bits = spec.build().input_bits;
+        Request::Run {
+            spec,
+            input: BitString::zeros(bits),
+            seed,
+        }
+    }
+
+    #[test]
+    fn runs_group_by_spec_in_arrival_order() {
+        let send_all = ProtoSpec::SendAllSingularity { dim: 2, k: 2 };
+        let mod_prime = ProtoSpec::ModPrimeSingularity {
+            dim: 2,
+            k: 2,
+            security: 20,
+        };
+        let reqs = vec![
+            run_req(send_all, 0),
+            Request::Ping,
+            run_req(mod_prime, 1),
+            run_req(send_all, 2),
+            Request::Bounds {
+                n: 5,
+                k: 3,
+                security: 20,
+            },
+            run_req(send_all, 3),
+        ];
+        let plan = plan(&reqs);
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.groups[0].spec, send_all);
+        assert_eq!(plan.groups[0].indices, vec![0, 3, 5]);
+        assert_eq!(plan.groups[1].indices, vec![2]);
+        assert_eq!(plan.singles, vec![1, 4]);
+        assert!((plan.amortization() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_plans_empty() {
+        let plan = plan(&[]);
+        assert!(plan.groups.is_empty());
+        assert!(plan.singles.is_empty());
+        assert_eq!(plan.amortization(), 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! A small LRU cache for repeated bound computations.
+//!
+//! The server answers `Bounds { n, k, security }` requests by running
+//! the Theorem 1.1 counting machinery; distinct parameter tuples are
+//! few and requests for them are heavily repeated under load, so a
+//! small recency-evicting map removes the recomputation entirely.
+//!
+//! Implementation note: capacity stays small (tens to hundreds), so
+//! eviction scans for the minimum recency stamp instead of maintaining
+//! an intrusive list — O(capacity) on insert-when-full, O(1) hits.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Hit/miss counters for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// Least-recently-used cache with a fixed capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// New cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((v, stamp)) => {
+                *stamp = self.tick;
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry if
+    /// the cache is full.
+    pub fn put(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Get or compute-and-insert.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&mut self, key: K, compute: F) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let v = compute();
+        self.put(key, v.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // "a" is now the freshest
+        c.put("c", 3); // evicts "b", not "a"
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = LruCache::new(3);
+        for i in 0..10 {
+            c.put(i, i * i);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&9), Some(81));
+        assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let mut c = LruCache::new(4);
+        let mut calls = 0;
+        let v = c.get_or_insert_with(7, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(v, 42);
+        let v = c.get_or_insert_with(7, || {
+            calls += 1;
+            43
+        });
+        assert_eq!(v, 42);
+        assert_eq!(calls, 1);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn overwrite_same_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("a", 2);
+        c.put("b", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(2));
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Typed client for the protocol-lab server.
+
+use std::net::ToSocketAddrs;
+
+use ccmx_comm::bits::BitString;
+use ccmx_comm::partition::Owner;
+use ccmx_comm::protocol::{round_limit, run_agent, RunResult, Turn};
+
+use crate::api::{BoundsReport, InteractiveSetup, ProtoSpec, Request, Response};
+use crate::error::NetError;
+use crate::transport::{AsChannel, TcpTransport, Transport, TransportConfig, TransportStats};
+use crate::wire::{WireCodec, KIND_INTERACTIVE, KIND_REQUEST, KIND_RESPONSE};
+
+/// A connected client. One request in flight at a time (the wire
+/// protocol is strictly request/response).
+pub struct Client {
+    transport: TcpTransport,
+}
+
+impl Client {
+    /// Connect to a serving address.
+    pub fn connect<A: ToSocketAddrs>(addr: A, config: TransportConfig) -> Result<Self, NetError> {
+        Ok(Client {
+            transport: TcpTransport::connect(addr, config)?,
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, NetError> {
+        self.transport
+            .send_frame(KIND_REQUEST, &req.to_wire_bytes())?;
+        let (kind, payload) = self.transport.recv_frame()?;
+        if kind != KIND_RESPONSE {
+            return Err(NetError::Protocol(format!(
+                "expected a response frame, got kind {kind}"
+            )));
+        }
+        Response::from_wire_bytes(&payload)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Theorem 1.1 bound package for `(n, k)`.
+    pub fn bounds(&mut self, n: usize, k: u32, security: u32) -> Result<BoundsReport, NetError> {
+        match self.request(&Request::Bounds { n, k, security })? {
+            Response::Bounds(report) => Ok(report),
+            other => Err(unexpected("Bounds", &other)),
+        }
+    }
+
+    /// Run a protocol in-process on the server; the result is
+    /// bit-identical to a local `run_sequential` with the same triple.
+    pub fn run(
+        &mut self,
+        spec: ProtoSpec,
+        input: &BitString,
+        seed: u64,
+    ) -> Result<RunResult, NetError> {
+        match self.request(&Request::Run {
+            spec,
+            input: input.clone(),
+            seed,
+        })? {
+            Response::Run(result) => Ok(result),
+            other => Err(unexpected("Run", &other)),
+        }
+    }
+
+    /// Exact singularity verdict for an encoded matrix.
+    pub fn singularity(&mut self, dim: usize, k: u32, input: &BitString) -> Result<bool, NetError> {
+        match self.request(&Request::Singularity {
+            dim,
+            k,
+            input: input.clone(),
+        })? {
+            Response::Singularity { singular } => Ok(singular),
+            other => Err(unexpected("Singularity", &other)),
+        }
+    }
+
+    /// Send a burst of requests in one frame; the server amortizes
+    /// protocol setup across the burst. Responses are in request order.
+    pub fn batch(&mut self, reqs: Vec<Request>) -> Result<Vec<Response>, NetError> {
+        match self.request(&Request::Batch(reqs))? {
+            Response::Batch(resps) => Ok(resps),
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
+    /// Run a protocol *live* against the server: this client plays agent
+    /// A over the socket, the server plays agent B. Returns A's
+    /// assembled [`RunResult`], the server's (they must agree — the
+    /// caller can assert), and this endpoint's metered wire stats, whose
+    /// `bits_total()` equals the transcript's bit count exactly.
+    pub fn run_interactive(
+        &mut self,
+        spec: ProtoSpec,
+        input: &BitString,
+        seed: u64,
+    ) -> Result<(RunResult, RunResult, TransportStats), NetError> {
+        let lab = spec.build();
+        if input.len() != lab.input_bits {
+            return Err(NetError::Protocol(format!(
+                "input is {} bits, {} expects {}",
+                input.len(),
+                spec.name(),
+                lab.input_bits
+            )));
+        }
+        let (share_a, share_b) = lab.partition.split(input);
+        let setup = InteractiveSetup {
+            spec,
+            b_positions: lab.partition.positions_of(Owner::B),
+            b_values: share_b.to_bitstring(),
+            seed,
+        };
+        let stats_before = self.transport.stats();
+        self.transport
+            .send_frame(KIND_INTERACTIVE, &setup.to_wire_bytes())?;
+
+        let limit = round_limit(lab.partition.len());
+        let result_a = {
+            let mut chan = AsChannel(&mut self.transport);
+            run_agent(
+                lab.proto.as_ref(),
+                &lab.partition,
+                &share_a,
+                Turn::A,
+                seed,
+                limit,
+                &mut chan,
+            )
+            .map_err(|e| NetError::Protocol(e.to_string()))?
+        };
+
+        let (kind, payload) = self.transport.recv_frame()?;
+        if kind != KIND_RESPONSE {
+            return Err(NetError::Protocol(format!(
+                "expected a response frame, got kind {kind}"
+            )));
+        }
+        let result_b = match Response::from_wire_bytes(&payload)? {
+            Response::Run(result) => result,
+            other => return Err(unexpected("Run", &other)),
+        };
+
+        let after = self.transport.stats();
+        let run_stats = TransportStats {
+            msgs_sent: after.msgs_sent - stats_before.msgs_sent,
+            msgs_received: after.msgs_received - stats_before.msgs_received,
+            bits_sent: after.bits_sent - stats_before.bits_sent,
+            bits_received: after.bits_received - stats_before.bits_received,
+            raw_bytes_sent: after.raw_bytes_sent - stats_before.raw_bytes_sent,
+            raw_bytes_received: after.raw_bytes_received - stats_before.raw_bytes_received,
+        };
+        Ok((result_a, result_b, run_stats))
+    }
+
+    /// Cumulative wire stats for this connection.
+    pub fn stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> NetError {
+    match got {
+        Response::Error(msg) => NetError::Protocol(format!("server error: {msg}")),
+        other => NetError::Protocol(format!("expected a {wanted} response, got {other:?}")),
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the wire layer.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong between two networked agents.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket / pipe failure.
+    Io(io::Error),
+    /// The peer's read side stalled past the configured timeout.
+    Timeout,
+    /// The peer closed the connection mid-exchange.
+    Disconnected,
+    /// A frame violated the format (bad magic, truncation, overrun).
+    Frame(String),
+    /// A frame decoded structurally but made no semantic sense here.
+    Protocol(String),
+}
+
+impl NetError {
+    /// Classify an I/O error: timeouts and disconnects get their own
+    /// variants so callers can distinguish "slow peer" from "dead peer".
+    pub fn from_io(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => NetError::Timeout,
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => NetError::Disconnected,
+            _ => NetError::Io(e),
+        }
+    }
+
+    /// Is this worth retrying with backoff (transient), as opposed to a
+    /// dead or misbehaving peer?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NetError::Io(e) if e.kind() == io::ErrorKind::Interrupted)
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Timeout => write!(f, "peer stalled past the read/write timeout"),
+            NetError::Disconnected => write!(f, "peer disconnected mid-exchange"),
+            NetError::Frame(msg) => write!(f, "malformed frame: {msg}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::from_io(e)
+    }
+}

@@ -1,0 +1,53 @@
+//! # ccmx-net
+//!
+//! Wire-level transport and a multi-client protocol-lab server for the
+//! Chu–Schnitger reproduction.
+//!
+//! The sequential and threaded runners in `ccmx-comm` execute both
+//! agents inside one process; this crate lifts the *same* agent state
+//! machine onto real byte streams, making the two-party separation
+//! physical while keeping the communication-complexity accounting
+//! exact. The layers:
+//!
+//! * [`wire`] — a length-prefixed, bit-accurate framed codec for every
+//!   value that crosses a socket (`BitString`, `Message`, `Transcript`,
+//!   `RunResult`, `MeterReport`, requests and responses). Hand-rolled
+//!   because the build is fully offline and serde cannot be vendored;
+//!   the codec's round-trip law is enforced by a property suite.
+//! * [`transport`] — [`transport::Transport`]: in-memory
+//!   ([`transport::MemTransport`], crossbeam channels carrying encoded
+//!   frames) and TCP ([`transport::TcpTransport`], timeouts + bounded
+//!   retry with backoff). Both meter exactly the protocol bits they
+//!   carry, so the wire cost of a run equals its transcript bit count.
+//! * [`runner`] — transported runners whose [`ccmx_comm::RunResult`] is
+//!   asserted bit-identical to `run_sequential`'s.
+//! * [`server`] / [`client`] — a threaded protocol-lab server (fixed
+//!   worker pool, per-connection timeouts, graceful shutdown) answering
+//!   bound, singularity, protocol-run, and live interactive-run
+//!   requests for many concurrent clients, with an LRU [`cache`] for
+//!   repeated bound computations and a request [`batch`]er that
+//!   amortizes protocol setup across bursts.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod runner;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use api::{BoundsReport, InteractiveSetup, ProtoSpec, Request, Response};
+pub use client::Client;
+pub use error::NetError;
+pub use runner::{run_mem_metered, run_mem_transport, run_tcp_loopback, run_tcp_loopback_metered};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use transport::{
+    mem_transport_pair, AsChannel, MemTransport, TcpTransport, Transport, TransportConfig,
+    TransportStats,
+};
+pub use wire::WireCodec;

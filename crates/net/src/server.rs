@@ -1,0 +1,666 @@
+//! The protocol-lab server: a threaded TCP service answering bound,
+//! singularity, and protocol-run requests for many concurrent clients.
+//!
+//! Architecture:
+//!
+//! * one **accept thread** pushes incoming connections into a bounded
+//!   crossbeam channel (backpressure: a flooded server queues at the
+//!   listener, it does not spawn unboundedly);
+//! * a **fixed worker pool** drains the channel; each worker owns one
+//!   connection at a time and serves its requests until the client
+//!   closes, stalls past the read timeout, or sends garbage — a dropped
+//!   connection never takes the worker with it;
+//! * a shared [`LruCache`] memoizes Theorem 1.1 bound packages;
+//! * **graceful shutdown**: a flag flips, a self-connection unblocks
+//!   `accept`, the channel's sender drops, workers finish their current
+//!   connection and exit, and `shutdown()` joins every thread.
+//!
+//! Interactive runs: a client may switch its connection into a live
+//! two-agent protocol run (client = agent A, server = agent B). The
+//! server replays the identical `run_agent` state machine as the
+//! in-process runners, so the transcript both sides assemble — and
+//! therefore the metered bit cost — is byte-for-byte the same as
+//! `run_sequential` on one machine.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ccmx_comm::bits::Share;
+use ccmx_comm::functions::{BooleanFunction, Singularity};
+use ccmx_comm::partition::Owner;
+use ccmx_comm::protocol::{round_limit, run_agent, run_sequential, Turn};
+use ccmx_core::counting;
+use ccmx_core::params::Params;
+use parking_lot::Mutex;
+
+use crate::api::{BoundsReport, InteractiveSetup, Request, Response};
+use crate::batch;
+use crate::cache::{CacheStats, LruCache};
+use crate::error::NetError;
+use crate::transport::{AsChannel, TcpTransport, TransportConfig};
+use crate::wire::{WireCodec, KIND_INTERACTIVE, KIND_REQUEST, KIND_RESPONSE};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Fixed worker-pool size.
+    pub workers: usize,
+    /// Per-connection read timeout; a client silent for longer is
+    /// dropped (and its worker freed).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Bounded retries for transient I/O errors.
+    pub max_io_retries: u32,
+    /// Initial retry backoff; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Capacity of the bounds LRU cache.
+    pub bounds_cache_capacity: usize,
+    /// Depth of the accepted-connection queue.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_io_retries: 3,
+            retry_backoff: Duration::from_millis(10),
+            bounds_cache_capacity: 64,
+            queue_depth: 16,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn transport_config(&self) -> TransportConfig {
+        TransportConfig {
+            read_timeout: Some(self.read_timeout),
+            write_timeout: Some(self.write_timeout),
+            max_retries: self.max_io_retries,
+            retry_backoff: self.retry_backoff,
+        }
+    }
+}
+
+/// Monotonic counters, readable while the server runs.
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    requests_served: AtomicU64,
+    interactive_runs: AtomicU64,
+    connections_dropped: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections the accept thread handed to the pool.
+    pub connections_accepted: u64,
+    /// Requests answered (batch members count individually).
+    pub requests_served: u64,
+    /// Interactive agent-vs-agent runs completed.
+    pub interactive_runs: u64,
+    /// Connections dropped for timeouts, garbage, or I/O failure.
+    pub connections_dropped: u64,
+}
+
+struct ServerState {
+    config: ServerConfig,
+    counters: Counters,
+    bounds_cache: Mutex<LruCache<(usize, u32, u32), BoundsReport>>,
+}
+
+/// Handle to a running server; dropping it (or calling
+/// [`ServerHandle::shutdown`]) stops the server gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.state.counters;
+        ServerStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            requests_served: c.requests_served.load(Ordering::Relaxed),
+            interactive_runs: c.interactive_runs.load(Ordering::Relaxed),
+            connections_dropped: c.connections_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bounds-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.bounds_cache.lock().stats()
+    }
+
+    /// Stop accepting, let workers finish in-flight connections, and
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept thread blocks in `accept`; a throwaway
+        // self-connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the accept thread and
+/// worker pool.
+pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        config,
+        counters: Counters::default(),
+        bounds_cache: Mutex::new(LruCache::new(config.bounds_cache_capacity)),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.queue_depth.max(1));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = conn_rx.clone();
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                // recv drains queued connections and returns Err once
+                // the accept thread drops the sole sender: shutdown.
+                while let Ok(stream) = rx.recv() {
+                    serve_connection(&state, stream);
+                }
+            })
+        })
+        .collect();
+    drop(conn_rx);
+
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        Some(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                state
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // conn_tx drops here; workers drain and exit.
+        }))
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread,
+        workers,
+        state,
+    })
+}
+
+/// Serve one connection until it closes, stalls, or errors. Never
+/// panics out to the worker loop.
+fn serve_connection(state: &ServerState, stream: TcpStream) {
+    let mut transport = match TcpTransport::from_stream(stream, state.config.transport_config()) {
+        Ok(t) => t,
+        Err(_) => {
+            state
+                .counters
+                .connections_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    loop {
+        match transport.recv_frame() {
+            Ok((KIND_REQUEST, payload)) => {
+                let response = match Request::from_wire_bytes(&payload) {
+                    Ok(req) => dispatch_guarded(state, &req),
+                    Err(e) => Response::Error(format!("bad request: {e}")),
+                };
+                if transport
+                    .send_frame(KIND_RESPONSE, &response.to_wire_bytes())
+                    .is_err()
+                {
+                    state
+                        .counters
+                        .connections_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Ok((KIND_INTERACTIVE, payload)) => {
+                let response = match InteractiveSetup::from_wire_bytes(&payload) {
+                    Ok(setup) => match interactive_run(state, &mut transport, &setup) {
+                        Ok(resp) => resp,
+                        Err(_) => {
+                            // The protocol exchange itself broke; the
+                            // connection is out of sync — drop it.
+                            state
+                                .counters
+                                .connections_dropped
+                                .fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    },
+                    Err(e) => Response::Error(format!("bad interactive setup: {e}")),
+                };
+                if transport
+                    .send_frame(KIND_RESPONSE, &response.to_wire_bytes())
+                    .is_err()
+                {
+                    state
+                        .counters
+                        .connections_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Ok((kind, _)) => {
+                let resp = Response::Error(format!("unexpected frame kind {kind}"));
+                let _ = transport.send_frame(KIND_RESPONSE, &resp.to_wire_bytes());
+                state
+                    .counters
+                    .connections_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(NetError::Disconnected) => return, // clean close
+            Err(_) => {
+                // Timeout (stalled client) or garbage: drop, freeing
+                // the worker for the next connection.
+                state
+                    .counters
+                    .connections_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatch with a panic shield: a request that trips an internal
+/// assertion produces `Response::Error`, not a dead worker.
+fn dispatch_guarded(state: &ServerState, req: &Request) -> Response {
+    catch_unwind(AssertUnwindSafe(|| dispatch(state, req)))
+        .unwrap_or_else(|_| Response::Error("internal error while serving the request".into()))
+}
+
+fn dispatch(state: &ServerState, req: &Request) -> Response {
+    state
+        .counters
+        .requests_served
+        .fetch_add(1, Ordering::Relaxed);
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Bounds { n, k, security } => bounds_response(state, *n, *k, *security),
+        Request::Run { spec, input, seed } => {
+            let setup = spec.build();
+            if input.len() != setup.input_bits {
+                return Response::Error(format!(
+                    "input is {} bits, {} expects {}",
+                    input.len(),
+                    spec.name(),
+                    setup.input_bits
+                ));
+            }
+            Response::Run(run_sequential(
+                setup.proto.as_ref(),
+                &setup.partition,
+                input,
+                *seed,
+            ))
+        }
+        Request::Singularity { dim, k, input } => {
+            let f = Singularity::new(*dim, *k);
+            if input.len() != f.num_bits() {
+                return Response::Error(format!(
+                    "encoded matrix is {} bits, dim={dim} k={k} expects {}",
+                    input.len(),
+                    f.num_bits()
+                ));
+            }
+            Response::Singularity {
+                singular: f.eval(input),
+            }
+        }
+        Request::Batch(reqs) => batch_response(state, reqs),
+    }
+}
+
+fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Response {
+    if n < 5 || n.is_multiple_of(2) || !(2..=63).contains(&k) {
+        return Response::Error(format!(
+            "bounds need odd n >= 5 and k in 2..=63, got n={n} k={k}"
+        ));
+    }
+    let report = state
+        .bounds_cache
+        .lock()
+        .get_or_insert_with((n, k, security), || {
+            let p = Params::new(n, k);
+            BoundsReport {
+                n,
+                k,
+                security,
+                lower_bound_bits: counting::theorem_bound(p).lower_bound_bits,
+                deterministic_upper_bits: counting::deterministic_upper_bound_bits(p),
+                randomized_upper_bits: counting::probabilistic_upper_bound_bits(p, security),
+            }
+        });
+    Response::Bounds(report)
+}
+
+/// Execute a batch: `Run` requests grouped by spec so each distinct
+/// protocol setup is constructed once, everything else served in place.
+/// Responses come back in request order.
+fn batch_response(state: &ServerState, reqs: &[Request]) -> Response {
+    let plan = batch::plan(reqs);
+    let mut responses: Vec<Option<Response>> = vec![None; reqs.len()];
+    for group in &plan.groups {
+        let setup = group.spec.build();
+        for &i in &group.indices {
+            let Request::Run { input, seed, .. } = &reqs[i] else {
+                unreachable!()
+            };
+            responses[i] = Some(if input.len() != setup.input_bits {
+                Response::Error(format!(
+                    "input is {} bits, {} expects {}",
+                    input.len(),
+                    group.spec.name(),
+                    setup.input_bits
+                ))
+            } else {
+                state
+                    .counters
+                    .requests_served
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Run(run_sequential(
+                    setup.proto.as_ref(),
+                    &setup.partition,
+                    input,
+                    *seed,
+                ))
+            });
+        }
+    }
+    for &i in &plan.singles {
+        responses[i] = Some(match &reqs[i] {
+            Request::Batch(_) => Response::Error("nested batches are not allowed".into()),
+            other => dispatch_guarded(state, other),
+        });
+    }
+    Response::Batch(
+        responses
+            .into_iter()
+            .map(|r| r.expect("batch plan covered every index"))
+            .collect(),
+    )
+}
+
+/// Play agent B of an interactive run on this connection. `Err` means
+/// the wire itself failed mid-run (connection must drop); a bad setup
+/// is reported as a normal `Response::Error`.
+fn interactive_run(
+    state: &ServerState,
+    transport: &mut TcpTransport,
+    setup: &InteractiveSetup,
+) -> Result<Response, NetError> {
+    let lab = setup.spec.build();
+    let expected_positions = lab.partition.positions_of(Owner::B);
+    if setup.b_positions != expected_positions {
+        return Ok(Response::Error(format!(
+            "share positions do not match {}'s canonical partition",
+            setup.spec.name()
+        )));
+    }
+    if setup.b_values.len() != expected_positions.len() {
+        return Ok(Response::Error(format!(
+            "share has {} values for {} positions",
+            setup.b_values.len(),
+            expected_positions.len()
+        )));
+    }
+    let share = Share::new(
+        setup.b_positions.clone(),
+        setup.b_values.as_slice().to_vec(),
+    );
+    let limit = round_limit(lab.partition.len());
+
+    let result = {
+        let mut chan = AsChannel(&mut *transport);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            run_agent(
+                lab.proto.as_ref(),
+                &lab.partition,
+                &share,
+                Turn::B,
+                setup.seed,
+                limit,
+                &mut chan,
+            )
+        }));
+        match run {
+            Ok(Ok(result)) => result,
+            Ok(Err(e)) => return Err(NetError::Protocol(e.to_string())),
+            Err(_) => {
+                return Ok(Response::Error(
+                    "protocol run failed on the server (round limit or internal assertion)".into(),
+                ))
+            }
+        }
+    };
+    state
+        .counters
+        .interactive_runs
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(Response::Run(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ProtoSpec;
+    use ccmx_comm::BitString;
+
+    fn small_server() -> ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                read_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind test server")
+    }
+
+    fn connect(h: &ServerHandle) -> TcpTransport {
+        TcpTransport::connect(h.addr(), TransportConfig::default()).expect("connect to test server")
+    }
+
+    fn roundtrip(t: &mut TcpTransport, req: &Request) -> Response {
+        t.send_frame(KIND_REQUEST, &req.to_wire_bytes()).unwrap();
+        let (kind, payload) = t.recv_frame().unwrap();
+        assert_eq!(kind, KIND_RESPONSE);
+        Response::from_wire_bytes(&payload).unwrap()
+    }
+
+    #[test]
+    fn ping_pong() {
+        let server = small_server();
+        let mut t = connect(&server);
+        assert_eq!(roundtrip(&mut t, &Request::Ping), Response::Pong);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bounds_are_cached() {
+        let server = small_server();
+        let mut t = connect(&server);
+        let req = Request::Bounds {
+            n: 5,
+            k: 3,
+            security: 20,
+        };
+        let first = roundtrip(&mut t, &req);
+        let second = roundtrip(&mut t, &req);
+        assert_eq!(first, second);
+        assert!(matches!(
+            first,
+            Response::Bounds(b) if b.lower_bound_bits >= 0.0 && b.deterministic_upper_bits > 0.0
+        ));
+        let cache = server.cache_stats();
+        assert_eq!(cache.misses, 1);
+        assert_eq!(cache.hits, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_bounds_params_are_an_error_not_a_crash() {
+        let server = small_server();
+        let mut t = connect(&server);
+        let resp = roundtrip(
+            &mut t,
+            &Request::Bounds {
+                n: 4,
+                k: 3,
+                security: 20,
+            },
+        );
+        assert!(matches!(resp, Response::Error(_)));
+        // Worker survived; the same connection still serves.
+        assert_eq!(roundtrip(&mut t, &Request::Ping), Response::Pong);
+        server.shutdown();
+    }
+
+    #[test]
+    fn run_request_matches_local_sequential() {
+        let server = small_server();
+        let mut t = connect(&server);
+        let spec = ProtoSpec::SendAllSingularity { dim: 2, k: 2 };
+        let input = BitString::from_u64(0b1011_0010, 8);
+        let resp = roundtrip(
+            &mut t,
+            &Request::Run {
+                spec,
+                input: input.clone(),
+                seed: 11,
+            },
+        );
+        let setup = spec.build();
+        let expected = run_sequential(setup.proto.as_ref(), &setup.partition, &input, 11);
+        assert_eq!(resp, Response::Run(expected));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_amortizes_and_preserves_order() {
+        let server = small_server();
+        let mut t = connect(&server);
+        let spec = ProtoSpec::SendAllSingularity { dim: 2, k: 2 };
+        let mk = |v: u64| Request::Run {
+            spec,
+            input: BitString::from_u64(v, 8),
+            seed: v,
+        };
+        let batch = Request::Batch(vec![mk(1), Request::Ping, mk(2), mk(3)]);
+        let Response::Batch(resps) = roundtrip(&mut t, &batch) else {
+            panic!("expected a batch response")
+        };
+        assert_eq!(resps.len(), 4);
+        assert_eq!(resps[1], Response::Pong);
+        for (i, v) in [(0usize, 1u64), (2, 2), (3, 3)] {
+            let setup = spec.build();
+            let expected = run_sequential(
+                setup.proto.as_ref(),
+                &setup.partition,
+                &BitString::from_u64(v, 8),
+                v,
+            );
+            assert_eq!(resps[i], Response::Run(expected), "batch slot {i}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn nested_batch_rejected() {
+        let server = small_server();
+        let mut t = connect(&server);
+        let nested = Request::Batch(vec![Request::Batch(vec![Request::Ping])]);
+        let Response::Batch(resps) = roundtrip(&mut t, &nested) else {
+            panic!("expected a batch response")
+        };
+        assert!(matches!(&resps[0], Response::Error(msg) if msg.contains("nested")));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalling_client_is_dropped_without_wedging_the_pool() {
+        let server = small_server();
+        // Occupy a worker with a silent connection…
+        let stalled = TcpStream::connect(server.addr()).unwrap();
+        // …wait for the server's read timeout to reap it…
+        std::thread::sleep(Duration::from_millis(400));
+        // …then verify a real client is still served promptly.
+        let mut t = connect(&server);
+        assert_eq!(roundtrip(&mut t, &Request::Ping), Response::Pong);
+        assert!(server.stats().connections_dropped >= 1);
+        drop(stalled);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_everything() {
+        let server = small_server();
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown the listener is gone: connecting either fails
+        // outright or the connection is never served.
+        let still_up = TcpTransport::connect(addr, TransportConfig::default())
+            .and_then(|mut t| {
+                t.send_frame(KIND_REQUEST, &Request::Ping.to_wire_bytes())?;
+                t.recv_frame()
+            })
+            .is_ok();
+        assert!(!still_up, "server still answering after shutdown");
+    }
+}

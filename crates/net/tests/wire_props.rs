@@ -1,0 +1,139 @@
+//! Property suite for the wire codec: every value that crosses a socket
+//! must round-trip bit-exactly, and every malformed frame — truncated,
+//! oversized, bad magic, padded — must be *rejected*, never mis-read.
+
+use ccmx_comm::protocol::{Message, RunResult, Transcript, Turn, WireMsg};
+use ccmx_comm::BitString;
+use ccmx_net::wire::{
+    encode_frame, read_frame, WireCodec, KIND_WIRE_MSG, MAGIC, MAX_PAYLOAD_BYTES,
+};
+use ccmx_net::NetError;
+use proptest::prelude::*;
+
+fn bitstring_strategy(max_bits: usize) -> BoxedStrategy<BitString> {
+    prop::collection::vec(any::<bool>(), 0..max_bits)
+        .prop_map(BitString::from_bits)
+        .boxed()
+}
+
+fn turn_strategy() -> BoxedStrategy<Turn> {
+    prop_oneof![Just(Turn::A), Just(Turn::B)].boxed()
+}
+
+fn message_strategy() -> BoxedStrategy<Message> {
+    (turn_strategy(), bitstring_strategy(96))
+        .prop_map(|(from, bits)| Message { from, bits })
+        .boxed()
+}
+
+fn transcript_strategy() -> BoxedStrategy<Transcript> {
+    prop::collection::vec(message_strategy(), 0..12)
+        .prop_map(Transcript::from_messages)
+        .boxed()
+}
+
+fn wire_msg_strategy() -> BoxedStrategy<WireMsg> {
+    prop_oneof![
+        bitstring_strategy(128).prop_map(WireMsg::Bits),
+        any::<bool>().prop_map(WireMsg::Final),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitstring_round_trips(bits in bitstring_strategy(256)) {
+        let bytes = bits.to_wire_bytes();
+        prop_assert_eq!(bytes.len(), 4 + bits.len().div_ceil(8));
+        prop_assert_eq!(BitString::from_wire_bytes(&bytes).unwrap(), bits);
+    }
+
+    #[test]
+    fn wire_msg_round_trips(msg in wire_msg_strategy()) {
+        prop_assert_eq!(WireMsg::from_wire_bytes(&msg.to_wire_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn message_round_trips(msg in message_strategy()) {
+        prop_assert_eq!(Message::from_wire_bytes(&msg.to_wire_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn transcript_round_trips_preserving_bit_count(t in transcript_strategy()) {
+        let back = Transcript::from_wire_bytes(&t.to_wire_bytes()).unwrap();
+        prop_assert_eq!(back.total_bits(), t.total_bits());
+        prop_assert_eq!(back.rounds(), t.rounds());
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn run_result_round_trips(
+        t in transcript_strategy(),
+        output in any::<bool>(),
+        by in turn_strategy(),
+    ) {
+        let r = RunResult { output, announced_by: by, transcript: t };
+        prop_assert_eq!(RunResult::from_wire_bytes(&r.to_wire_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn framed_wire_msg_round_trips(msg in wire_msg_strategy()) {
+        let payload = msg.to_wire_bytes();
+        let frame = encode_frame(KIND_WIRE_MSG, &payload).unwrap();
+        let (kind, got) = read_frame(&mut frame.as_slice()).unwrap();
+        prop_assert_eq!(kind, KIND_WIRE_MSG);
+        prop_assert_eq!(WireMsg::from_wire_bytes(&got).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_frames_rejected(msg in wire_msg_strategy(), cut_seed in any::<u64>()) {
+        let frame = encode_frame(KIND_WIRE_MSG, &msg.to_wire_bytes()).unwrap();
+        // Cut anywhere strictly inside the frame: header or payload.
+        let cut = 1 + (cut_seed as usize) % (frame.len() - 1);
+        let err = read_frame(&mut frame[..cut].as_ref()).unwrap_err();
+        prop_assert!(matches!(err, NetError::Frame(_)), "cut {} gave {}", cut, err);
+    }
+
+    #[test]
+    fn truncated_payloads_rejected_by_codec(msg in wire_msg_strategy()) {
+        let bytes = msg.to_wire_bytes();
+        prop_assume!(bytes.len() > 1);
+        for cut in 0..bytes.len() - 1 {
+            prop_assert!(WireMsg::from_wire_bytes(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected(msg in wire_msg_strategy(), junk in any::<u8>()) {
+        let mut bytes = msg.to_wire_bytes();
+        bytes.push(junk);
+        prop_assert!(WireMsg::from_wire_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_length_field_rejected(extra in 1u64..1_000_000) {
+        let declared = (MAX_PAYLOAD_BYTES as u64 + extra).min(u32::MAX as u64) as u32;
+        let mut frame = vec![MAGIC, KIND_WIRE_MSG];
+        frame.extend_from_slice(&declared.to_le_bytes());
+        let err = read_frame(&mut frame.as_slice()).unwrap_err();
+        prop_assert!(matches!(err, NetError::Frame(_)), "got {}", err);
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_encode(kind in any::<u8>()) {
+        // Don't materialize >4MiB per case; a zero-filled Vec is cheap
+        // enough at 128 cases and exercises the real check.
+        let too_big = vec![0u8; MAX_PAYLOAD_BYTES + 1];
+        prop_assert!(encode_frame(kind, &too_big).is_err());
+    }
+
+    #[test]
+    fn corrupted_magic_rejected(msg in wire_msg_strategy(), bad_magic in any::<u8>()) {
+        prop_assume!(bad_magic != MAGIC);
+        let mut frame = encode_frame(KIND_WIRE_MSG, &msg.to_wire_bytes()).unwrap();
+        frame[0] = bad_magic;
+        prop_assert!(matches!(read_frame(&mut frame.as_slice()), Err(NetError::Frame(_))));
+    }
+}

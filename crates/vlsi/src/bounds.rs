@@ -72,7 +72,10 @@ pub struct ChazelleMonier {
 impl ChazelleMonier {
     /// Instantiate at matrix dimension `n`.
     pub fn at_n(n: usize) -> Self {
-        ChazelleMonier { time: n as f64, at: (n * n) as f64 }
+        ChazelleMonier {
+            time: n as f64,
+            at: (n * n) as f64,
+        }
     }
 }
 

@@ -41,11 +41,21 @@ impl Chip {
         let w = bits[0].len();
         assert!(bits.iter().all(|row| row.len() == w), "ragged chip rows");
         if w >= h {
-            Chip { width: w, height: h, bits }
+            Chip {
+                width: w,
+                height: h,
+                bits,
+            }
         } else {
             // Rotate 90°.
-            let rot: Vec<Vec<u64>> = (0..w).map(|x| (0..h).map(|y| bits[y][x]).collect()).collect();
-            Chip { width: h, height: w, bits: rot }
+            let rot: Vec<Vec<u64>> = (0..w)
+                .map(|x| (0..h).map(|y| bits[y][x]).collect())
+                .collect();
+            Chip {
+                width: h,
+                height: w,
+                bits: rot,
+            }
         }
     }
 
@@ -56,7 +66,11 @@ impl Chip {
         let base = total_bits / cells;
         let extra = (total_bits % cells) as usize;
         let bits = (0..h)
-            .map(|y| (0..w).map(|x| base + u64::from(y * w + x < extra)).collect())
+            .map(|y| {
+                (0..w)
+                    .map(|x| base + u64::from(y * w + x < extra))
+                    .collect()
+            })
             .collect();
         Chip::new(bits)
     }
@@ -73,7 +87,10 @@ impl Chip {
 
     /// Bits in columns `[0, at)`.
     fn bits_left_of(&self, at: usize) -> u64 {
-        self.bits.iter().map(|row| row[..at].iter().sum::<u64>()).sum()
+        self.bits
+            .iter()
+            .map(|row| row[..at].iter().sum::<u64>())
+            .sum()
     }
 
     /// Thompson's cut: the vertical cut that best balances the input
@@ -85,7 +102,12 @@ impl Chip {
             let left = self.bits_left_of(at);
             let right = total - left;
             let imbalance = left.abs_diff(right);
-            let cut = Cut { at, wires: self.height, left_bits: left, right_bits: right };
+            let cut = Cut {
+                at,
+                wires: self.height,
+                left_bits: left,
+                right_bits: right,
+            };
             if best.as_ref().is_none_or(|(imb, _)| imbalance < *imb) {
                 best = Some((imbalance, cut));
             }

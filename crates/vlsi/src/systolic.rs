@@ -49,7 +49,10 @@ impl SystolicMatMul {
     /// Build a mesh simulator over GF(p), accounting `bits_per_value`
     /// bits per transmitted word (use `k` for `k`-bit input entries).
     pub fn new(p: u64, bits_per_value: u32) -> Self {
-        SystolicMatMul { field: PrimeField::new(p), bits_per_value }
+        SystolicMatMul {
+            field: PrimeField::new(p),
+            bits_per_value,
+        }
     }
 
     /// Run `C = A·B` on the mesh; returns `(C, report)`.
@@ -87,9 +90,7 @@ impl SystolicMatMul {
                 for j in (0..n).rev() {
                     let incoming = if j == 0 {
                         // Left edge feed.
-                        t.checked_sub(i)
-                            .filter(|&s| s < n)
-                            .map(|s| a[(i, s)])
+                        t.checked_sub(i).filter(|&s| s < n).map(|s| a[(i, s)])
                     } else {
                         a_reg[i][j - 1]
                     };
@@ -102,9 +103,7 @@ impl SystolicMatMul {
             for j in 0..n {
                 for i in (0..n).rev() {
                     let incoming = if i == 0 {
-                        t.checked_sub(j)
-                            .filter(|&s| s < n)
-                            .map(|s| b[(s, j)])
+                        t.checked_sub(j).filter(|&s| s < n).map(|s| b[(s, j)])
                     } else {
                         b_reg[i - 1][j]
                     };
@@ -155,7 +154,10 @@ pub struct SystolicMatVec {
 impl SystolicMatVec {
     /// Build over GF(p).
     pub fn new(p: u64, bits_per_value: u32) -> Self {
-        SystolicMatVec { field: PrimeField::new(p), bits_per_value }
+        SystolicMatVec {
+            field: PrimeField::new(p),
+            bits_per_value,
+        }
     }
 
     /// Run `y = A·x` on an `n`-cell linear array: cell `j` holds column
@@ -265,11 +267,18 @@ mod tests {
         // Cut width is n wires of k bits: capacity n·k·T must cover the
         // measured traffic.
         let capacity = (n as u64) * (k as u64) * report.cycles as u64;
-        assert!(capacity >= report.bits, "cut capacity cannot be below actual traffic");
+        assert!(
+            capacity >= report.bits,
+            "cut capacity cannot be below actual traffic"
+        );
         // And the measured AT² exceeds (traffic/k)² (Thompson's chain with
         // unit-bandwidth wires carrying k-bit words).
         let info_words = (report.bits / k as u64) as f64;
-        assert!(report.at2() >= info_words, "AT² = {} below I = {info_words}", report.at2());
+        assert!(
+            report.at2() >= info_words,
+            "AT² = {} below I = {info_words}",
+            report.at2()
+        );
     }
 
     #[test]

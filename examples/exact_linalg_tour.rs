@@ -25,7 +25,9 @@ fn main() {
     println!("=== Exact determinants ===\n");
     let n = 8;
     let bits = 48;
-    let m = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-(1i64 << bits)..(1i64 << bits))));
+    let m = Matrix::from_fn(n, n, |_, _| {
+        Integer::from(rng.gen_range(-(1i64 << bits)..(1i64 << bits)))
+    });
     let d1 = bareiss::det(&m);
     let d2 = modular::det_via_crt(&m, &Natural::power_of_two(bits as u64), 4);
     println!("{n}x{n} matrix of ±{bits}-bit entries:");
@@ -48,18 +50,28 @@ fn main() {
     println!("A =\n{a}");
     println!(
         "invariant factors: {:?} (product = |det| = {})",
-        s.invariant_factors().iter().map(|f| f.to_string()).collect::<Vec<_>>(),
+        s.invariant_factors()
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>(),
         bareiss::det(&a).magnitude()
     );
 
     // Integer vs rational solvability.
-    let b = vec![Integer::from(2i64), Integer::from(0i64), Integer::from(2i64)];
+    let b = vec![
+        Integer::from(2i64),
+        Integer::from(0i64),
+        Integer::from(2i64),
+    ];
     println!(
         "\nA·x = (2,0,2): rational solvable = {}, integer solvable = {}",
         solve::is_solvable(&a, &b),
         smith::is_solvable_over_z(&a, &b)
     );
-    let b2 = a.mul_vec(&zz, &[Integer::one(), Integer::from(2i64), Integer::from(-1i64)]);
+    let b2 = a.mul_vec(
+        &zz,
+        &[Integer::one(), Integer::from(2i64), Integer::from(-1i64)],
+    );
     println!(
         "A·x = A·(1,2,-1): rational solvable = {}, integer solvable = {} (witness: {:?})",
         solve::is_solvable(&a, &b2),
@@ -73,12 +85,17 @@ fn main() {
     println!("\n=== Dixon p-adic solve ===\n");
     let n = 6;
     let a6 = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-999i64..=999)));
-    let b6: Vec<Integer> = (0..n).map(|_| Integer::from(rng.gen_range(-999i64..=999))).collect();
+    let b6: Vec<Integer> = (0..n)
+        .map(|_| Integer::from(rng.gen_range(-999i64..=999)))
+        .collect();
     if !bareiss::det(&a6).is_zero() {
         let x = dixon::solve_dixon(&a6, &b6, &mut rng).unwrap();
         let e = solve::solve(&a6, &b6).unwrap();
         assert_eq!(x, e);
-        println!("6x6 random system: Dixon and elimination agree; x₀ = {}", x[0]);
+        println!(
+            "6x6 random system: Dixon and elimination agree; x₀ = {}",
+            x[0]
+        );
     }
 
     // ------------------------------------------------------------------
@@ -105,7 +122,10 @@ fn main() {
     println!("\n=== Adjugate & inverses ===\n");
     let m3 = ccmx::linalg::matrix::int_matrix(&[&[1, 2], &[3, 5]]);
     assert!(inverse::verify_adjugate(&m3));
-    println!("M·adj(M) = det(M)·I verified for det = {}", bareiss::det(&m3));
+    println!(
+        "M·adj(M) = det(M)·I verified for det = {}",
+        bareiss::det(&m3)
+    );
     let f7 = ccmx::linalg::ring::PrimeField::new(10007);
     let mf = Matrix::from_fn(4, 4, |_, _| rng.gen_range(0..10007u64));
     match inverse::inverse(&f7, &mf) {

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release --example hard_instances`
 
-use ccmx::core::{construction::RestrictedInstance, counting, lemma32, lemma34, lemma35, rectangles, Params};
+use ccmx::core::{
+    construction::RestrictedInstance, counting, lemma32, lemma34, lemma35, rectangles, Params,
+};
 use ccmx_bigint::Integer;
 use ccmx_linalg::Matrix;
 use rand::rngs::StdRng;
@@ -18,7 +20,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2026);
     let params = Params::new(9, 2);
     let q = params.q_u64();
-    println!("=== The restricted family at n = {}, k = {} (q = {q}) ===", params.n, params.k);
+    println!(
+        "=== The restricted family at n = {}, k = {} (q = {q}) ===",
+        params.n, params.k
+    );
     println!(
         "M is {0}x{0}; free entries: C {1}x{1}, D {1}x{2}, E {1}x{3}, y 1x{4}",
         params.dim(),
@@ -51,7 +56,10 @@ fn main() {
     let e = rand_block(&mut rng, h, params.e_width());
     let inst = lemma35::complete(params, &c, &e).unwrap();
     let x = lemma35::completion_witness(&inst).expect("integral witness");
-    println!("witness x with A·x = B·u: {:?}", x.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    println!(
+        "witness x with A·x = B·u: {:?}",
+        x.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+    );
 
     // ------------------------------------------------------------------
     // Lemma 3.2 on random (almost surely nonsingular) instances.
@@ -65,7 +73,9 @@ fn main() {
             singular_count += 1;
         }
     }
-    println!("equivalence held on 50/50 random instances ({singular_count} happened to be singular)");
+    println!(
+        "equivalence held on 50/50 random instances ({singular_count} happened to be singular)"
+    );
 
     // ------------------------------------------------------------------
     // Lemma 3.4: distinct C ⇒ distinct spans.
@@ -77,7 +87,10 @@ fn main() {
         "n = 5, k = 2: all q^(h²) = {count} C-instances give distinct Span(A) (exhaustive check)"
     );
     let sampled = lemma34::verify_injectivity_sampled(params, 25, &mut rng);
-    println!("n = {}, k = {}: {sampled} random perturbation pairs all distinct", params.n, params.k);
+    println!(
+        "n = {}, k = {}: {sampled} random perturbation pairs all distinct",
+        params.n, params.k
+    );
 
     // ------------------------------------------------------------------
     // Lemmas 3.3/3.6: intersections shrink as rectangles grow rows.
@@ -90,9 +103,11 @@ fn main() {
         let dim = rectangles::intersection_dimension(params, &cs);
         print!("{r}:{dim}  ");
     }
-    println!("\n(dimension starts at n−1 = {} and must fall below 7n/8−1 = {:.2} for huge row counts)",
+    println!(
+        "\n(dimension starts at n−1 = {} and must fall below 7n/8−1 = {:.2} for huge row counts)",
         params.n - 1,
-        rectangles::lemma36_dimension_bound(params));
+        rectangles::lemma36_dimension_bound(params)
+    );
 
     // ------------------------------------------------------------------
     // The counting that assembles Theorem 1.1.
@@ -102,7 +117,12 @@ fn main() {
         "{:>4} {:>3} | {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} | {:>12}",
         "n", "k", "rows", "cols", "ones", "small-rect", "large-rect", "d(f)", "bound(bits)"
     );
-    for p in [Params::new(21, 2), Params::new(41, 4), Params::new(61, 8), Params::new(99, 8)] {
+    for p in [
+        Params::new(21, 2),
+        Params::new(41, 4),
+        Params::new(61, 8),
+        Params::new(99, 8),
+    ] {
         let b = counting::theorem_bound(p);
         println!(
             "{:>4} {:>3} | {:>10.1} {:>10.1} {:>10.1} {:>12.1} {:>12.1} {:>10.1} | {:>12.0}",

@@ -59,12 +59,21 @@ fn main() {
     let k = 3;
     let f = Singularity::new(dim, k);
     let enc = f.enc;
-    println!("{:>14} | {:>8} {:>8} {:>10}", "partition", "rankP", "fooling", "LB (bits)");
+    println!(
+        "{:>14} | {:>8} {:>8} {:>10}",
+        "partition", "rankP", "fooling", "LB (bits)"
+    );
     let pi0 = Partition::pi_zero(&enc);
     let rows = Partition::row_split(&enc);
-    let mut parts = vec![("π₀ (columns)".to_string(), pi0), ("rows".to_string(), rows)];
+    let mut parts = vec![
+        ("π₀ (columns)".to_string(), pi0),
+        ("rows".to_string(), rows),
+    ];
     for i in 0..3 {
-        parts.push((format!("random #{i}"), Partition::random_even(enc.total_bits(), &mut rng)));
+        parts.push((
+            format!("random #{i}"),
+            Partition::random_even(enc.total_bits(), &mut rng),
+        ));
     }
     for (name, p) in &parts {
         let t = TruthMatrix::enumerate(&f, p, 4);

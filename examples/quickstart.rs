@@ -82,7 +82,10 @@ fn main() {
         params.e_width(),
         params.n - 1
     );
-    println!("\nThe Fig. 1 skeleton (zero instance):\n{}", inst.assemble());
+    println!(
+        "\nThe Fig. 1 skeleton (zero instance):\n{}",
+        inst.assemble()
+    );
 
     // Lemma 3.2 on this instance.
     let singular = ccmx::core::lemma32::m_is_singular(&inst);

@@ -42,8 +42,14 @@ fn main() {
         let svd = svd_structure(&m);
         let lup_d = lup(&qf, &mq);
         println!("matrix #{trial}: singular = {truth}");
-        println!("  (a) det        = {det:>8}  → singular: {}", reductions::singular_from_det(&det));
-        println!("  (b) rank       = {rank:>8}  → singular: {}", reductions::singular_from_rank(rank, n));
+        println!(
+            "  (a) det        = {det:>8}  → singular: {}",
+            reductions::singular_from_det(&det)
+        );
+        println!(
+            "  (b) rank       = {rank:>8}  → singular: {}",
+            reductions::singular_from_rank(rank, n)
+        );
         println!(
             "  (c) QR         = zero Q col → singular: {}",
             reductions::singular_from_qr(&qr_d)
@@ -65,11 +71,17 @@ fn main() {
     let b = Matrix::from_fn(3, 3, |_, _| Integer::from(rng.gen_range(-3i64..=3)));
     let c = a.mul(&zz, &b);
     let block = reductions::product_check_matrix(&a, &b, &c);
-    println!("rank of the 6x6 block matrix with the TRUE product:  {}", bareiss::rank(&block));
+    println!(
+        "rank of the 6x6 block matrix with the TRUE product:  {}",
+        bareiss::rank(&block)
+    );
     let mut wrong = c.clone();
     wrong[(1, 1)] += &Integer::one();
     let block_wrong = reductions::product_check_matrix(&a, &b, &wrong);
-    println!("rank with one entry of C perturbed:                  {}", bareiss::rank(&block_wrong));
+    println!(
+        "rank with one entry of C perturbed:                  {}",
+        bareiss::rank(&block_wrong)
+    );
     assert!(reductions::product_check_via_rank(&a, &b, &c));
     assert!(!reductions::product_check_via_rank(&a, &b, &wrong));
 

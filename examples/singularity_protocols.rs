@@ -12,11 +12,7 @@ use ccmx::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn random_singular_inputs(
-    enc: &MatrixEncoding,
-    count: usize,
-    rng: &mut StdRng,
-) -> Vec<BitString> {
+fn random_singular_inputs(enc: &MatrixEncoding, count: usize, rng: &mut StdRng) -> Vec<BitString> {
     (0..count)
         .map(|_| {
             let mut m = Matrix::from_fn(enc.dim, enc.dim, |_, _| {
@@ -61,7 +57,11 @@ fn main() {
             let det_rep = meter_random(&det, &pi0, &f, 40, 1);
             let singular_inputs = random_singular_inputs(&enc, 20, &mut rng);
             let det_sing = meter_inputs(&det, &pi0, &f, &singular_inputs, 2);
-            assert_eq!(det_rep.errors + det_sing.errors, 0, "deterministic protocol erred");
+            assert_eq!(
+                det_rep.errors + det_sing.errors,
+                0,
+                "deterministic protocol erred"
+            );
 
             let prob_rep = meter_random(&prob, &pi0, &f, 40, 3);
             let prob_sing = meter_inputs(&prob, &pi0, &f, &singular_inputs, 4);

@@ -38,8 +38,15 @@ fn main() {
     println!("=== Thompson's cut on explicit chips ===");
     let info = 8.0 * 64.0 * 64.0; // I = k n² with k=8, n=64
     println!("function needs I = {info} bits across any balanced cut\n");
-    println!("{:>12} | {:>6} {:>6} {:>10} {:>14}", "chip", "area", "wires", "T ≥ I/w", "A·T²");
-    for (label, w, h) in [("64x64", 64usize, 64usize), ("256x16", 256, 16), ("1024x4", 1024, 4)] {
+    println!(
+        "{:>12} | {:>6} {:>6} {:>10} {:>14}",
+        "chip", "area", "wires", "T ≥ I/w", "A·T²"
+    );
+    for (label, w, h) in [
+        ("64x64", 64usize, 64usize),
+        ("256x16", 256, 16),
+        ("1024x4", 1024, 4),
+    ] {
         let chip = Chip::uniform(w, h, info as u64);
         let cut = chip.thompson_cut();
         let t = chip.time_lower_bound(info);

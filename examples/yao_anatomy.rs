@@ -22,7 +22,10 @@ fn main() {
     let pi0 = Partition::pi_zero(&enc);
 
     for (name, tp) in [
-        ("send-all", transcript_partition(&SendAll::new(f), &pi0, &Singularity::new(2, 2), 0)),
+        (
+            "send-all",
+            transcript_partition(&SendAll::new(f), &pi0, &Singularity::new(2, 2), 0),
+        ),
         (
             "mod-prime (coins fixed)",
             transcript_partition(

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 (release build + tests), formatting,
+# and a warning-free clippy pass over every target in the workspace.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release build (debug tests + lints only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$QUICK" -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> verify: all gates passed"

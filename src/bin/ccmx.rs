@@ -6,17 +6,25 @@
 //! ccmx bounds <n> <k>             print the Theorem 1.1 / VLSI bound breakdown
 //! ccmx construct <n> <k> [--complete]  generate a restricted instance (Fig. 1/3)
 //! ccmx truth <2n> <k>             enumerate the π₀ truth matrix + certificates
+//! ccmx serve <addr> [workers]     run the protocol-lab server (e.g. 127.0.0.1:7878)
+//! ccmx client <addr> <cmd> ...    talk to a server: ping | bounds <n> <k> | run <2n> <k> [--rand]
 //! ```
 
 use ccmx::core::{counting, lemma32, lemma35, Params, RestrictedInstance};
 use ccmx::linalg::{bareiss, smith, Matrix};
+use ccmx::net::{Client, ProtoSpec, ServerConfig, TransportConfig};
 use ccmx::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn net_fail(what: &str, err: ccmx::net::NetError) -> ! {
+    eprintln!("ccmx: {what}: {err}");
+    std::process::exit(1)
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>"
+        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]"
     );
     std::process::exit(2)
 }
@@ -27,8 +35,7 @@ fn parse_matrix(s: &str) -> Matrix<Integer> {
         .map(|row| {
             row.split(',')
                 .map(|e| {
-                    Integer::from_decimal_str(e.trim())
-                        .unwrap_or_else(|| panic!("bad entry {e:?}"))
+                    Integer::from_decimal_str(e.trim()).unwrap_or_else(|| panic!("bad entry {e:?}"))
                 })
                 .collect()
         })
@@ -51,7 +58,10 @@ fn main() {
             println!("rank       = {}", bareiss::rank(&m));
             println!(
                 "invariants = {:?}",
-                s.invariant_factors().iter().map(|f| f.to_string()).collect::<Vec<_>>()
+                s.invariant_factors()
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
             );
             println!("singular   = {}", det.is_zero());
         }
@@ -67,17 +77,31 @@ fn main() {
                 Integer::from(rand::Rng::gen_range(&mut rng, 0..(1i64 << k)))
             });
             let input = enc.encode(&m);
-            println!("random {dim}x{dim} matrix of {k}-bit entries; input = {} bits", input.len());
+            println!(
+                "random {dim}x{dim} matrix of {k}-bit entries; input = {} bits",
+                input.len()
+            );
             let run = if randomized {
                 let p = ModPrimeSingularity::new(dim, k, 20);
-                println!("protocol: mod-random-prime (error ≤ {:.2e})", p.error_bound());
+                println!(
+                    "protocol: mod-random-prime (error ≤ {:.2e})",
+                    p.error_bound()
+                );
                 run_threaded(&p, &pi0, &input, 1)
             } else {
                 println!("protocol: deterministic send-all");
                 run_threaded(&SendAll::new(f), &pi0, &input, 1)
             };
-            println!("output    = {} (exact: {})", run.output, bareiss::is_singular(&m));
-            println!("cost      = {} bits over {} message(s)", run.cost_bits(), run.transcript.rounds());
+            println!(
+                "output    = {} (exact: {})",
+                run.output,
+                bareiss::is_singular(&m)
+            );
+            println!(
+                "cost      = {} bits over {} message(s)",
+                run.cost_bits(),
+                run.transcript.rounds()
+            );
         }
         Some("bounds") => {
             let n: usize = args.get(1).unwrap_or_else(|| usage()).parse().expect("n");
@@ -85,15 +109,30 @@ fn main() {
             let p = Params::new(n, k);
             let b = counting::theorem_bound(p);
             println!("Theorem 1.1 at n = {n}, k = {k} (q = {}):", p.q_u64());
-            println!("  truth matrix     : q^{:.0} rows × q^{:.0} cols", b.rows_log_q, b.cols_log_q);
+            println!(
+                "  truth matrix     : q^{:.0} rows × q^{:.0} cols",
+                b.rows_log_q, b.cols_log_q
+            );
             println!("  ones (≥)         : q^{:.0}", b.ones_log_q);
-            println!("  max 1-rect area  : q^{:.0}", b.small_rect_area_log_q.max(b.large_rect_area_log_q));
+            println!(
+                "  max 1-rect area  : q^{:.0}",
+                b.small_rect_area_log_q.max(b.large_rect_area_log_q)
+            );
             println!("  d(f) (≥)         : q^{:.0}", b.d_log_q);
             println!("  lower bound      : {:.0} bits", b.lower_bound_bits);
-            println!("  upper bound      : {:.0} bits (send-all)", counting::deterministic_upper_bound_bits(p));
-            println!("  randomized       : {:.0} bits (mod-prime, sec 20)", counting::probabilistic_upper_bound_bits(p, 20));
+            println!(
+                "  upper bound      : {:.0} bits (send-all)",
+                counting::deterministic_upper_bound_bits(p)
+            );
+            println!(
+                "  randomized       : {:.0} bits (mod-prime, sec 20)",
+                counting::probabilistic_upper_bound_bits(p, 20)
+            );
             let v = VlsiBounds::for_singularity_asymptotic(n, k);
-            println!("  VLSI (I = k n²)  : AT² ≥ {:.3e}, AT ≥ {:.3e}, T ≥ {:.0}", v.at2, v.at, v.time_if_area_optimal);
+            println!(
+                "  VLSI (I = k n²)  : AT² ≥ {:.3e}, AT ≥ {:.3e}, T ≥ {:.0}",
+                v.at2, v.at, v.time_if_area_optimal
+            );
         }
         Some("construct") => {
             let n: usize = args.get(1).unwrap_or_else(|| usage()).parse().expect("n");
@@ -124,8 +163,112 @@ fn main() {
             println!("rank GF(2)      = {}", r.rank_gf2);
             println!("rank GF(p)      = {}", r.rank_big_prime);
             println!("fooling set     = {}", r.fooling_set);
-            println!("lower bound     = {:.2} bits (Yao)", r.comm_lower_bound_bits);
-            println!("one-way bound   = {:.2} bits", ccmx::comm::bounds::one_way_lower_bound_bits(&t));
+            println!(
+                "lower bound     = {:.2} bits (Yao)",
+                r.comm_lower_bound_bits
+            );
+            println!(
+                "one-way bound   = {:.2} bits",
+                ccmx::comm::bounds::one_way_lower_bound_bits(&t)
+            );
+        }
+        Some("serve") => {
+            let addr = args.get(1).unwrap_or_else(|| usage());
+            let workers: usize = args
+                .get(2)
+                .map(|w| w.parse().expect("workers"))
+                .unwrap_or(4);
+            let config = ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            };
+            let handle = ccmx::net::serve(addr, config)
+                .unwrap_or_else(|e| net_fail(&format!("cannot bind {addr}"), e.into()));
+            println!(
+                "ccmx protocol-lab server on {} ({} workers)",
+                handle.addr(),
+                workers
+            );
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                let s = handle.stats();
+                println!(
+                    "served {} requests over {} connections ({} interactive runs, {} dropped)",
+                    s.requests_served,
+                    s.connections_accepted,
+                    s.interactive_runs,
+                    s.connections_dropped
+                );
+            }
+        }
+        Some("client") => {
+            let addr = args.get(1).unwrap_or_else(|| usage());
+            let mut client = Client::connect(addr, TransportConfig::default())
+                .unwrap_or_else(|e| net_fail(&format!("cannot connect to {addr}"), e));
+            match args.get(2).map(String::as_str) {
+                Some("ping") => {
+                    client.ping().unwrap_or_else(|e| net_fail("ping failed", e));
+                    println!("pong from {addr}");
+                }
+                Some("bounds") => {
+                    let n: usize = args.get(3).unwrap_or_else(|| usage()).parse().expect("n");
+                    let k: u32 = args.get(4).unwrap_or_else(|| usage()).parse().expect("k");
+                    let b = client
+                        .bounds(n, k, 20)
+                        .unwrap_or_else(|e| net_fail("bounds request failed", e));
+                    println!("Theorem 1.1 at n = {n}, k = {k} (served remotely):");
+                    println!("  lower bound      : {:.0} bits", b.lower_bound_bits);
+                    println!(
+                        "  upper bound      : {:.0} bits (send-all)",
+                        b.deterministic_upper_bits
+                    );
+                    println!(
+                        "  randomized       : {:.0} bits (mod-prime, sec {})",
+                        b.randomized_upper_bits, b.security
+                    );
+                }
+                Some("run") => {
+                    let dim: usize = args.get(3).unwrap_or_else(|| usage()).parse().expect("2n");
+                    let k: u32 = args.get(4).unwrap_or_else(|| usage()).parse().expect("k");
+                    let spec = if args.iter().any(|a| a == "--rand") {
+                        ProtoSpec::ModPrimeSingularity {
+                            dim,
+                            k,
+                            security: 20,
+                        }
+                    } else {
+                        ProtoSpec::SendAllSingularity { dim, k }
+                    };
+                    let enc = MatrixEncoding::new(dim, k);
+                    let mut rng = StdRng::seed_from_u64(42);
+                    let m = Matrix::from_fn(dim, dim, |_, _| {
+                        Integer::from(rand::Rng::gen_range(&mut rng, 0..(1i64 << k)))
+                    });
+                    let input = enc.encode(&m);
+                    println!(
+                        "running {} interactively: client = agent A, server = agent B",
+                        spec.name()
+                    );
+                    let (mine, theirs, stats) = client
+                        .run_interactive(spec, &input, 1)
+                        .unwrap_or_else(|e| net_fail("interactive run failed", e));
+                    assert_eq!(mine, theirs, "client and server transcripts diverged");
+                    println!(
+                        "output    = {} (exact: {})",
+                        mine.output,
+                        bareiss::is_singular(&m)
+                    );
+                    println!(
+                        "cost      = {} bits over {} message(s); wire metered {} bits",
+                        mine.cost_bits(),
+                        mine.transcript.rounds(),
+                        stats.bits_total()
+                    );
+                    assert_eq!(stats.bits_total(), mine.cost_bits(), "wire meter diverged");
+                }
+                _ => usage(),
+            }
         }
         _ => usage(),
     }

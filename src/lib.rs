@@ -14,6 +14,8 @@
 //! * [`comm`] — the communication model: partitions, metered protocols,
 //!   truth matrices, rectangle lower bounds,
 //! * [`core`] — the paper's construction, lemmas and reductions,
+//! * [`net`] — wire-level transports and the multi-client protocol-lab
+//!   server (`ccmx serve` / `ccmx client`),
 //! * [`vlsi`] — Thompson-model AT² bounds and the systolic simulator.
 //!
 //! ## Quickstart
@@ -45,12 +47,15 @@ pub use ccmx_bigint as bigint;
 pub use ccmx_comm as comm;
 pub use ccmx_core as core;
 pub use ccmx_linalg as linalg;
+pub use ccmx_net as net;
 pub use ccmx_vlsi as vlsi;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use ccmx_bigint::{Integer, Natural, Rational};
-    pub use ccmx_comm::functions::{BooleanFunction, Equality, ProductCheck, Singularity, Solvability};
+    pub use ccmx_comm::functions::{
+        BooleanFunction, Equality, ProductCheck, Singularity, Solvability,
+    };
     pub use ccmx_comm::protocols::{FingerprintEquality, ModPrimeSingularity, SendAll};
     pub use ccmx_comm::{run_sequential, run_threaded, BitString, MatrixEncoding, Partition};
     pub use ccmx_core::{Params, RestrictedInstance};

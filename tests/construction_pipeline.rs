@@ -10,14 +10,13 @@ use ccmx_linalg::{bareiss, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn random_blocks(
-    params: Params,
-    rng: &mut StdRng,
-) -> (Matrix<Integer>, Matrix<Integer>) {
+fn random_blocks(params: Params, rng: &mut StdRng) -> (Matrix<Integer>, Matrix<Integer>) {
     let h = params.h();
     let q = params.q_u64();
     let c = Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64));
-    let e = Matrix::from_fn(h, params.e_width(), |_, _| Integer::from(rng.gen_range(0..q) as i64));
+    let e = Matrix::from_fn(h, params.e_width(), |_, _| {
+        Integer::from(rng.gen_range(0..q) as i64)
+    });
     (c, e)
 }
 
@@ -42,15 +41,27 @@ fn protocols_decide_hard_instances_correctly() {
         };
         let input = inst.encode();
         let expect = f.eval(&input);
-        assert_eq!(expect, lemma32::m_is_singular(&inst), "oracle disagrees with Lemma 3.2 side");
+        assert_eq!(
+            expect,
+            lemma32::m_is_singular(&inst),
+            "oracle disagrees with Lemma 3.2 side"
+        );
 
         let p = if t < 5 {
             Partition::pi_zero(&enc)
         } else {
             Partition::random_even(enc.total_bits(), &mut rng)
         };
-        assert_eq!(run_sequential(&det, &p, &input, t).output, expect, "send-all, t={t}");
-        assert_eq!(run_sequential(&prob, &p, &input, t).output, expect, "mod-prime, t={t}");
+        assert_eq!(
+            run_sequential(&det, &p, &input, t).output,
+            expect,
+            "send-all, t={t}"
+        );
+        assert_eq!(
+            run_sequential(&prob, &p, &input, t).output,
+            expect,
+            "mod-prime, t={t}"
+        );
     }
 }
 
@@ -71,7 +82,11 @@ fn solvability_function_agrees_with_corollary13_on_family() {
         };
         let (mp, b) = reductions::solvability_system(&inst);
         let input = sf.encode(&mp, &b);
-        assert_eq!(sf.eval(&input), lemma32::m_is_singular(&inst), "Corollary 1.3 mismatch, t={t}");
+        assert_eq!(
+            sf.eval(&input),
+            lemma32::m_is_singular(&inst),
+            "Corollary 1.3 mismatch, t={t}"
+        );
     }
 }
 
@@ -84,8 +99,8 @@ fn product_check_function_matches_block_trick() {
     let zz = ccmx::linalg::ring::IntegerRing;
     for t in 0..10 {
         let bound = 1i64 << (k - 1); // keep products within k bits? No —
-        // the function's operands are k-bit; products live only in the
-        // evaluation, not the encoding.
+                                     // the function's operands are k-bit; products live only in the
+                                     // evaluation, not the encoding.
         let a = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(0..bound)));
         let b = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(0..bound)));
         let real = a.mul(&zz, &b);
@@ -120,7 +135,10 @@ fn padding_extends_hard_instances_to_general_dimensions() {
             continue; // padding target doesn't match this family size
         }
         let padded = padding::pad(&core, m_dim);
-        assert!(bareiss::is_singular(&padded), "padding broke singularity at m={m_dim}");
+        assert!(
+            bareiss::is_singular(&padded),
+            "padding broke singularity at m={m_dim}"
+        );
         assert_eq!(padding::core_of(&padded), core);
     }
 }

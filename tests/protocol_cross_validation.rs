@@ -138,7 +138,10 @@ fn referee_catches_cheating_protocols() {
     let rep = meter_exhaustive(&GuessingProtocol, &p, &f, 0);
     // The all-zero matrix (among others) is singular; guessing "false"
     // must be flagged.
-    assert!(rep.errors > 0, "referee failed to catch the cheating protocol");
+    assert!(
+        rep.errors > 0,
+        "referee failed to catch the cheating protocol"
+    );
     assert_eq!(rep.max_bits, 1);
 }
 

@@ -29,7 +29,10 @@ fn amplified_protocol_on_hard_instances() {
             Partition::random_even(enc.total_bits(), &mut rng)
         };
         let run = run_sequential(&proto, &p, &input, t);
-        assert!(run.output, "amplified protocol missed a hard singular instance, t={t}");
+        assert!(
+            run.output,
+            "amplified protocol missed a hard singular instance, t={t}"
+        );
     }
 }
 
@@ -71,7 +74,9 @@ fn error_estimation_on_the_hard_family() {
         .map(|i| {
             if i % 2 == 0 {
                 let free = RestrictedInstance::random(params, &mut rng);
-                lemma35::complete(params, &free.c, &free.e).unwrap().encode()
+                lemma35::complete(params, &free.c, &free.e)
+                    .unwrap()
+                    .encode()
             } else {
                 RestrictedInstance::random(params, &mut rng).encode()
             }
@@ -80,8 +85,15 @@ fn error_estimation_on_the_hard_family() {
     let p = Partition::pi_zero(&enc);
     let est = estimate_error(&inner, &p, &f, &inputs, 12);
     assert!(est.observed_one_sided(), "singular instance missed");
-    assert!(est.rate() < 0.05, "error rate {} above analysis", est.rate());
-    assert_eq!(est.yes_runs, 48, "half the inputs are singular by construction");
+    assert!(
+        est.rate() < 0.05,
+        "error rate {} above analysis",
+        est.rate()
+    );
+    assert_eq!(
+        est.yes_runs, 48,
+        "half the inputs are singular by construction"
+    );
 }
 
 #[test]
@@ -114,8 +126,8 @@ fn solvability_protocol_on_corollary13_systems() {
 fn bisect_equality_on_matrix_encodings() {
     // The multi-round protocol finds single-bit differences between two
     // encoded hard instances.
-    use ccmx::comm::protocols::BisectEquality;
     use ccmx::comm::protocols::fingerprint::fixed_partition;
+    use ccmx::comm::protocols::BisectEquality;
     let mut rng = StdRng::seed_from_u64(5);
     let params = Params::new(5, 2);
     let inst = RestrictedInstance::random(params, &mut rng);
