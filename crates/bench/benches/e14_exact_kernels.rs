@@ -1,0 +1,60 @@
+//! E14: the exact-arithmetic kernel shoot-out.
+//!
+//! Rational Gauss vs fraction-free Bareiss vs the Montgomery-CRT fast
+//! path, on random `n × n` matrices of 32-bit entries, n ∈ {8, 16, 32,
+//! 64}. The rational baseline is capped at n = 32 — its coefficient
+//! blow-up makes n = 64 take minutes per determinant, which is exactly
+//! the point of the fast path. `scripts/bench_snapshot.sh` runs the same
+//! workloads with wall-clock timing and commits `BENCH_e14.json`.
+
+use ccmx_bench::{random_matrix, rng_for};
+use ccmx_bigint::{Natural, Rational};
+use ccmx_linalg::parallel::default_threads;
+use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::{bareiss, crt, gauss, modular};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const ENTRY_BITS: u32 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_exact_kernels");
+    group.sample_size(10);
+    let mut rng = rng_for("e14");
+    let threads = default_threads();
+    for n in [8usize, 16, 32, 64] {
+        let m = random_matrix(n, ENTRY_BITS, &mut rng);
+        let mq = m.map(|e| Rational::from(e.clone()));
+        let entry_bound = Natural::from(1u64 << ENTRY_BITS);
+        if n <= 32 {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("det_rational_gauss_n{n}")),
+                &mq,
+                |b, mq| b.iter(|| gauss::det(&RationalField, mq)),
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("rank_rational_gauss_n{n}")),
+                &mq,
+                |b, mq| b.iter(|| gauss::rank(&RationalField, mq)),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("det_bareiss_n{n}")),
+            &m,
+            |b, m| b.iter(|| bareiss::det(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("det_montgomery_crt_n{n}")),
+            &m,
+            |b, m| b.iter(|| modular::det_via_crt(m, &entry_bound, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rank_montgomery_crt_n{n}")),
+            &m,
+            |b, m| b.iter(|| crt::rank_int(m)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

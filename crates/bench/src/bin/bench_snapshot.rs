@@ -1,0 +1,137 @@
+//! Machine-readable snapshot of the E14 exact-kernel comparison.
+//!
+//! Runs the same workloads as the `e14_exact_kernels` criterion bench
+//! with plain wall-clock timing and prints a JSON document (committed as
+//! `BENCH_e14.json` by `scripts/bench_snapshot.sh`) so the performance
+//! trajectory of the exact-arithmetic backends is tracked in-repo.
+//!
+//! Usage: `bench_snapshot [--quick]` — `--quick` lowers the repeat count
+//! (CI smoke); the committed snapshot uses the default.
+
+use std::time::Instant;
+
+use ccmx_bench::{random_matrix, rng_for};
+use ccmx_bigint::{Integer, Natural, Rational};
+use ccmx_linalg::parallel::default_threads;
+use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::{bareiss, crt, gauss, modular, Matrix};
+
+const ENTRY_BITS: u32 = 32;
+const SIZES: [usize; 4] = [8, 16, 32, 64];
+/// The rational baseline stops here: ℚ-Gauss coefficient blow-up makes
+/// n = 64 take minutes per determinant.
+const RATIONAL_MAX_N: usize = 32;
+
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct Row {
+    n: usize,
+    backend: &'static str,
+    op: &'static str,
+    millis: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let threads = default_threads();
+    let mut rng = rng_for("e14");
+    let entry_bound = Natural::from(1u64 << ENTRY_BITS);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for n in SIZES {
+        let m: Matrix<Integer> = random_matrix(n, ENTRY_BITS, &mut rng);
+        let mq = m.map(|e| Rational::from(e.clone()));
+
+        let (crt_det_ms, det_crt) =
+            time_best(reps, || modular::det_via_crt(&m, &entry_bound, threads));
+        rows.push(Row {
+            n,
+            backend: "montgomery_crt",
+            op: "det",
+            millis: crt_det_ms,
+        });
+
+        let (crt_rank_ms, rank_crt) = time_best(reps, || crt::rank_int(&m));
+        rows.push(Row {
+            n,
+            backend: "montgomery_crt",
+            op: "rank",
+            millis: crt_rank_ms,
+        });
+
+        let (bareiss_ms, det_bareiss) = time_best(reps, || bareiss::det(&m));
+        rows.push(Row {
+            n,
+            backend: "bareiss",
+            op: "det",
+            millis: bareiss_ms,
+        });
+        assert_eq!(det_crt, det_bareiss, "backend disagreement at n = {n}");
+
+        if n <= RATIONAL_MAX_N {
+            let (q_det_ms, det_q) = time_best(reps, || gauss::det(&RationalField, &mq));
+            rows.push(Row {
+                n,
+                backend: "rational_gauss",
+                op: "det",
+                millis: q_det_ms,
+            });
+            assert_eq!(
+                det_q,
+                Rational::from(det_crt.clone()),
+                "rational det disagreement at n = {n}"
+            );
+            let (q_rank_ms, rank_q) = time_best(reps, || gauss::rank(&RationalField, &mq));
+            rows.push(Row {
+                n,
+                backend: "rational_gauss",
+                op: "rank",
+                millis: q_rank_ms,
+            });
+            assert_eq!(rank_q, rank_crt, "rank disagreement at n = {n}");
+        }
+    }
+
+    // Headline number for the acceptance gate: ℚ-Gauss / Montgomery-CRT
+    // det speedup at n = 32.
+    let ms_of = |backend: &str, op: &str, n: usize| {
+        rows.iter()
+            .find(|r| r.backend == backend && r.op == op && r.n == n)
+            .map(|r| r.millis)
+    };
+    let speedup_32 = match (
+        ms_of("rational_gauss", "det", 32),
+        ms_of("montgomery_crt", "det", 32),
+    ) {
+        (Some(q), Some(c)) if c > 0.0 => q / c,
+        _ => 0.0,
+    };
+
+    println!("{{");
+    println!("  \"experiment\": \"e14_exact_kernels\",");
+    println!("  \"entry_bits\": {ENTRY_BITS},");
+    println!("  \"threads\": {threads},");
+    println!("  \"reps\": {reps},");
+    println!("  \"speedup_rational_over_crt_det_n32\": {speedup_32:.2},");
+    println!("  \"results_ms\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!(
+            "    {{\"n\": {}, \"backend\": \"{}\", \"op\": \"{}\", \"ms\": {:.4}}}{comma}",
+            r.n, r.backend, r.op, r.millis
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -68,12 +68,20 @@ impl TruthMatrix {
                 input.set(pos, (x >> i) & 1 == 1);
             }
             let mut row = vec![0u64; words];
-            for y in 0..cols {
-                for (i, &pos) in b_pos.iter().enumerate() {
-                    input.set(pos, (y >> i) & 1 == 1);
+            // Walk B's assignments in Gray-code order: step i flips only
+            // bit trailing_zeros(i), so each column costs one `set`
+            // instead of nb. The visited code `gray = i ^ (i >> 1)`
+            // covers all of 0..cols exactly once; `input` starts at
+            // gray = 0 (all B bits zero) which BitString::zeros provides.
+            let mut gray = 0usize;
+            for i in 0..cols {
+                if i > 0 {
+                    let j = i.trailing_zeros() as usize;
+                    gray ^= 1 << j;
+                    input.set(b_pos[j], (gray >> j) & 1 == 1);
                 }
                 if f.eval(&input) {
-                    row[y / 64] |= 1u64 << (y % 64);
+                    row[gray / 64] |= 1u64 << (gray % 64);
                 }
             }
             row
@@ -244,6 +252,30 @@ mod tests {
         let serial = TruthMatrix::enumerate(&f, &p, 1);
         let parallel = TruthMatrix::enumerate(&f, &p, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn gray_code_enumeration_equals_naive() {
+        // Bit-identical to the straightforward set-every-bit loop, on an
+        // asymmetric partition (na ≠ nb) so row/col roles can't be mixed
+        // up, for both an order-sensitive function and singularity.
+        let f = Singularity::new(2, 2);
+        let enc = MatrixEncoding::new(2, 2);
+        let p = Partition::pi_zero(&enc);
+        let t = TruthMatrix::enumerate(&f, &p, 1);
+        let a_pos = p.positions_of(Owner::A);
+        let b_pos = p.positions_of(Owner::B);
+        let naive = TruthMatrix::from_fn(1 << a_pos.len(), 1 << b_pos.len(), |x, y| {
+            let mut input = BitString::zeros(p.len());
+            for (i, &pos) in a_pos.iter().enumerate() {
+                input.set(pos, (x >> i) & 1 == 1);
+            }
+            for (i, &pos) in b_pos.iter().enumerate() {
+                input.set(pos, (y >> i) & 1 == 1);
+            }
+            f.eval(&input)
+        });
+        assert_eq!(t, naive);
     }
 
     #[test]

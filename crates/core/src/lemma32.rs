@@ -20,8 +20,15 @@ pub fn m_is_singular(inst: &RestrictedInstance) -> bool {
     bareiss::is_singular(&inst.assemble())
 }
 
-/// Right side: is `B·u ∈ Span(A)`? (Exact rational solve.)
+/// Right side: is `B·u ∈ Span(A)`? Runs on the certified Montgomery-CRT
+/// integer path ([`ccmx_linalg::crt`]) — exact, with rational-Gauss
+/// fallback on certification failure.
 pub fn bu_in_span_a(inst: &RestrictedInstance) -> bool {
+    ccmx_linalg::crt::in_column_span_int(&inst.matrix_a(), &inst.b_dot_u())
+}
+
+/// The original all-rational membership test, kept as the oracle.
+pub fn bu_in_span_a_rational(inst: &RestrictedInstance) -> bool {
     let f = RationalField;
     let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
     let bu: Vec<Rational> = inst
@@ -80,6 +87,19 @@ mod tests {
                 let inst = complete(params, &free.c, &free.e).expect("completion must succeed");
                 assert!(bu_in_span_a(&inst), "completion must place B·u in Span(A)");
                 assert!(m_is_singular(&inst), "Lemma 3.2 ⇐ direction");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_rational_oracle() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for params in [Params::new(5, 2), Params::new(7, 3)] {
+            for _ in 0..10 {
+                let inst = RestrictedInstance::random(params, &mut rng);
+                assert_eq!(bu_in_span_a(&inst), bu_in_span_a_rational(&inst));
+                let sing = complete(params, &inst.c, &inst.e).expect("completion");
+                assert_eq!(bu_in_span_a(&sing), bu_in_span_a_rational(&sing));
             }
         }
     }

@@ -63,6 +63,10 @@ pub fn verify_injectivity_exhaustive(params: Params, max_instances: u64) -> Opti
 /// Randomized collision search: sample `trials` pairs of distinct `C`
 /// blocks and assert their spans differ. Returns the number of pairs
 /// checked.
+///
+/// Span equality is decided on the certified Montgomery-CRT integer path
+/// (rank comparisons), not by canonical-form hashing — the exhaustive
+/// check keeps the canonical form, which it needs for set membership.
 pub fn verify_injectivity_sampled<R: Rng + ?Sized>(
     params: Params,
     trials: usize,
@@ -80,15 +84,22 @@ pub fn verify_injectivity_sampled<R: Rng + ?Sized>(
         let nv = (c2[(i, j)].to_i64().unwrap() as u64 + delta) % q;
         c2[(i, j)] = Integer::from(nv as i64);
         assert_ne!(c1, c2);
-        let s1 = span_canonical(params, &c1);
-        let s2 = span_canonical(params, &c2);
-        assert_ne!(
-            s1, s2,
+        let a1 = matrix_a_of(params, &c1);
+        let a2 = matrix_a_of(params, &c2);
+        assert!(
+            !ccmx_linalg::crt::same_column_span_int(&a1, &a2),
             "distinct C blocks with identical spans: {c1:?} vs {c2:?}"
         );
         checked += 1;
     }
     checked
+}
+
+/// The `A` matrix of the instance whose `C` block is `c`.
+fn matrix_a_of(params: Params, c: &Matrix<Integer>) -> Matrix<Integer> {
+    let mut inst = RestrictedInstance::zero(params);
+    inst.c = c.clone();
+    inst.matrix_a()
 }
 
 #[cfg(test)]
@@ -118,6 +129,28 @@ mod tests {
         for params in [Params::new(7, 2), Params::new(9, 3), Params::new(11, 2)] {
             let checked = verify_injectivity_sampled(params, 15, &mut rng);
             assert_eq!(checked, 15);
+        }
+    }
+
+    #[test]
+    fn certified_span_equality_matches_canonical_form() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let params = Params::new(7, 2);
+        let h = params.h();
+        let q = params.q_u64();
+        for _ in 0..10 {
+            let c1 = Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64));
+            let c2 = Matrix::from_fn(h, h, |_, _| Integer::from(rng.gen_range(0..q) as i64));
+            let fast = ccmx_linalg::crt::same_column_span_int(
+                &matrix_a_of(params, &c1),
+                &matrix_a_of(params, &c2),
+            );
+            let oracle = span_canonical(params, &c1) == span_canonical(params, &c2);
+            assert_eq!(fast, oracle);
+            assert!(ccmx_linalg::crt::same_column_span_int(
+                &matrix_a_of(params, &c1),
+                &matrix_a_of(params, &c1),
+            ));
         }
     }
 

@@ -118,8 +118,17 @@ pub fn complete(
 
 /// The witness coefficient vector `x` with `A·x = B·u` for a completed
 /// instance (recomputed; used by tests and the E5 bench to cross-verify).
+///
+/// Solves on the certified Montgomery-CRT path (the solution is verified
+/// `A·x = B·u` exactly before being returned; rational Gauss decides the
+/// inconsistent case).
 pub fn completion_witness(inst: &RestrictedInstance) -> Option<Vec<Integer>> {
-    // Solve A·x = B·u exactly over Q and return it if integral.
+    let x = ccmx_linalg::crt::solve_q_int(&inst.matrix_a(), &inst.b_dot_u())?;
+    x.into_iter().map(|r| r.to_integer()).collect()
+}
+
+/// All-rational oracle for [`completion_witness`] (kept for tests).
+pub fn completion_witness_rational(inst: &RestrictedInstance) -> Option<Vec<Integer>> {
     use ccmx_bigint::Rational;
     use ccmx_linalg::ring::RationalField;
     let f = RationalField;
@@ -223,6 +232,24 @@ mod tests {
                 xi.magnitude() < m.magnitude(),
                 "|x_{i}| = {xi} not below m = {m}"
             );
+        }
+    }
+
+    #[test]
+    fn witness_fast_path_matches_rational_oracle() {
+        let mut rng = StdRng::seed_from_u64(25);
+        for params in [Params::new(5, 2), Params::new(7, 2), Params::new(9, 3)] {
+            for _ in 0..5 {
+                let (c, e) = random_blocks(params, &mut rng);
+                let inst = complete(params, &c, &e).unwrap();
+                assert_eq!(
+                    completion_witness(&inst),
+                    completion_witness_rational(&inst),
+                    "witness mismatch at n={}, k={}",
+                    params.n,
+                    params.k
+                );
+            }
         }
     }
 

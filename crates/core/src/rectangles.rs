@@ -15,8 +15,14 @@
 //! 3.3 membership verifier, the projection operator, and the dimension /
 //! column-count bounds — all checkable on concrete rectangles assembled
 //! from [`crate::lemma35::complete`].
+//!
+//! The hot paths (`intersection_dimension`, `rectangle_membership_holds`)
+//! run on the certified Montgomery-CRT integer pipeline
+//! ([`ccmx_linalg::crt`]); the all-rational versions are retained as the
+//! oracle the tests compare against.
 
 use ccmx_bigint::{Integer, Rational};
+use ccmx_linalg::crt;
 use ccmx_linalg::gauss::{self, nullspace, rank};
 use ccmx_linalg::ring::RationalField;
 use ccmx_linalg::Matrix;
@@ -26,6 +32,28 @@ use crate::params::Params;
 
 fn to_q(m: &Matrix<Integer>) -> Matrix<Rational> {
     m.map(|e| Rational::from(e.clone()))
+}
+
+/// The primitive integer vector spanning the same line as rational `v`:
+/// clear denominators, then divide out the content. Keeps the entries
+/// small across repeated intersection folds.
+fn primitive_int(v: &[Rational]) -> Vec<Integer> {
+    let scale = v.iter().fold(ccmx_bigint::Natural::one(), |acc, r| {
+        ccmx_bigint::gcd::lcm(&acc, r.denominator())
+    });
+    let scale_q = Rational::from(Integer::from(scale));
+    let ints: Vec<Integer> = v
+        .iter()
+        .map(|r| (r * &scale_q).to_integer().expect("denominators cleared"))
+        .collect();
+    let content = ints.iter().fold(ccmx_bigint::Natural::zero(), |acc, x| {
+        ccmx_bigint::gcd::gcd(&acc, x.magnitude())
+    });
+    if content.is_zero() || content.is_one() {
+        return ints;
+    }
+    let content = Integer::from(content);
+    ints.iter().map(|x| x / &content).collect()
 }
 
 /// A basis (as matrix columns) of `span(a) ∩ span(b)`, computed from the
@@ -73,8 +101,76 @@ pub fn spans_intersection(mats: &[Matrix<Rational>]) -> Matrix<Rational> {
     acc
 }
 
-/// Dimension of `⋂ᵢ Span(A(Cᵢ))` for a set of row instances.
+/// Integer fast path of [`span_intersection_basis`]: same intersection
+/// span, columns scaled to primitive integer vectors so the whole fold
+/// stays on the certified CRT pipeline.
+pub fn span_intersection_basis_int(a: &Matrix<Integer>, b: &Matrix<Integer>) -> Matrix<Integer> {
+    assert_eq!(a.rows(), b.rows());
+    let concat = Matrix::from_fn(a.rows(), a.cols() + b.cols(), |i, j| {
+        if j < a.cols() {
+            a[(i, j)].clone()
+        } else {
+            b[(i, j - a.cols())].clone()
+        }
+    });
+    let ns = crt::nullspace_int(&concat);
+    let vectors: Vec<Vec<Integer>> = ns
+        .iter()
+        .map(|v| {
+            // The a-part image a·x over ℚ, rescaled to primitive ℤ.
+            let x = &v[..a.cols()];
+            let img: Vec<Rational> = (0..a.rows())
+                .map(|i| {
+                    let mut acc = Rational::zero();
+                    for (j, xv) in x.iter().enumerate() {
+                        if !xv.is_zero() && !a[(i, j)].is_zero() {
+                            acc += &(&Rational::from(a[(i, j)].clone()) * xv);
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            primitive_int(&img)
+        })
+        .collect();
+    if vectors.is_empty() {
+        return Matrix::from_fn(a.rows(), 0, |_, _| Integer::zero());
+    }
+    let all = Matrix::from_fn(a.rows(), vectors.len(), |i, j| vectors[j][i].clone());
+    let keep = crt::independent_columns_int(&all);
+    all.submatrix(&(0..a.rows()).collect::<Vec<_>>(), &keep)
+}
+
+/// Integer fast path of [`spans_intersection`].
+pub fn spans_intersection_int(mats: &[Matrix<Integer>]) -> Matrix<Integer> {
+    assert!(!mats.is_empty());
+    let mut acc = mats[0].clone();
+    for m in &mats[1..] {
+        acc = span_intersection_basis_int(&acc, m);
+        if acc.cols() == 0 {
+            break;
+        }
+    }
+    acc
+}
+
+/// Dimension of `⋂ᵢ Span(A(Cᵢ))` for a set of row instances. Runs on the
+/// certified integer pipeline; results are exact (CRT answers are
+/// verified, with rational-Gauss fallback on certification failure).
 pub fn intersection_dimension(params: Params, cs: &[Matrix<Integer>]) -> usize {
+    let mats: Vec<Matrix<Integer>> = cs
+        .iter()
+        .map(|c| {
+            let mut inst = RestrictedInstance::zero(params);
+            inst.c = c.clone();
+            inst.matrix_a()
+        })
+        .collect();
+    crt::rank_int(&spans_intersection_int(&mats))
+}
+
+/// All-rational oracle for [`intersection_dimension`] (kept for tests).
+pub fn intersection_dimension_rational(params: Params, cs: &[Matrix<Integer>]) -> usize {
     let mats: Vec<Matrix<Rational>> = cs
         .iter()
         .map(|c| {
@@ -90,24 +186,19 @@ pub fn intersection_dimension(params: Params, cs: &[Matrix<Integer>]) -> usize {
 /// Lemma 3.3 verifier: for a claimed 1-rectangle (row instances given by
 /// their `C` blocks, column instances by full `RestrictedInstance`s
 /// sharing those columns' `D`, `E`, `y`), check that every `B_j·u` lies
-/// in every `Span(A(C_i))` — equivalently in the intersection.
+/// in every `Span(A(C_i))` — equivalently in the intersection. Span
+/// membership runs on the certified CRT path.
 pub fn rectangle_membership_holds(
     params: Params,
     row_cs: &[Matrix<Integer>],
     col_insts: &[RestrictedInstance],
 ) -> bool {
-    let f = RationalField;
     for c in row_cs {
         let mut inst = RestrictedInstance::zero(params);
         inst.c = c.clone();
-        let a = to_q(&inst.matrix_a());
+        let a = inst.matrix_a();
         for col in col_insts {
-            let bu: Vec<Rational> = col
-                .b_dot_u()
-                .iter()
-                .map(|e| Rational::from(e.clone()))
-                .collect();
-            if !gauss::in_column_span(&f, &a, &bu) {
+            if !crt::in_column_span_int(&a, &col.b_dot_u()) {
                 return false;
             }
         }
@@ -233,6 +324,22 @@ mod tests {
             "dim {dim} below the guaranteed h = {}",
             params.h()
         );
+    }
+
+    #[test]
+    fn integer_pipeline_matches_rational_oracle() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let params = Params::new(7, 2);
+        let mut cs = Vec::new();
+        for _ in 0..4 {
+            cs.push(rand_c(params, &mut rng));
+            assert_eq!(
+                intersection_dimension(params, &cs),
+                intersection_dimension_rational(params, &cs),
+                "fast path diverged from ℚ oracle with {} rows",
+                cs.len()
+            );
+        }
     }
 
     #[test]

@@ -23,13 +23,28 @@ fn to_q(m: &Matrix<Integer>) -> Matrix<Rational> {
 }
 
 /// Decide whether the columns of `v1` and `v2` together span the full
-/// ambient space ℚ^dim (dim = row count).
+/// ambient space ℚ^dim (dim = row count). The rank runs on the certified
+/// Montgomery-CRT path (full rank certifies from one residue; deficiency
+/// via the verified nullspace).
 pub fn union_spans_all(v1: &Matrix<Integer>, v2: &Matrix<Integer>) -> bool {
     assert_eq!(
         v1.rows(),
         v2.rows(),
         "subspaces of different ambient spaces"
     );
+    let joint = Matrix::from_fn(v1.rows(), v1.cols() + v2.cols(), |i, j| {
+        if j < v1.cols() {
+            v1[(i, j)].clone()
+        } else {
+            v2[(i, j - v1.cols())].clone()
+        }
+    });
+    ccmx_linalg::crt::rank_int(&joint) == v1.rows()
+}
+
+/// All-rational oracle for [`union_spans_all`] (kept for tests).
+pub fn union_spans_all_rational(v1: &Matrix<Integer>, v2: &Matrix<Integer>) -> bool {
+    assert_eq!(v1.rows(), v2.rows());
     let f = RationalField;
     let joint = Matrix::from_fn(v1.rows(), v1.cols() + v2.cols(), |i, j| {
         if j < v1.cols() {
@@ -123,6 +138,24 @@ mod tests {
                 union_spans_all(&v1, &v2),
                 !ccmx_linalg::bareiss::is_singular(&m),
                 "span-union test disagrees with singularity on {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_span_fast_path_matches_rational() {
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..20 {
+            let rows = rng.gen_range(2..=5);
+            let v1 = Matrix::from_fn(rows, rng.gen_range(1..=3), |_, _| {
+                Integer::from(rng.gen_range(-3i64..=3))
+            });
+            let v2 = Matrix::from_fn(rows, rng.gen_range(1..=3), |_, _| {
+                Integer::from(rng.gen_range(-3i64..=3))
+            });
+            assert_eq!(
+                union_spans_all(&v1, &v2),
+                union_spans_all_rational(&v1, &v2)
             );
         }
     }

@@ -132,4 +132,29 @@ proptest! {
         let r = bareiss::rank(&inst.assemble());
         prop_assert!(r == params.dim() || r == params.dim() - 1, "rank {r}");
     }
+
+    #[test]
+    fn certified_rank_nullspace_on_completions(params in arb_params(), seed in any::<u64>()) {
+        // The certified Montgomery-CRT rank/nullspace must agree with the
+        // ℚ oracle on the Lemma 3.5 completion instances — both on A
+        // (rank n−1 by construction) and on the assembled singular M
+        // (nontrivial kernel, so the reconstruction path is exercised).
+        use ccmx_bigint::Rational;
+        use ccmx_linalg::ring::RationalField;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let free = RestrictedInstance::random(params, &mut rng);
+        let inst = lemma35::complete(params, &free.c, &free.e).expect("completion");
+        let f = RationalField;
+        for m in [inst.matrix_a(), inst.assemble()] {
+            let mq = m.map(|e| Rational::from(e.clone()));
+            prop_assert_eq!(
+                ccmx_linalg::crt::rank_int(&m),
+                ccmx_linalg::gauss::rank(&f, &mq)
+            );
+            prop_assert_eq!(
+                ccmx_linalg::crt::nullspace_int(&m),
+                ccmx_linalg::gauss::nullspace(&f, &mq)
+            );
+        }
+    }
 }

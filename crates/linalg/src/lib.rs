@@ -17,8 +17,14 @@
 //!   nullspace, solve, span membership,
 //! * [`bareiss`] — fraction-free (Bareiss) elimination over ℤ: determinant
 //!   and rank without rational blow-up,
+//! * [`montgomery`] — Montgomery-form GF(p) arithmetic with delayed
+//!   reduction, and elimination kernels (`echelon_mod`/`det_mod`/`rank_mod`)
+//!   built on it,
 //! * [`modular`] — rank/det over GF(p) with `u64` kernels, random-prime rank,
 //!   and CRT determinant reconstruction (optionally multi-threaded),
+//! * [`crt`] — multi-prime CRT rank/nullspace/solve/span over ℤ with
+//!   rational reconstruction and exact certification (the lemma verifiers'
+//!   fast path),
 //! * [`lup`], [`qr`], [`svd`] — the decompositions of Corollary 1.2 (for
 //!   SVD, the *nonzero structure*, which is what the paper bounds),
 //! * [`solve`] — exact solvability of `A·x = b` over ℚ (Corollary 1.3),
@@ -29,6 +35,7 @@
 #![warn(clippy::all)]
 
 pub mod bareiss;
+pub mod crt;
 pub mod dixon;
 pub mod freivalds;
 pub mod gauss;
@@ -36,6 +43,7 @@ pub mod inverse;
 pub mod lup;
 pub mod matrix;
 pub mod modular;
+pub mod montgomery;
 pub mod parallel;
 pub mod poly;
 pub mod qr;

@@ -17,6 +17,7 @@ use ccmx_bigint::{Integer, Natural};
 
 use crate::gauss;
 use crate::matrix::Matrix;
+use crate::montgomery;
 use crate::ring::PrimeField;
 
 /// Reduce an integer matrix mod `p`.
@@ -24,25 +25,46 @@ pub fn reduce_matrix(m: &Matrix<Integer>, field: &PrimeField) -> Matrix<u64> {
     m.map(|e| field.reduce(e))
 }
 
+/// Is `p` a modulus the Montgomery kernels accept (odd, `3 ≤ p < 2^62`)?
+#[inline]
+fn montgomery_ok(p: u64) -> bool {
+    p >= 3 && p % 2 == 1 && p < montgomery::MAX_MODULUS
+}
+
 /// Determinant of an integer matrix modulo `p`.
+///
+/// Dispatches to the Montgomery delayed-reduction kernel whenever `p`
+/// qualifies (odd, below 2^62 — every prime the CRT plans produce); the
+/// generic `%`-per-op [`PrimeField`] elimination remains as the path for
+/// exotic moduli (p = 2, or ≥ 2^62).
 pub fn det_mod(m: &Matrix<Integer>, p: u64) -> u64 {
+    if montgomery_ok(p) {
+        return montgomery::det_mod(m, p);
+    }
     let field = PrimeField::new(p);
     gauss::det(&field, &reduce_matrix(m, &field))
 }
 
 /// Rank of an integer matrix modulo `p`. Always `<=` the rank over ℚ.
+///
+/// Same backend dispatch as [`det_mod`].
 pub fn rank_mod(m: &Matrix<Integer>, p: u64) -> usize {
+    if montgomery_ok(p) {
+        return montgomery::rank_mod(m, p);
+    }
     let field = PrimeField::new(p);
     gauss::rank(&field, &reduce_matrix(m, &field))
 }
 
 /// The list of primes used for a CRT determinant of `m`: successive primes
-/// starting just below 2^62 whose product exceeds `2 * hadamard + 1`.
+/// starting just above 2^61 whose product exceeds `2 * hadamard + 1`.
+/// Everything in `[2^61, 2^62)` is Montgomery-kernel compatible, so the
+/// whole plan runs on the fast path.
 pub fn crt_prime_plan(n: usize, entry_bound: &Natural) -> Vec<u64> {
     let target = (hadamard_bound(n, entry_bound) << 1u64) + Natural::one();
     let mut primes = Vec::new();
     let mut product = Natural::one();
-    let mut p = next_prime(1 << 62);
+    let mut p = next_prime(1 << 61);
     while product <= target {
         primes.push(p);
         product = product * Natural::from(p);
@@ -74,35 +96,16 @@ pub fn det_via_crt(m: &Matrix<Integer>, entry_bound: &Natural, threads: usize) -
     symmetric_representative(&x, &modulus)
 }
 
-/// Compute `det mod p` for each prime on a crossbeam-scoped worker pool.
+/// Compute `det mod p` for each prime on the shared work-stealing pool.
 fn parallel_residues(
     m: &Matrix<Integer>,
     primes: &[u64],
     threads: usize,
 ) -> Vec<(Natural, Natural)> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let next = AtomicUsize::new(0);
-    let out_slots: Vec<parking_lot::Mutex<Option<(Natural, Natural)>>> = (0..primes.len())
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(primes.len()) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= primes.len() {
-                    break;
-                }
-                let p = primes[i];
-                let r = (Natural::from(det_mod(m, p)), Natural::from(p));
-                *out_slots[i].lock() = Some(r);
-            });
-        }
+    crate::parallel::par_map(primes.len(), threads, |i| {
+        let p = primes[i];
+        (Natural::from(det_mod(m, p)), Natural::from(p))
     })
-    .expect("worker thread panicked");
-    out_slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
-        .collect()
 }
 
 /// Rank over ℚ with high probability, via a single random large prime:

@@ -1,0 +1,495 @@
+//! Montgomery-form GF(p) arithmetic and elimination kernels.
+//!
+//! The naive `u64` prime field ([`crate::ring::PrimeField`]) pays a
+//! `u128` division (`%`) for every multiplication — the dominant cost of
+//! the modular elimination hot loops behind the CRT determinant and the
+//! certified rank engine. Montgomery representation replaces that
+//! division with two multiplies and a shift (REDC), and for primes below
+//! `2^62` the reduction can additionally be *delayed*: residues live in
+//! the lazy window `[0, 2p)`, REDC's final conditional subtraction is
+//! skipped, and the elimination inner loop `t ← t − f·s` costs one REDC
+//! plus one add and one conditional subtract — no divisions anywhere.
+//!
+//! Layout:
+//!
+//! * [`MontgomeryField`] — the field object (`p` odd, `3 ≤ p < 2^62`)
+//!   with conversion, lazy arithmetic, and inversion;
+//! * [`echelon_mod`] / [`det_mod`] / [`rank_mod`] — specialized dense
+//!   kernels over an [`Integer`] matrix reduced mod `p`, the substrate of
+//!   [`crate::crt`]'s certified exact computations.
+//!
+//! Window arithmetic (all for `p < 2^62`, `R = 2^64`):
+//! inputs `a, b < 2p` give `a·b < 4p² < p·R`, so `REDC(a·b) < a·b/R + p
+//! < 2p` — the lazy window is closed under multiplication without the
+//! final subtraction, and `x + (2p − y) < 4p < 2^64` never overflows.
+
+use ccmx_bigint::modular::{inv_mod_u64, reduce_integer_u64};
+use ccmx_bigint::Integer;
+
+use crate::matrix::Matrix;
+
+/// Largest modulus the lazy-reduction kernels accept (exclusive).
+pub const MAX_MODULUS: u64 = 1 << 62;
+
+/// GF(p) in Montgomery form for an odd prime `3 ≤ p < 2^62`.
+///
+/// Elements are `u64` residues in the *lazy window* `[0, 2p)`, stored as
+/// `a·R mod p` (up to one extra `p`), `R = 2^64`. Use [`to_mont`] /
+/// [`from_mont`] at the boundary; everything in between stays lazy.
+///
+/// [`to_mont`]: MontgomeryField::to_mont
+/// [`from_mont`]: MontgomeryField::from_mont
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MontgomeryField {
+    p: u64,
+    twop: u64,
+    /// `-p^{-1} mod 2^64` (Newton iteration).
+    neg_inv: u64,
+    /// `R² mod p`, the to-Montgomery multiplier.
+    r2: u64,
+    /// `1` in Montgomery form.
+    one: u64,
+}
+
+impl MontgomeryField {
+    /// Construct the field. Panics unless `p` is odd and `3 ≤ p < 2^62`.
+    /// (Primality is the caller's responsibility, exactly as for
+    /// [`crate::ring::PrimeField`].)
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 3 && p % 2 == 1, "Montgomery modulus must be odd >= 3");
+        assert!(p < MAX_MODULUS, "Montgomery modulus must be < 2^62");
+        // Newton–Hensel: x ← x(2 − p·x) doubles correct low bits.
+        let mut inv = p; // correct to 3 bits (p odd)
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(p.wrapping_mul(inv), 1);
+        let neg_inv = inv.wrapping_neg();
+        // R mod p, then square it with double-and-add to get R² mod p.
+        let r = (u64::MAX % p) + 1; // 2^64 mod p (p > 1 so no overflow to 0 issues)
+        let r_mod = if r == p { 0 } else { r };
+        let r2 = ((r_mod as u128 * r_mod as u128) % p as u128) as u64;
+        let mut field = MontgomeryField {
+            p,
+            twop: 2 * p,
+            neg_inv,
+            r2,
+            one: 0,
+        };
+        field.one = field.to_mont(1);
+        field
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// `1` in Montgomery form.
+    #[inline]
+    pub fn one(&self) -> u64 {
+        self.one
+    }
+
+    /// REDC: `t·R^{-1} mod p`, lazily (result `< 2p` for `t < 4p²`).
+    #[inline(always)]
+    fn redc(&self, t: u128) -> u64 {
+        let m = (t as u64).wrapping_mul(self.neg_inv);
+        let u = (t + m as u128 * self.p as u128) >> 64;
+        u as u64
+    }
+
+    /// Lazy product of two lazy residues.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.twop && b < self.twop);
+        self.redc(a as u128 * b as u128)
+    }
+
+    /// Lazy sum.
+    #[inline(always)]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.twop && b < self.twop);
+        let s = a + b; // < 4p < 2^64
+        if s >= self.twop {
+            s - self.twop
+        } else {
+            s
+        }
+    }
+
+    /// Lazy difference.
+    #[inline(always)]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.twop && b < self.twop);
+        let s = a + self.twop - b; // < 4p
+        if s >= self.twop {
+            s - self.twop
+        } else {
+            s
+        }
+    }
+
+    /// The delayed-reduction elimination kernel: `t − f·s` in one REDC.
+    #[inline(always)]
+    pub fn sub_mul(&self, t: u64, f: u64, s: u64) -> u64 {
+        self.sub(t, self.mul(f, s))
+    }
+
+    /// Is the lazy residue ≡ 0 (mod p)?
+    #[inline(always)]
+    pub fn is_zero(&self, a: u64) -> bool {
+        a == 0 || a == self.p
+    }
+
+    /// Canonical residue `a < p` into Montgomery (lazy) form.
+    #[inline]
+    pub fn to_mont(&self, a: u64) -> u64 {
+        debug_assert!(a < self.p);
+        self.redc(a as u128 * self.r2 as u128)
+    }
+
+    /// Lazy Montgomery residue back to canonical `[0, p)`.
+    #[inline]
+    pub fn from_mont(&self, a: u64) -> u64 {
+        debug_assert!(a < self.twop);
+        let u = self.redc(a as u128); // < p + 1, i.e. <= p
+        if u >= self.p {
+            u - self.p
+        } else {
+            u
+        }
+    }
+
+    /// Multiplicative inverse of a nonzero lazy residue (Montgomery
+    /// form), via extended Euclid on the canonical value.
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        let canonical = self.from_mont(a);
+        if canonical == 0 {
+            return None;
+        }
+        inv_mod_u64(canonical, self.p).map(|i| self.to_mont(i))
+    }
+
+    /// Reduce an [`Integer`] into the field (Montgomery form).
+    pub fn reduce(&self, a: &Integer) -> u64 {
+        self.to_mont(reduce_integer_u64(a, self.p))
+    }
+}
+
+/// Result of one modular elimination sweep: everything the CRT layer
+/// needs, with residues back in **canonical** (non-Montgomery) form.
+#[derive(Clone, Debug)]
+pub struct ModEchelon {
+    /// The prime.
+    pub p: u64,
+    /// Reduced row echelon form mod `p`, canonical residues.
+    pub rref: Matrix<u64>,
+    /// Pivot column of each pivot row, in row order.
+    pub pivot_cols: Vec<usize>,
+    /// `det mod p` (canonical) if the input was square, else `None`.
+    pub det: Option<u64>,
+}
+
+impl ModEchelon {
+    /// The rank mod `p`.
+    pub fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+}
+
+/// Reduce an integer matrix mod `p` into lazy Montgomery residues.
+fn reduce_matrix_mont(m: &Matrix<Integer>, field: &MontgomeryField) -> Vec<u64> {
+    m.data().iter().map(|e| field.reduce(e)).collect()
+}
+
+/// Reduced row echelon form of an integer matrix mod `p`, through the
+/// delayed-reduction Montgomery kernel. Bit-identical results to the
+/// generic [`crate::gauss::echelon`] over [`crate::ring::PrimeField`],
+/// several times faster.
+pub fn echelon_mod(m: &Matrix<Integer>, p: u64) -> ModEchelon {
+    let field = MontgomeryField::new(p);
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut a = reduce_matrix_mont(m, &field);
+    let idx = |r: usize, c: usize| r * cols + c;
+
+    let mut pivot_cols = Vec::new();
+    let mut det_sign_flip = false;
+    let mut det = if m.is_square() {
+        Some(field.one())
+    } else {
+        None
+    };
+    let mut pivot_row = 0usize;
+    for col in 0..cols {
+        let Some(p_row) = (pivot_row..rows).find(|&r| !field.is_zero(a[idx(r, col)])) else {
+            continue;
+        };
+        if p_row != pivot_row {
+            for j in col..cols {
+                a.swap(idx(p_row, j), idx(pivot_row, j));
+            }
+            det_sign_flip = !det_sign_flip;
+        }
+        let pivot = a[idx(pivot_row, col)];
+        if let Some(d) = det {
+            det = Some(field.mul(d, pivot));
+        }
+        // Scale the pivot row so the pivot becomes 1.
+        let inv = field.inv(pivot).expect("nonzero pivot in a prime field");
+        for j in col..cols {
+            a[idx(pivot_row, j)] = field.mul(a[idx(pivot_row, j)], inv);
+        }
+        // Eliminate the column everywhere else (full reduction). The
+        // inner loop is the delayed-reduction hot path.
+        for r in 0..rows {
+            if r == pivot_row || field.is_zero(a[idx(r, col)]) {
+                continue;
+            }
+            let factor = a[idx(r, col)];
+            let (pr_base, r_base) = (idx(pivot_row, 0), idx(r, 0));
+            for j in col..cols {
+                a[r_base + j] = field.sub_mul(a[r_base + j], factor, a[pr_base + j]);
+            }
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+        if pivot_row == rows {
+            break;
+        }
+    }
+    if m.is_square() && pivot_cols.len() < rows {
+        det = Some(0);
+    }
+    let det = det.map(|d| {
+        let v = field.from_mont(d);
+        if det_sign_flip && v != 0 {
+            field.modulus() - v
+        } else {
+            v
+        }
+    });
+    let rref = Matrix::from_vec(
+        rows,
+        cols,
+        a.into_iter().map(|v| field.from_mont(v)).collect(),
+    );
+    ModEchelon {
+        p,
+        rref,
+        pivot_cols,
+        det,
+    }
+}
+
+/// Determinant of a square integer matrix mod `p` (forward elimination
+/// only — cheaper than [`echelon_mod`] when the RREF is not needed).
+pub fn det_mod(m: &Matrix<Integer>, p: u64) -> u64 {
+    assert!(m.is_square(), "determinant of non-square matrix");
+    let field = MontgomeryField::new(p);
+    let n = m.rows();
+    if n == 0 {
+        return 1 % p;
+    }
+    let mut a = reduce_matrix_mont(m, &field);
+    let idx = |r: usize, c: usize| r * n + c;
+    let mut det = field.one();
+    let mut negate = false;
+    for col in 0..n {
+        let Some(p_row) = (col..n).find(|&r| !field.is_zero(a[idx(r, col)])) else {
+            return 0;
+        };
+        if p_row != col {
+            for j in col..n {
+                a.swap(idx(p_row, j), idx(col, j));
+            }
+            negate = !negate;
+        }
+        let pivot = a[idx(col, col)];
+        det = field.mul(det, pivot);
+        let inv = field.inv(pivot).expect("nonzero pivot in a prime field");
+        for r in col + 1..n {
+            if field.is_zero(a[idx(r, col)]) {
+                continue;
+            }
+            let factor = field.mul(a[idx(r, col)], inv);
+            let (c_base, r_base) = (idx(col, 0), idx(r, 0));
+            for j in col..n {
+                a[r_base + j] = field.sub_mul(a[r_base + j], factor, a[c_base + j]);
+            }
+        }
+    }
+    let v = field.from_mont(det);
+    if negate && v != 0 {
+        field.modulus() - v
+    } else {
+        v
+    }
+}
+
+/// Rank of an integer matrix mod `p` (forward elimination only).
+pub fn rank_mod(m: &Matrix<Integer>, p: u64) -> usize {
+    let field = MontgomeryField::new(p);
+    let (rows, cols) = (m.rows(), m.cols());
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    let mut a = reduce_matrix_mont(m, &field);
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut rank = 0usize;
+    for col in 0..cols {
+        let Some(p_row) = (rank..rows).find(|&r| !field.is_zero(a[idx(r, col)])) else {
+            continue;
+        };
+        if p_row != rank {
+            for j in col..cols {
+                a.swap(idx(p_row, j), idx(rank, j));
+            }
+        }
+        let inv = field
+            .inv(a[idx(rank, col)])
+            .expect("nonzero pivot in a prime field");
+        for r in rank + 1..rows {
+            if field.is_zero(a[idx(r, col)]) {
+                continue;
+            }
+            let factor = field.mul(a[idx(r, col)], inv);
+            let (k_base, r_base) = (idx(rank, 0), idx(r, 0));
+            for j in col..cols {
+                a[r_base + j] = field.sub_mul(a[r_base + j], factor, a[k_base + j]);
+            }
+        }
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss;
+    use crate::matrix::int_matrix;
+    use crate::ring::{PrimeField, Ring};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn field_ops_match_prime_field() {
+        let p = 1_000_000_007u64;
+        let mont = MontgomeryField::new(p);
+        let naive = PrimeField::new(p);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let a = rng.gen_range(0..p);
+            let b = rng.gen_range(0..p);
+            let (am, bm) = (mont.to_mont(a), mont.to_mont(b));
+            assert_eq!(mont.from_mont(mont.mul(am, bm)), naive.mul(&a, &b));
+            assert_eq!(mont.from_mont(mont.add(am, bm)), naive.add(&a, &b));
+            assert_eq!(mont.from_mont(mont.sub(am, bm)), naive.sub(&a, &b));
+            assert_eq!(mont.from_mont(am), a);
+        }
+        for a in 1..200u64 {
+            let inv = mont.inv(mont.to_mont(a)).unwrap();
+            assert_eq!(mont.from_mont(mont.mul(mont.to_mont(a), inv)), 1);
+        }
+        assert_eq!(mont.inv(0), None);
+        assert_eq!(mont.inv(p), None, "lazy p is also zero");
+    }
+
+    #[test]
+    fn largest_supported_prime() {
+        // Largest prime below 2^62: stresses the lazy-window bound.
+        let p = ccmx_bigint::prime::next_prime((1 << 61) + (1 << 60));
+        assert!(p < MAX_MODULUS);
+        let mont = MontgomeryField::new(p);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..p);
+            let b = rng.gen_range(0..p);
+            let expect = ((a as u128 * b as u128) % p as u128) as u64;
+            assert_eq!(
+                mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b))),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_modulus() {
+        let _ = MontgomeryField::new(1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^62")]
+    fn rejects_oversized_modulus() {
+        let _ = MontgomeryField::new(ccmx_bigint::prime::next_prime(1 << 62));
+    }
+
+    #[test]
+    fn det_matches_generic_gauss() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in [
+            5u64,
+            97,
+            1_000_000_007,
+            ccmx_bigint::prime::next_prime(1 << 61),
+        ] {
+            for n in 0..=6usize {
+                let m = Matrix::from_fn(n, n, |_, _| Integer::from(rng.gen_range(-50i64..=50)));
+                let naive = PrimeField::new(p);
+                let reduced = m.map(|e| naive.reduce(e));
+                let expect = gauss::det(&naive, &reduced);
+                assert_eq!(det_mod(&m, p), expect, "det mismatch p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_and_rref_match_generic_gauss() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for p in [5u64, 97, 1_000_000_007] {
+            for _ in 0..20 {
+                let rows = rng.gen_range(1..=6);
+                let cols = rng.gen_range(1..=6);
+                let m =
+                    Matrix::from_fn(rows, cols, |_, _| Integer::from(rng.gen_range(-10i64..=10)));
+                let naive = PrimeField::new(p);
+                let reduced = m.map(|e| naive.reduce(e));
+                let expect = gauss::echelon(&naive, &reduced);
+                let got = echelon_mod(&m, p);
+                assert_eq!(got.rank(), expect.rank(), "rank mismatch p={p}");
+                assert_eq!(got.pivot_cols, expect.pivot_cols);
+                assert_eq!(got.rref, expect.rref, "rref mismatch p={p}");
+                assert_eq!(rank_mod(&m, p), expect.rank());
+            }
+        }
+    }
+
+    #[test]
+    fn singular_and_empty_edge_cases() {
+        let sing = int_matrix(&[&[1, 2], &[2, 4]]);
+        assert_eq!(det_mod(&sing, 1_000_000_007), 0);
+        assert_eq!(rank_mod(&sing, 1_000_000_007), 1);
+        let empty = Matrix::from_fn(0, 0, |_, _| Integer::zero());
+        assert_eq!(det_mod(&empty, 97), 1);
+        assert_eq!(rank_mod(&empty, 97), 0);
+        let e = echelon_mod(&empty, 97);
+        assert_eq!(e.rank(), 0);
+        assert_eq!(e.det, Some(1));
+    }
+
+    #[test]
+    fn det_sign_through_row_swaps() {
+        // [[0,1],[1,0]] has det -1 ≡ p-1.
+        let m = int_matrix(&[&[0, 1], &[1, 0]]);
+        for p in [5u64, 1_000_000_007] {
+            assert_eq!(det_mod(&m, p), p - 1);
+            assert_eq!(echelon_mod(&m, p).det, Some(p - 1));
+        }
+    }
+}

@@ -23,6 +23,14 @@ pub fn default_threads() -> usize {
 /// Parallel map over `0..n`: applies `f` to every index on a worker pool
 /// and returns the results in index order.
 ///
+/// Scheduling is work-stealing via a shared atomic cursor: each worker
+/// claims the next unclaimed index, so wildly uneven per-index costs
+/// (CRT residue batches, variable bigint row weights) never idle a
+/// thread behind a static chunk boundary. Results are written lock-free:
+/// the cursor hands each index to exactly one worker, so each slot has a
+/// unique writer, and the scope join orders all writes before the main
+/// thread reads.
+///
 /// `f` must be `Sync` (shared across workers by reference).
 pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
@@ -36,8 +44,14 @@ where
         return (0..n).map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+
+    struct SlotWriter<T>(*mut Option<T>);
+    // SAFETY: workers write disjoint slots (unique index from the cursor).
+    unsafe impl<T: Send> Sync for SlotWriter<T> {}
+    let writer = SlotWriter(slots.as_mut_ptr());
+    let writer_ref = &writer;
+
     crossbeam::scope(|s| {
         for _ in 0..threads.min(n) {
             s.spawn(|_| loop {
@@ -46,14 +60,17 @@ where
                     break;
                 }
                 let v = f(i);
-                *slots[i].lock() = Some(v);
+                // SAFETY: `i < n` is in bounds and no other worker ever
+                // receives the same `i`; the scope join publishes the
+                // write to the main thread.
+                unsafe { *writer_ref.0.add(i) = Some(v) };
             });
         }
     })
     .expect("par_map worker panicked");
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("all slots filled"))
+        .map(|slot| slot.expect("all slots filled"))
         .collect()
 }
 
@@ -135,6 +152,52 @@ mod tests {
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         assert!(par_map(0, 4, |i| i).is_empty());
         assert_eq!(par_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_balances_skewed_work() {
+        // One pathological index costs ~1000× the rest. Work-stealing
+        // must still return correct, ordered results (a static chunker
+        // would too, but slower — correctness under skew is what a unit
+        // test can pin; the timing shows up in the benches).
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        let light_started = AtomicUsize::new(0);
+        let overlapped = AtomicBool::new(false);
+        let spin = |iters: u64| {
+            let mut acc = 0u64;
+            for i in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let out = par_map(64, 4, |i| {
+            if i == 0 {
+                // The heavy item stays busy until a light item has been
+                // picked up by another worker (bounded wait, so a broken
+                // scheduler fails the assert instead of hanging).
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while light_started.load(Ordering::SeqCst) == 0
+                    && std::time::Instant::now() < deadline
+                {
+                    std::hint::spin_loop();
+                }
+                if light_started.load(Ordering::SeqCst) > 0 {
+                    overlapped.store(true, Ordering::SeqCst);
+                }
+            } else {
+                light_started.fetch_add(1, Ordering::SeqCst);
+            }
+            (i, spin(2_000))
+        });
+        for (i, (idx, val)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, spin(2_000));
+        }
+        // The light indices must have run while index 0 was still busy.
+        assert!(
+            overlapped.load(Ordering::SeqCst),
+            "workers never overlapped"
+        );
     }
 
     #[test]

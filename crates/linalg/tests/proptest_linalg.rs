@@ -149,3 +149,51 @@ proptest! {
         prop_assert_eq!(e.rank() + ns.len(), m.cols());
     }
 }
+
+/// A random `n × n` matrix of signed `k`-bit entries.
+fn arb_kbit_square(n_max: usize, k: u32) -> impl Strategy<Value = Matrix<Integer>> {
+    let bound = (1i64 << k) - 1;
+    (1usize..=n_max).prop_flat_map(move |n| {
+        prop::collection::vec(-bound..=bound, n * n)
+            .prop_map(move |v| Matrix::from_vec(n, n, v.into_iter().map(Integer::from).collect()))
+    })
+}
+
+// Three-way determinant agreement across the exact backends — rational
+// Gauss, Bareiss, Montgomery-CRT — on k-bit entries, k ∈ {1, 8, 32}.
+// Low case counts keep the rational baseline affordable at n = 12.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn det_backends_agree_1bit(m in arb_kbit_square(12, 1)) {
+        let bound = Natural::from(1u64);
+        let d = det_via_crt(&m, &bound, 1);
+        prop_assert_eq!(&d, &bareiss::det(&m));
+        prop_assert_eq!(Rational::from(d), gauss::det(&RationalField, &to_q(&m)));
+    }
+
+    #[test]
+    fn det_backends_agree_8bit(m in arb_kbit_square(12, 8)) {
+        let bound = Natural::from((1u64 << 8) - 1);
+        let d = det_via_crt(&m, &bound, 1);
+        prop_assert_eq!(&d, &bareiss::det(&m));
+        prop_assert_eq!(Rational::from(d), gauss::det(&RationalField, &to_q(&m)));
+    }
+
+    #[test]
+    fn det_backends_agree_32bit(m in arb_kbit_square(12, 32)) {
+        let bound = Natural::from((1u64 << 32) - 1);
+        let d = det_via_crt(&m, &bound, 1);
+        prop_assert_eq!(&d, &bareiss::det(&m));
+        prop_assert_eq!(Rational::from(d), gauss::det(&RationalField, &to_q(&m)));
+    }
+
+    #[test]
+    fn certified_rank_and_nullspace_match_oracle(m in arb_rect()) {
+        let f = RationalField;
+        let mq = to_q(&m);
+        prop_assert_eq!(ccmx_linalg::crt::rank_int(&m), gauss::rank(&f, &mq));
+        prop_assert_eq!(ccmx_linalg::crt::nullspace_int(&m), gauss::nullspace(&f, &mq));
+    }
+}

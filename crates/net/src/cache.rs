@@ -150,6 +150,26 @@ mod tests {
     }
 
     #[test]
+    fn backend_id_in_key_separates_entries() {
+        // Regression: the server keys bound computations by
+        // (n, k, security, backend id). Entries computed under one
+        // exact-arithmetic backend must never satisfy a lookup for
+        // another — a cross-backend upgrade starts cold, not stale.
+        let mut c: LruCache<(usize, u32, u32, &'static str), u64> = LruCache::new(8);
+        let rational = ccmx_linalg::crt::Backend::RationalGauss.id();
+        let crt = ccmx_linalg::crt::Backend::MontgomeryCrt.id();
+        assert_ne!(rational, crt);
+        c.put((7, 2, 40, rational), 111);
+        assert_eq!(c.get(&(7, 2, 40, crt)), None, "cross-backend hit");
+        c.put((7, 2, 40, crt), 222);
+        assert_eq!(c.get(&(7, 2, 40, rational)), Some(111));
+        assert_eq!(c.get(&(7, 2, 40, crt)), Some(222));
+        // And the active backend id is one of the declared ones.
+        let active = ccmx_linalg::crt::active_backend().id();
+        assert!(["rational", "bareiss", "crt"].contains(&active));
+    }
+
+    #[test]
     fn overwrite_same_key_does_not_evict() {
         let mut c = LruCache::new(2);
         c.put("a", 1);

@@ -111,10 +111,15 @@ pub struct ServerStats {
     pub connections_dropped: u64,
 }
 
+/// Bounds-cache key: `(n, k, security, linalg backend id)` — the backend
+/// component guarantees a server upgrade that swaps the exact-arithmetic
+/// engine can never serve an entry computed by the old one.
+type BoundsKey = (usize, u32, u32, &'static str);
+
 struct ServerState {
     config: ServerConfig,
     counters: Counters,
-    bounds_cache: Mutex<LruCache<(usize, u32, u32), BoundsReport>>,
+    bounds_cache: Mutex<LruCache<BoundsKey, BoundsReport>>,
 }
 
 /// Handle to a running server; dropping it (or calling
@@ -372,10 +377,11 @@ fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Resp
             "bounds need odd n >= 5 and k in 2..=63, got n={n} k={k}"
         ));
     }
+    let backend = ccmx_linalg::crt::active_backend().id();
     let report = state
         .bounds_cache
         .lock()
-        .get_or_insert_with((n, k, security), || {
+        .get_or_insert_with((n, k, security, backend), || {
             let p = Params::new(n, k);
             BoundsReport {
                 n,

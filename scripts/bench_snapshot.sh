@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the committed machine-readable benchmark snapshot.
+#
+# Runs the E14 exact-kernel comparison (rational Gauss vs Bareiss vs
+# Montgomery-CRT) with wall-clock timing and writes BENCH_e14.json at the
+# repo root. Commit the result so the perf trajectory is tracked in-tree.
+#
+# Usage: scripts/bench_snapshot.sh [--quick]
+#   --quick   single rep per measurement (CI sanity; noisier numbers)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=()
+[[ "${1:-}" == "--quick" ]] && ARGS+=(--quick)
+
+OUT=BENCH_e14.json
+echo "==> cargo run --release --bin bench_snapshot ${ARGS[*]:-}"
+cargo run --release -p ccmx-bench --bin bench_snapshot -- ${ARGS[@]+"${ARGS[@]}"} > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+echo "==> wrote $OUT"
+grep speedup "$OUT"

@@ -2,14 +2,24 @@
 # Full verification gate: tier-1 (release build + tests), formatting,
 # and a warning-free clippy pass over every target in the workspace.
 #
-# Usage: scripts/verify.sh [--quick]
-#   --quick   skip the release build (debug tests + lints only)
+# Usage: scripts/verify.sh [--quick] [--bench-smoke]
+#   --quick        skip the release build (debug tests + lints only)
+#   --bench-smoke  additionally run every criterion bench for exactly one
+#                  iteration (CCMX_BENCH_SMOKE=1): compile + run sanity
+#                  with no timing, so benches can't silently rot
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-[[ "${1:-}" == "--quick" ]] && QUICK=1
+BENCH_SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -24,5 +34,12 @@ fi
 
 echo "==> cargo test -q (tier-1)"
 cargo test -q
+
+if [[ "$BENCH_SMOKE" -eq 1 ]]; then
+    echo "==> bench smoke (one iteration per bench, no timing)"
+    CCMX_BENCH_SMOKE=1 cargo bench -p ccmx-bench
+    echo "==> bench_snapshot --quick"
+    cargo run --release -p ccmx-bench --bin bench_snapshot -- --quick > /dev/null
+fi
 
 echo "==> verify: all gates passed"

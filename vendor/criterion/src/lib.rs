@@ -59,10 +59,24 @@ pub struct Bencher {
     results: Vec<f64>,
 }
 
+/// Smoke mode: when the `CCMX_BENCH_SMOKE` environment variable is set,
+/// every benchmark runs its workload exactly once with no calibration or
+/// timing loop — a compile-and-run sanity pass (`verify.sh
+/// --bench-smoke`) that keeps bench code from rotting without paying
+/// measurement cost.
+fn smoke_mode() -> bool {
+    std::env::var_os("CCMX_BENCH_SMOKE").is_some()
+}
+
 impl Bencher {
     /// Time `f`, amortizing over enough iterations per sample to exceed
     /// a minimal measurement window.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if smoke_mode() {
+            black_box(f());
+            self.results.clear();
+            return;
+        }
         // Warm-up and iteration-count calibration: grow until one batch
         // takes ≥ 1 ms (capped so huge workloads still finish fast).
         let mut iters: u64 = 1;
