@@ -1,0 +1,82 @@
+//! E15: the kernel engine — incremental enumeration and one-pass
+//! residue batching.
+//!
+//! Two shoot-outs:
+//!
+//! 1. **Gray-walk singularity**: evaluating a truth-matrix row of the
+//!    singularity function step by step, fresh `eval` per point (an
+//!    `O(dim³)` exact elimination) vs. the [`IncrementalOracle`] cursor
+//!    (an `O(dim²)`-per-prime rank-one update). Walks are bounded-step
+//!    prefixes of the exact Gray order `TruthMatrix::enumerate` uses.
+//! 2. **Multi-prime reduction**: reducing a 32-bit-entry matrix into
+//!    residues for a full CRT prime plan, scalar per-prime `reduce` vs.
+//!    the one-pass limb-fold `ResiduePlan`.
+//!
+//! `scripts/bench_snapshot.sh` runs the same workloads with wall-clock
+//! timing and commits `BENCH_e15.json`.
+
+use ccmx_bench::{b_positions, gray_walk_fresh, gray_walk_incremental, random_matrix, rng_for};
+use ccmx_bigint::Natural;
+use ccmx_comm::functions::Singularity;
+use ccmx_linalg::engine::ResiduePlan;
+use ccmx_linalg::modular::crt_prime_plan;
+use ccmx_linalg::montgomery::MontgomeryField;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Gray-walk length per measured row (capped by the B-side size).
+const WALK_STEPS: usize = 256;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_enumeration_engine");
+    group.sample_size(10);
+
+    for dim in [4usize, 8] {
+        let f = Singularity::new(dim, 1);
+        let b_pos = b_positions(dim, 1);
+        let steps = WALK_STEPS.min(1 << b_pos.len());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gray_walk_fresh_dim{dim}_k1")),
+            &f,
+            |b, f| b.iter(|| gray_walk_fresh(f, &b_pos, steps)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gray_walk_incremental_dim{dim}_k1")),
+            &f,
+            |b, f| b.iter(|| gray_walk_incremental(f, &b_pos, steps)),
+        );
+    }
+
+    let mut rng = rng_for("e15");
+    let n = 32usize;
+    let entry_bits = 32u32;
+    let m = random_matrix(n, entry_bits, &mut rng);
+    let primes = crt_prime_plan(n, &Natural::from(1u64 << entry_bits));
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("reduce_per_prime_n{n}_32bit")),
+        &m,
+        |b, m| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &p in &primes {
+                    let field = MontgomeryField::new(p);
+                    for e in m.data() {
+                        acc = acc.wrapping_add(field.reduce(e));
+                    }
+                }
+                acc
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("reduce_batched_n{n}_32bit")),
+        &m,
+        |b, m| {
+            let mut plan = ResiduePlan::new(&primes);
+            b.iter(|| plan.reduce_matrix(m))
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

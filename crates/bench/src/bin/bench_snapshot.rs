@@ -1,23 +1,35 @@
-//! Machine-readable snapshot of the E14 exact-kernel comparison.
+//! Machine-readable snapshots of the kernel benchmarks.
 //!
-//! Runs the same workloads as the `e14_exact_kernels` criterion bench
-//! with plain wall-clock timing and prints a JSON document (committed as
-//! `BENCH_e14.json` by `scripts/bench_snapshot.sh`) so the performance
-//! trajectory of the exact-arithmetic backends is tracked in-repo.
+//! Default mode runs the `e14_exact_kernels` workloads (committed as
+//! `BENCH_e14.json`); `--e15` runs the `e15_enumeration_engine`
+//! workloads — Gray-walk singularity fresh vs incremental, per-prime vs
+//! batched residue reduction, plus re-measured e14 det/rank rows — and
+//! is committed as `BENCH_e15.json`. Both use plain wall-clock timing so
+//! the performance trajectory of the exact backends is tracked in-repo.
 //!
-//! Usage: `bench_snapshot [--quick]` — `--quick` lowers the repeat count
-//! (CI smoke); the committed snapshot uses the default.
+//! The e15 document also carries an `incremental_ok` verdict: whether a
+//! real `TruthMatrix::enumerate` run stayed on the incremental-oracle
+//! path instead of falling back to fresh evaluation (checked by
+//! `scripts/verify.sh --bench-smoke`).
+//!
+//! Usage: `bench_snapshot [--quick] [--e15]` — `--quick` lowers the
+//! repeat count (CI smoke); the committed snapshots use the default.
 
 use std::time::Instant;
 
 use ccmx_bench::{random_matrix, rng_for};
 use ccmx_bigint::{Integer, Natural, Rational};
+use ccmx_comm::functions::Singularity;
+use ccmx_comm::{MatrixEncoding, Partition};
 use ccmx_linalg::parallel::default_threads;
 use ccmx_linalg::ring::RationalField;
 use ccmx_linalg::{bareiss, crt, gauss, modular, Matrix};
 
 const ENTRY_BITS: u32 = 32;
 const SIZES: [usize; 4] = [8, 16, 32, 64];
+/// Repeat count for the cheap Montgomery-CRT rows (best-of minimum needs
+/// more samples than the multi-second rational baselines to stabilize).
+const CRT_REPS: usize = 9;
 /// The rational baseline stops here: ℚ-Gauss coefficient blow-up makes
 /// n = 64 take minutes per determinant.
 const RATIONAL_MAX_N: usize = 32;
@@ -44,17 +56,24 @@ struct Row {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 1 } else { 3 };
+    if std::env::args().any(|a| a == "--e15") {
+        e15_snapshot(reps);
+        return;
+    }
     let threads = default_threads();
     let mut rng = rng_for("e14");
     let entry_bound = Natural::from(1u64 << ENTRY_BITS);
     let mut rows: Vec<Row> = Vec::new();
 
+    // The CRT rows are cheap and also re-measured by `--e15`; extra reps
+    // pin their best-of minimum so the two documents agree run-to-run.
+    let crt_reps = if reps == 1 { 1 } else { CRT_REPS };
     for n in SIZES {
         let m: Matrix<Integer> = random_matrix(n, ENTRY_BITS, &mut rng);
         let mq = m.map(|e| Rational::from(e.clone()));
 
         let (crt_det_ms, det_crt) =
-            time_best(reps, || modular::det_via_crt(&m, &entry_bound, threads));
+            time_best(crt_reps, || modular::det_via_crt(&m, &entry_bound, threads));
         rows.push(Row {
             n,
             backend: "montgomery_crt",
@@ -62,7 +81,7 @@ fn main() {
             millis: crt_det_ms,
         });
 
-        let (crt_rank_ms, rank_crt) = time_best(reps, || crt::rank_int(&m));
+        let (crt_rank_ms, rank_crt) = time_best(crt_reps, || crt::rank_int(&m));
         rows.push(Row {
             n,
             backend: "montgomery_crt",
@@ -118,6 +137,126 @@ fn main() {
         _ => 0.0,
     };
 
+    emit_e14(threads, reps, &rows, speedup_32);
+}
+
+/// The `--e15` snapshot: kernel-engine workloads, mirroring the
+/// `e15_enumeration_engine` criterion bench, plus re-measured e14
+/// det/rank rows (identical `rng_for("e14")` workload stream) so drift
+/// of the CRT backends is visible from this document alone.
+fn e15_snapshot(reps: usize) {
+    let threads = default_threads();
+    let mut rows: Vec<String> = Vec::new();
+
+    // Gray-walk singularity: fresh eval vs incremental cursor.
+    const WALK_STEPS: usize = 256;
+    let mut speedup_walk_dim8 = 0.0;
+    for dim in [4usize, 8] {
+        let f = Singularity::new(dim, 1);
+        let b_pos = ccmx_bench::b_positions(dim, 1);
+        let steps = WALK_STEPS.min(1 << b_pos.len());
+        let (fresh_ms, ones_fresh) =
+            time_best(reps, || ccmx_bench::gray_walk_fresh(&f, &b_pos, steps));
+        let (inc_ms, ones_inc) = time_best(reps, || {
+            ccmx_bench::gray_walk_incremental(&f, &b_pos, steps)
+        });
+        assert_eq!(ones_fresh, ones_inc, "walk disagreement at dim {dim}");
+        rows.push(format!(
+            "{{\"workload\": \"gray_walk_fresh\", \"dim\": {dim}, \"k\": 1, \"steps\": {steps}, \"ms\": {fresh_ms:.4}}}"
+        ));
+        rows.push(format!(
+            "{{\"workload\": \"gray_walk_incremental\", \"dim\": {dim}, \"k\": 1, \"steps\": {steps}, \"ms\": {inc_ms:.4}}}"
+        ));
+        if dim == 8 && inc_ms > 0.0 {
+            speedup_walk_dim8 = fresh_ms / inc_ms;
+        }
+    }
+
+    // Residue reduction: scalar per-prime vs one-pass batched.
+    let mut rng = rng_for("e15");
+    let n = 32usize;
+    let entry_bits = 32u32;
+    let m = random_matrix(n, entry_bits, &mut rng);
+    let primes = modular::crt_prime_plan(n, &Natural::from(1u64 << entry_bits));
+    let (per_prime_ms, _) = time_best(reps, || {
+        let mut acc = 0u64;
+        for &p in &primes {
+            let field = ccmx_linalg::montgomery::MontgomeryField::new(p);
+            for e in m.data() {
+                acc = acc.wrapping_add(field.reduce(e));
+            }
+        }
+        acc
+    });
+    let mut plan = ccmx_linalg::engine::ResiduePlan::new(&primes);
+    let (batched_ms, _) = time_best(reps, || plan.reduce_matrix(&m));
+    rows.push(format!(
+        "{{\"workload\": \"reduce_per_prime\", \"n\": {n}, \"entry_bits\": {entry_bits}, \"primes\": {}, \"ms\": {per_prime_ms:.4}}}",
+        primes.len()
+    ));
+    rows.push(format!(
+        "{{\"workload\": \"reduce_batched\", \"n\": {n}, \"entry_bits\": {entry_bits}, \"primes\": {}, \"ms\": {batched_ms:.4}}}",
+        primes.len()
+    ));
+    let speedup_reduction = if batched_ms > 0.0 {
+        per_prime_ms / batched_ms
+    } else {
+        0.0
+    };
+
+    // Re-measured e14 CRT rows, on the same deterministic workloads and
+    // repeat count as the default mode, so the two documents agree.
+    let crt_reps = if reps == 1 { 1 } else { CRT_REPS };
+    let mut rng14 = rng_for("e14");
+    let entry_bound = Natural::from(1u64 << 32);
+    for n in [8usize, 16, 32, 64] {
+        let m: Matrix<Integer> = random_matrix(n, 32, &mut rng14);
+        let (det_ms, _) = time_best(crt_reps, || modular::det_via_crt(&m, &entry_bound, threads));
+        rows.push(format!(
+            "{{\"workload\": \"e14_det_montgomery_crt\", \"n\": {n}, \"ms\": {det_ms:.4}}}"
+        ));
+        let (rank_ms, _) = time_best(crt_reps, || crt::rank_int(&m));
+        rows.push(format!(
+            "{{\"workload\": \"e14_rank_montgomery_crt\", \"n\": {n}, \"ms\": {rank_ms:.4}}}"
+        ));
+    }
+
+    // Incremental-path verdict from a real enumeration: every point of a
+    // singularity truth matrix must flow through the oracle cursor, and
+    // engine refreshes must stay a small fraction of update steps.
+    let f = Singularity::new(4, 1);
+    let partition = Partition::pi_zero(&MatrixEncoding::new(4, 1));
+    let (inc_pts_before, _) = ccmx_comm::truth::enumeration_stats();
+    let (steps_before, fresh_before) = ccmx_linalg::engine::incremental_stats();
+    let t = ccmx_comm::truth::TruthMatrix::enumerate(&f, &partition, threads);
+    let (inc_pts_after, _) = ccmx_comm::truth::enumeration_stats();
+    let (steps_after, fresh_after) = ccmx_linalg::engine::incremental_stats();
+    let points = (t.rows() * t.cols()) as u64;
+    let cursor_points = inc_pts_after - inc_pts_before;
+    let steps = steps_after - steps_before;
+    let fresh = fresh_after - fresh_before;
+    let incremental_ok = cursor_points >= points && steps > 0 && fresh * 2 <= steps;
+
+    println!("{{");
+    println!("  \"experiment\": \"e15_enumeration_engine\",");
+    println!("  \"threads\": {threads},");
+    println!("  \"reps\": {reps},");
+    println!("  \"speedup_incremental_gray_walk_dim8\": {speedup_walk_dim8:.2},");
+    println!("  \"speedup_batched_reduction_n32_32bit\": {speedup_reduction:.2},");
+    println!("  \"incremental_ok\": {incremental_ok},");
+    println!("  \"enumeration_cursor_points\": {cursor_points},");
+    println!("  \"engine_update_steps\": {steps},");
+    println!("  \"engine_fresh_refreshes\": {fresh},");
+    println!("  \"results_ms\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!("    {r}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn emit_e14(threads: usize, reps: usize, rows: &[Row], speedup_32: f64) {
     println!("{{");
     println!("  \"experiment\": \"e14_exact_kernels\",");
     println!("  \"entry_bits\": {ENTRY_BITS},");

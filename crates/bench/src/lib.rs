@@ -70,6 +70,45 @@ pub fn singularity(dim: usize, k: u32) -> Singularity {
     Singularity::new(dim, k)
 }
 
+/// The B-owned bit positions of a `(dim, k)` singularity instance
+/// under `π₀`, in the index order the Gray walk flips them.
+pub fn b_positions(dim: usize, k: u32) -> Vec<usize> {
+    pi_zero(dim, k).positions_of(ccmx_comm::partition::Owner::B)
+}
+
+/// Walk `steps` Gray-code flips of the B-side bits (the exact order
+/// `TruthMatrix::enumerate` visits a row) evaluating `f` **fresh** at
+/// every point. Returns the number of ones seen, so fresh and
+/// incremental walks can be cross-checked.
+pub fn gray_walk_fresh(f: &Singularity, b_pos: &[usize], steps: usize) -> u64 {
+    use ccmx_comm::functions::BooleanFunction;
+    let mut input = BitString::zeros(f.num_bits());
+    let mut ones = u64::from(f.eval(&input));
+    let mut gray = 0usize;
+    for i in 1..steps {
+        let j = i.trailing_zeros() as usize;
+        gray ^= 1 << j;
+        input.set(b_pos[j], (gray >> j) & 1 == 1);
+        ones += u64::from(f.eval(&input));
+    }
+    ones
+}
+
+/// The same walk as [`gray_walk_fresh`], through the incremental-oracle
+/// cursor (one rank-one engine update per step).
+pub fn gray_walk_incremental(f: &Singularity, b_pos: &[usize], steps: usize) -> u64 {
+    use ccmx_comm::functions::BooleanFunction;
+    let oracle = f.as_incremental().expect("singularity is incremental");
+    let input = BitString::zeros(f.num_bits());
+    let mut cursor = oracle.begin(&input);
+    let mut ones = u64::from(cursor.value());
+    for i in 1..steps {
+        let j = i.trailing_zeros() as usize;
+        ones += u64::from(cursor.flip(b_pos[j]));
+    }
+    ones
+}
+
 /// Random free blocks `(C, E)` for the restricted family.
 pub fn random_c_e(params: Params, rng: &mut StdRng) -> (Matrix<Integer>, Matrix<Integer>) {
     let h = params.h();

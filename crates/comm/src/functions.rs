@@ -14,6 +14,7 @@
 //!   singularity.
 
 use ccmx_bigint::{Integer, Natural};
+use ccmx_linalg::engine::SingularityEngine;
 use ccmx_linalg::{bareiss, solve, Matrix};
 
 use crate::bits::BitString;
@@ -27,6 +28,37 @@ pub trait BooleanFunction: Sync {
     fn eval(&self, input: &BitString) -> bool;
     /// Name for reports.
     fn name(&self) -> &'static str;
+    /// Opt-in incremental evaluation: functions that can re-evaluate
+    /// under a single-bit flip faster than from scratch return `Some`
+    /// (see [`IncrementalOracle`]); the default is `None` and callers
+    /// like `TruthMatrix::enumerate` fall back to fresh [`Self::eval`].
+    fn as_incremental(&self) -> Option<&dyn IncrementalOracle> {
+        None
+    }
+}
+
+/// Mutable evaluation state positioned at one input; stepped by bit
+/// flips. Obtained from [`IncrementalOracle::begin`].
+pub trait IncrementalCursor {
+    /// The function value at the current input.
+    fn value(&self) -> bool;
+    /// Flip input bit `pos` and return the new function value. Cost is
+    /// the oracle's incremental step (e.g. `O(n²)` per CRT prime for
+    /// singularity) instead of a fresh evaluation.
+    fn flip(&mut self, pos: usize) -> bool;
+}
+
+/// A [`BooleanFunction`] that supports incremental re-evaluation along a
+/// bit-flip walk — the contract behind Gray-coded enumeration: walks
+/// visit all assignments flipping one bit per step, so an
+/// `O(step)`-cheap cursor replaces a from-scratch `eval` per point.
+///
+/// Implementations must keep cursors exact: `cursor.value()` after any
+/// flip sequence equals `eval` on the correspondingly flipped input
+/// (enumeration cross-checks this with `debug_assert`).
+pub trait IncrementalOracle: BooleanFunction {
+    /// Position a fresh cursor at `input`.
+    fn begin(&self, input: &BitString) -> Box<dyn IncrementalCursor + '_>;
 }
 
 // ----------------------------------------------------------------------
@@ -58,6 +90,50 @@ impl BooleanFunction for Singularity {
     }
     fn name(&self) -> &'static str {
         "singularity"
+    }
+    fn as_incremental(&self) -> Option<&dyn IncrementalOracle> {
+        Some(self)
+    }
+}
+
+/// Incremental singularity: flipping input bit `pos` perturbs entry
+/// `(row, col)` by `±2^bit`, which the CRT rank-one-update engine
+/// absorbs in `O(dim²)` per prime.
+struct SingularityCursor<'a> {
+    enc: &'a MatrixEncoding,
+    input: BitString,
+    engine: SingularityEngine,
+}
+
+impl IncrementalCursor for SingularityCursor<'_> {
+    fn value(&self) -> bool {
+        self.engine.is_singular()
+    }
+    fn flip(&mut self, pos: usize) -> bool {
+        let (row, col, bit) = self.enc.coordinates(pos);
+        let was = self.input.get(pos);
+        self.input.set(pos, !was);
+        let delta = if was {
+            Integer::from(-(1i64 << bit))
+        } else {
+            Integer::from(1i64 << bit)
+        };
+        self.engine.update(row, col, &delta)
+    }
+}
+
+impl IncrementalOracle for Singularity {
+    fn begin(&self, input: &BitString) -> Box<dyn IncrementalCursor + '_> {
+        // Entries stay in [0, 2^k − 1] under bit flips, so the engine's
+        // Hadamard-bound prime plan keeps every verdict exact over ℤ.
+        let bound = Natural::from((1u64 << self.enc.k) - 1);
+        let mut engine = SingularityEngine::new(self.enc.dim, &bound);
+        engine.load(&self.enc.decode(input));
+        Box::new(SingularityCursor {
+            enc: &self.enc,
+            input: input.clone(),
+            engine,
+        })
     }
 }
 
@@ -235,6 +311,53 @@ impl BooleanFunction for Equality {
     fn name(&self) -> &'static str {
         "equality"
     }
+    fn as_incremental(&self) -> Option<&dyn IncrementalOracle> {
+        Some(self)
+    }
+}
+
+/// Incremental equality: a running mismatch count makes each flip `O(1)`
+/// (also a structurally different exerciser of the oracle contract than
+/// the matrix-backed singularity cursor).
+struct EqualityCursor {
+    half_bits: usize,
+    input: BitString,
+    mismatches: usize,
+}
+
+impl IncrementalCursor for EqualityCursor {
+    fn value(&self) -> bool {
+        self.mismatches == 0
+    }
+    fn flip(&mut self, pos: usize) -> bool {
+        let i = if pos >= self.half_bits {
+            pos - self.half_bits
+        } else {
+            pos
+        };
+        let matched = self.input.get(i) == self.input.get(i + self.half_bits);
+        self.input.set(pos, !self.input.get(pos));
+        let matches_now = self.input.get(i) == self.input.get(i + self.half_bits);
+        match (matched, matches_now) {
+            (true, false) => self.mismatches += 1,
+            (false, true) => self.mismatches -= 1,
+            _ => {}
+        }
+        self.value()
+    }
+}
+
+impl IncrementalOracle for Equality {
+    fn begin(&self, input: &BitString) -> Box<dyn IncrementalCursor + '_> {
+        let mismatches = (0..self.half_bits)
+            .filter(|&i| input.get(i) != input.get(self.half_bits + i))
+            .count();
+        Box::new(EqualityCursor {
+            half_bits: self.half_bits,
+            input: input.clone(),
+            mismatches,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -300,5 +423,47 @@ mod tests {
         assert!(f.eval(&BitString::from_u64(0b101_101, 6)));
         assert!(!f.eval(&BitString::from_u64(0b101_100, 6)));
         assert_eq!(f.num_bits(), 6);
+    }
+
+    /// Drives an oracle's cursor through a deterministic pseudo-random
+    /// flip walk, checking every verdict against a fresh `eval`.
+    fn check_cursor_walk(f: &dyn BooleanFunction, steps: usize, seed: u64) {
+        let oracle = f.as_incremental().expect("oracle expected");
+        let n = f.num_bits();
+        let mut input = BitString::zeros(n);
+        let mut cursor = oracle.begin(&input);
+        assert_eq!(cursor.value(), f.eval(&input));
+        let mut state = seed | 1;
+        for step in 0..steps {
+            // xorshift64 position stream: cheap, deterministic, hits
+            // every bit class (A-side, B-side, high/low entry bits).
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pos = (state as usize) % n;
+            input.set(pos, !input.get(pos));
+            let v = cursor.flip(pos);
+            assert_eq!(v, f.eval(&input), "step {step}, pos {pos}");
+            assert_eq!(cursor.value(), v);
+        }
+    }
+
+    #[test]
+    fn singularity_cursor_matches_eval_over_flip_walks() {
+        for (dim, k, seed) in [(2usize, 1u32, 7u64), (2, 3, 11), (3, 2, 13)] {
+            check_cursor_walk(&Singularity::new(dim, k), 200, seed);
+        }
+    }
+
+    #[test]
+    fn equality_cursor_matches_eval_over_flip_walks() {
+        check_cursor_walk(&Equality { half_bits: 5 }, 300, 42);
+    }
+
+    #[test]
+    fn non_incremental_functions_report_none() {
+        let enc = MatrixEncoding::new(2, 2);
+        assert!(RankAtMost { enc, r: 1 }.as_incremental().is_none());
+        assert!(Singularity::new(2, 2).as_incremental().is_some());
     }
 }

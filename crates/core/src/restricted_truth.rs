@@ -13,9 +13,11 @@
 //! rows with sampled or exhaustively-truncated column sets, which is
 //! what the E2/E5/E6 experiments need.
 
+use ccmx_bigint::prime::next_prime;
 use ccmx_bigint::{Integer, Rational};
 use ccmx_linalg::gauss::LinearSolver;
-use ccmx_linalg::ring::RationalField;
+use ccmx_linalg::montgomery::echelon_mod;
+use ccmx_linalg::ring::{PrimeField, RationalField};
 use ccmx_linalg::Matrix;
 use rand::Rng;
 
@@ -37,9 +39,62 @@ impl ColumnKey {
     }
 }
 
+/// Single-prime span rejector: the pivot rows of `RREF(Aᵀ mod p)` span
+/// the column space of `A mod p`, so reducing `B·u mod p` against them
+/// is an `O(rank · n)` word-arithmetic membership test. The filter is
+/// only armed when `rank_p(A) = rank_ℚ(A)`; then `B·u ∈ Span_ℚ(A)`
+/// implies `B·u mod p ∈ Span_p(A)`, so a modular *rejection* is an exact
+/// "not in span" — no false negatives to re-check. A modular *accept*
+/// can still be a `p`-coincidence and goes to the exact solver.
+struct SpanFilter {
+    p: u64,
+    field: PrimeField,
+    /// Pivot rows of `RREF(Aᵀ mod p)`, canonical residues.
+    basis: Vec<Vec<u64>>,
+    pivot_cols: Vec<usize>,
+}
+
+impl SpanFilter {
+    /// Arm the filter iff `p` preserves the rank of `a` (certified
+    /// against the exact rational rank already computed by the solver).
+    fn build(a: &Matrix<Integer>, rank_q: usize) -> Option<SpanFilter> {
+        let p = next_prime(1 << 61);
+        let e = echelon_mod(&a.transpose(), p);
+        if e.rank() != rank_q {
+            return None;
+        }
+        let basis = (0..e.rank()).map(|i| e.rref.row(i).to_vec()).collect();
+        Some(SpanFilter {
+            p,
+            field: PrimeField::new(p),
+            basis,
+            pivot_cols: e.pivot_cols.clone(),
+        })
+    }
+
+    /// `false` ⟹ `v ∉ Span_ℚ(A)` exactly; `true` ⟹ run the exact test.
+    fn maybe_in_span(&self, v: &[Integer]) -> bool {
+        let p = self.p as u128;
+        let mut r: Vec<u64> = v.iter().map(|e| self.field.reduce(e)).collect();
+        for (row, &pc) in self.basis.iter().zip(&self.pivot_cols) {
+            let coeff = r[pc];
+            if coeff == 0 {
+                continue;
+            }
+            for (rj, &bj) in r.iter_mut().zip(row) {
+                let sub = (coeff as u128 * bj as u128) % p;
+                let cur = *rj as u128;
+                *rj = (cur + p - sub) as u64 % self.p;
+            }
+        }
+        r.iter().all(|&x| x == 0)
+    }
+}
+
 /// A row evaluator: fixes `C`, factors `Span(A(C))` once.
 pub struct RowEvaluator {
     solver: LinearSolver<RationalField>,
+    filter: Option<SpanFilter>,
 }
 
 impl RowEvaluator {
@@ -47,14 +102,27 @@ impl RowEvaluator {
     pub fn new(params: Params, c: &Matrix<Integer>) -> Self {
         let mut inst = RestrictedInstance::zero(params);
         inst.c = c.clone();
-        let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
-        RowEvaluator {
-            solver: LinearSolver::new(RationalField, &a),
-        }
+        let a_int = inst.matrix_a();
+        let a = a_int.map(|e| Rational::from(e.clone()));
+        let solver = LinearSolver::new(RationalField, &a);
+        let filter = SpanFilter::build(&a_int, solver.rank());
+        RowEvaluator { solver, filter }
+    }
+
+    /// Is the modular prefilter armed? (It is unless the fixed prime
+    /// happens to drop the rank of `A` — essentially never for the
+    /// small-entry matrices this module builds.)
+    pub fn has_modular_filter(&self) -> bool {
+        self.filter.is_some()
     }
 
     /// Truth-matrix entry for one column: singular ⟺ membership.
     pub fn entry(&self, col: &ColumnKey) -> bool {
+        if let Some(f) = &self.filter {
+            if !f.maybe_in_span(&col.bu) {
+                return false;
+            }
+        }
         let bu: Vec<Rational> = col.bu.iter().map(|e| Rational::from(e.clone())).collect();
         self.solver.contains(&bu)
     }
@@ -308,6 +376,27 @@ mod tests {
             20,
             "Lemma 3.5 columns must all be ones"
         );
+    }
+
+    #[test]
+    fn modular_prefilter_is_armed_and_agrees_with_exact() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let params = Params::new(7, 2);
+        let c = RestrictedInstance::random(params, &mut rng).c;
+        let row = RowEvaluator::new(params, &c);
+        assert!(row.has_modular_filter(), "2^61-prime should preserve rank");
+        // Cross-check filtered entries against the raw rational test on
+        // both rejecting (random) and accepting (completed) columns.
+        let mut inst = RestrictedInstance::zero(params);
+        inst.c = c.clone();
+        let a = inst.matrix_a().map(|e| Rational::from(e.clone()));
+        let mut cols = sample_columns(params, 30, &mut rng);
+        cols.extend(completed_columns(params, &c, 10, &mut rng));
+        for col in &cols {
+            let bu: Vec<Rational> = col.bu.iter().map(|e| Rational::from(e.clone())).collect();
+            let exact = ccmx_linalg::gauss::in_column_span(&RationalField, &a, &bu);
+            assert_eq!(row.entry(col), exact);
+        }
     }
 
     #[test]

@@ -159,10 +159,17 @@ struct QRref {
     cols: BTreeMap<usize, Vec<Rational>>,
 }
 
-/// Residue RREFs mod each prime, computed on the worker pool.
+/// Residue RREFs mod each prime: one batched reduction pass over the
+/// bigint matrix ([`crate::engine::ResiduePlan`]), then the per-prime
+/// eliminations fan out over the pre-reduced residue matrices on the
+/// worker pool.
 fn rref_residues(m: &Matrix<Integer>, primes: &[u64], threads: usize) -> Vec<ModEchelon> {
+    let mut plan = crate::engine::ResiduePlan::new(primes);
+    let residues = plan.reduce_matrix(m);
+    let fields = plan.fields();
+    let (rows, cols) = (m.rows(), m.cols());
     par_map(primes.len(), threads, |i| {
-        montgomery::echelon_mod(m, primes[i])
+        montgomery::echelon_from_residues(&fields[i], rows, cols, &residues[i])
     })
 }
 
@@ -170,15 +177,18 @@ fn rref_residues(m: &Matrix<Integer>, primes: &[u64], threads: usize) -> Vec<Mod
 /// lexicographically smallest pivot set (bad primes can only lose rank
 /// or push pivots rightward). Returns indices of the matching residues.
 fn consistent_subset(rrefs: &[ModEchelon]) -> Vec<usize> {
+    // Compare by reference — no pivot-set clones per comparison.
+    fn key(e: &ModEchelon) -> (std::cmp::Reverse<usize>, &[usize]) {
+        (std::cmp::Reverse(e.rank()), &e.pivot_cols)
+    }
     let best = rrefs
         .iter()
-        .map(|e| (std::cmp::Reverse(e.rank()), e.pivot_cols.clone()))
-        .min()
+        .min_by(|a, b| key(a).cmp(&key(b)))
         .expect("at least one residue");
     rrefs
         .iter()
         .enumerate()
-        .filter(|(_, e)| (std::cmp::Reverse(e.rank()), e.pivot_cols.clone()) == best)
+        .filter(|(_, e)| key(e) == key(best))
         .map(|(i, _)| i)
         .collect()
 }

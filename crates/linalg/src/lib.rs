@@ -29,7 +29,13 @@
 //!   SVD, the *nonzero structure*, which is what the paper bounds),
 //! * [`solve`] — exact solvability of `A·x = b` over ℚ (Corollary 1.3),
 //! * [`freivalds`] — probabilistic verification of `A·B = C`,
-//! * [`parallel`] — crossbeam-based data-parallel kernels.
+//! * [`pool`] — the persistent work-stealing worker pool (parked
+//!   threads, injector queue, atomic-cursor batches),
+//! * [`parallel`] — data-parallel kernels (`par_map`/`par_fold`/
+//!   `par_matmul`) scheduled on the pool,
+//! * [`engine`] — the kernel-engine layer: one-pass multi-prime residue
+//!   reduction and the incremental (rank-one update) singularity engine
+//!   behind Gray-coded enumeration.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -37,6 +43,7 @@
 pub mod bareiss;
 pub mod crt;
 pub mod dixon;
+pub mod engine;
 pub mod freivalds;
 pub mod gauss;
 pub mod inverse;
@@ -46,6 +53,7 @@ pub mod modular;
 pub mod montgomery;
 pub mod parallel;
 pub mod poly;
+pub mod pool;
 pub mod qr;
 pub mod ring;
 pub mod smith;

@@ -84,28 +84,21 @@ pub fn det_via_crt(m: &Matrix<Integer>, entry_bound: &Natural, threads: usize) -
         return Integer::one();
     }
     let primes = crt_prime_plan(m.rows(), entry_bound);
-    let residues: Vec<(Natural, Natural)> = if threads <= 1 || primes.len() == 1 {
-        primes
-            .iter()
-            .map(|&p| (Natural::from(det_mod(m, p)), Natural::from(p)))
-            .collect()
-    } else {
-        parallel_residues(m, &primes, threads)
-    };
+    // One batched reduction pass over the bigint entries, then the
+    // per-prime eliminations fan out (on the shared pool when
+    // `threads > 1`) over the pre-reduced residue matrices.
+    let mut plan = crate::engine::ResiduePlan::new(&primes);
+    let reduced = plan.reduce_matrix(m);
+    let fields = plan.fields();
+    let n = m.rows();
+    let residues: Vec<(Natural, Natural)> = crate::parallel::par_map(primes.len(), threads, |i| {
+        (
+            Natural::from(montgomery::det_from_residues(&fields[i], n, &reduced[i])),
+            Natural::from(primes[i]),
+        )
+    });
     let (x, modulus) = crt(&residues);
     symmetric_representative(&x, &modulus)
-}
-
-/// Compute `det mod p` for each prime on the shared work-stealing pool.
-fn parallel_residues(
-    m: &Matrix<Integer>,
-    primes: &[u64],
-    threads: usize,
-) -> Vec<(Natural, Natural)> {
-    crate::parallel::par_map(primes.len(), threads, |i| {
-        let p = primes[i];
-        (Natural::from(det_mod(m, p)), Natural::from(p))
-    })
 }
 
 /// Rank over ℚ with high probability, via a single random large prime:

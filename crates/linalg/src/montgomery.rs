@@ -176,6 +176,41 @@ impl MontgomeryField {
     pub fn reduce(&self, a: &Integer) -> u64 {
         self.to_mont(reduce_integer_u64(a, self.p))
     }
+
+    /// Radix powers for [`Self::mont_from_limbs`]: `powers[l] =
+    /// 2^{64·l}·R² mod p` (canonical), so that `REDC(limb · powers[l])`
+    /// is the Montgomery form of `limb · 2^{64·l}`.
+    pub fn limb_radix_powers(&self, count: usize) -> Vec<u64> {
+        let mut powers = Vec::with_capacity(count);
+        let mut cur = self.r2;
+        for _ in 0..count {
+            powers.push(cur);
+            cur = (((cur as u128) << 64) % self.p as u128) as u64;
+        }
+        powers
+    }
+
+    /// Reduce a little-endian limb magnitude (optionally negated) into
+    /// the field in one pass: one REDC per nonzero limb, **no bigint
+    /// division**. `powers` must come from [`Self::limb_radix_powers`]
+    /// with `powers.len() >= limbs.len()`.
+    ///
+    /// Window safety: `limb < 2^64` and `powers[l] < p` give `limb ·
+    /// powers[l] < p·R`, so `REDC < 2p` — a lazy residue, closed under
+    /// [`Self::add`].
+    pub fn mont_from_limbs(&self, limbs: &[u64], negative: bool, powers: &[u64]) -> u64 {
+        debug_assert!(powers.len() >= limbs.len(), "radix powers too short");
+        let mut acc = 0u64;
+        for (l, &limb) in limbs.iter().enumerate() {
+            if limb != 0 {
+                acc = self.add(acc, self.redc(limb as u128 * powers[l] as u128));
+            }
+        }
+        if negative {
+            acc = self.sub(0, acc);
+        }
+        acc
+    }
 }
 
 /// Result of one modular elimination sweep: everything the CRT layer
@@ -210,13 +245,27 @@ fn reduce_matrix_mont(m: &Matrix<Integer>, field: &MontgomeryField) -> Vec<u64> 
 /// several times faster.
 pub fn echelon_mod(m: &Matrix<Integer>, p: u64) -> ModEchelon {
     let field = MontgomeryField::new(p);
-    let (rows, cols) = (m.rows(), m.cols());
-    let mut a = reduce_matrix_mont(m, &field);
+    let a = reduce_matrix_mont(m, &field);
+    echelon_from_residues(&field, m.rows(), m.cols(), &a)
+}
+
+/// [`echelon_mod`] on a matrix already reduced into lazy Montgomery
+/// residues (row-major, `rows × cols`) — the fan-out target of the
+/// one-pass multi-prime reducer in [`crate::engine`], which reduces the
+/// bigint matrix once instead of once per prime.
+pub fn echelon_from_residues(
+    field: &MontgomeryField,
+    rows: usize,
+    cols: usize,
+    residues: &[u64],
+) -> ModEchelon {
+    assert_eq!(residues.len(), rows * cols, "residue buffer shape mismatch");
+    let mut a = residues.to_vec();
     let idx = |r: usize, c: usize| r * cols + c;
 
     let mut pivot_cols = Vec::new();
     let mut det_sign_flip = false;
-    let mut det = if m.is_square() {
+    let mut det = if rows == cols {
         Some(field.one())
     } else {
         None
@@ -259,7 +308,7 @@ pub fn echelon_mod(m: &Matrix<Integer>, p: u64) -> ModEchelon {
             break;
         }
     }
-    if m.is_square() && pivot_cols.len() < rows {
+    if rows == cols && pivot_cols.len() < rows {
         det = Some(0);
     }
     let det = det.map(|d| {
@@ -276,7 +325,7 @@ pub fn echelon_mod(m: &Matrix<Integer>, p: u64) -> ModEchelon {
         a.into_iter().map(|v| field.from_mont(v)).collect(),
     );
     ModEchelon {
-        p,
+        p: field.modulus(),
         rref,
         pivot_cols,
         det,
@@ -288,11 +337,18 @@ pub fn echelon_mod(m: &Matrix<Integer>, p: u64) -> ModEchelon {
 pub fn det_mod(m: &Matrix<Integer>, p: u64) -> u64 {
     assert!(m.is_square(), "determinant of non-square matrix");
     let field = MontgomeryField::new(p);
-    let n = m.rows();
+    let a = reduce_matrix_mont(m, &field);
+    det_from_residues(&field, m.rows(), &a)
+}
+
+/// [`det_mod`] on pre-reduced lazy Montgomery residues (`n × n`,
+/// row-major).
+pub fn det_from_residues(field: &MontgomeryField, n: usize, residues: &[u64]) -> u64 {
+    assert_eq!(residues.len(), n * n, "residue buffer shape mismatch");
     if n == 0 {
-        return 1 % p;
+        return 1 % field.modulus();
     }
-    let mut a = reduce_matrix_mont(m, &field);
+    let mut a = residues.to_vec();
     let idx = |r: usize, c: usize| r * n + c;
     let mut det = field.one();
     let mut negate = false;
@@ -331,11 +387,23 @@ pub fn det_mod(m: &Matrix<Integer>, p: u64) -> u64 {
 /// Rank of an integer matrix mod `p` (forward elimination only).
 pub fn rank_mod(m: &Matrix<Integer>, p: u64) -> usize {
     let field = MontgomeryField::new(p);
-    let (rows, cols) = (m.rows(), m.cols());
+    let a = reduce_matrix_mont(m, &field);
+    rank_from_residues(&field, m.rows(), m.cols(), &a)
+}
+
+/// [`rank_mod`] on pre-reduced lazy Montgomery residues (`rows × cols`,
+/// row-major).
+pub fn rank_from_residues(
+    field: &MontgomeryField,
+    rows: usize,
+    cols: usize,
+    residues: &[u64],
+) -> usize {
+    assert_eq!(residues.len(), rows * cols, "residue buffer shape mismatch");
     if rows == 0 || cols == 0 {
         return 0;
     }
-    let mut a = reduce_matrix_mont(m, &field);
+    let mut a = residues.to_vec();
     let idx = |r: usize, c: usize| r * cols + c;
     let mut rank = 0usize;
     for col in 0..cols {

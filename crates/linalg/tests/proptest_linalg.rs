@@ -197,3 +197,105 @@ proptest! {
         prop_assert_eq!(ccmx_linalg::crt::nullspace_int(&m), gauss::nullspace(&f, &mq));
     }
 }
+
+/// An arbitrary signed multi-limb integer: up to `limbs` 64-bit words
+/// plus a sign, so the batched reducer sees single-limb, multi-limb,
+/// zero, and negative inputs.
+fn arb_wide_int(limbs: usize) -> impl Strategy<Value = Integer> {
+    (
+        prop::collection::vec(any::<u64>(), 0..=limbs),
+        any::<bool>(),
+    )
+        .prop_map(|(ls, neg)| {
+            let n = Integer::from(Natural::from_limbs(ls));
+            if neg {
+                -n
+            } else {
+                n
+            }
+        })
+}
+
+fn plan_primes(count: usize) -> Vec<u64> {
+    let mut v = Vec::with_capacity(count);
+    let mut p = ccmx_bigint::prime::next_prime(1 << 61);
+    for _ in 0..count {
+        v.push(p);
+        p = ccmx_bigint::prime::next_prime(p + 1);
+    }
+    v
+}
+
+// One-pass residue batching vs. the per-prime scalar reducer, across
+// prime counts that stay under and cross the remainder-tree gate.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_residues_match_scalar_reduce(
+        entries in prop::collection::vec(arb_wide_int(20), 1..=12),
+        nprimes in 1usize..=9,
+    ) {
+        use ccmx_linalg::engine::ResiduePlan;
+        use ccmx_linalg::montgomery::MontgomeryField;
+        let primes = plan_primes(nprimes);
+        let mut plan = ResiduePlan::new(&primes);
+        let batched = plan.reduce_entries(&entries);
+        for (k, &p) in primes.iter().enumerate() {
+            let field = MontgomeryField::new(p);
+            for (i, e) in entries.iter().enumerate() {
+                prop_assert_eq!(
+                    field.from_mont(batched[k][i]),
+                    field.from_mont(field.reduce(e)),
+                    "entry {} mod {}", i, p
+                );
+            }
+        }
+    }
+}
+
+// The O(n²)-per-step incremental singularity engine vs. a fresh exact
+// Bareiss evaluation, over random single-bit flip walks (the exact
+// access pattern of Gray-coded truth-matrix enumeration).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_engine_matches_fresh_over_flip_walk(
+        n in 2usize..=4,
+        k in 1u32..=6,
+        seed in any::<u64>(),
+        steps in 20usize..=60,
+    ) {
+        use ccmx_linalg::engine::SingularityEngine;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bound = Natural::from((1u64 << k) - 1);
+        let mut entries = vec![0u64; n * n];
+        for e in entries.iter_mut() {
+            *e = rng.gen_range(0..=(1u64 << k) - 1);
+        }
+        let as_matrix = |ents: &[u64]| {
+            Matrix::from_fn(n, n, |r, c| Integer::from(ents[r * n + c]))
+        };
+        let mut engine = SingularityEngine::new(n, &bound);
+        engine.load(&as_matrix(&entries));
+        prop_assert_eq!(engine.is_singular(), bareiss::is_singular(&as_matrix(&entries)));
+        for step in 0..steps {
+            let r = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            let bit = rng.gen_range(0..k);
+            let was_set = (entries[r * n + c] >> bit) & 1 == 1;
+            entries[r * n + c] ^= 1 << bit;
+            let delta = if was_set {
+                Integer::from(-(1i64 << bit))
+            } else {
+                Integer::from(1i64 << bit)
+            };
+            let got = engine.update(r, c, &delta);
+            let expect = bareiss::is_singular(&as_matrix(&entries));
+            prop_assert_eq!(got, expect, "step {}", step);
+            prop_assert_eq!(engine.is_singular(), expect);
+        }
+    }
+}

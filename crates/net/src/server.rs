@@ -401,32 +401,50 @@ fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Resp
 fn batch_response(state: &ServerState, reqs: &[Request]) -> Response {
     let plan = batch::plan(reqs);
     let mut responses: Vec<Option<Response>> = vec![None; reqs.len()];
-    for group in &plan.groups {
-        let setup = group.spec.build();
-        for &i in &group.indices {
-            let Request::Run { input, seed, .. } = &reqs[i] else {
-                unreachable!()
-            };
-            responses[i] = Some(if input.len() != setup.input_bits {
-                Response::Error(format!(
-                    "input is {} bits, {} expects {}",
-                    input.len(),
-                    group.spec.name(),
-                    setup.input_bits
-                ))
-            } else {
-                state
-                    .counters
-                    .requests_served
-                    .fetch_add(1, Ordering::Relaxed);
-                Response::Run(run_sequential(
-                    setup.proto.as_ref(),
-                    &setup.partition,
-                    input,
-                    *seed,
-                ))
-            });
-        }
+    // Distinct-spec groups fan out over the shared ccmx-linalg worker
+    // pool: each pool task builds its own protocol setup, so only the
+    // (Sync) server state crosses threads. Singles and the final merge
+    // stay on the connection thread. Floor of two lanes: batches arrive
+    // over the wire, so overlapping group setup with execution pays even
+    // when `default_threads()` reports one core, and the persistent pool
+    // makes the extra lane a parked worker rather than a spawn.
+    let threads = ccmx_linalg::parallel::default_threads().max(2);
+    let group_outs: Vec<Vec<(usize, Response)>> =
+        ccmx_linalg::parallel::par_map(plan.groups.len(), threads, |g| {
+            let group = &plan.groups[g];
+            let setup = group.spec.build();
+            group
+                .indices
+                .iter()
+                .map(|&i| {
+                    let Request::Run { input, seed, .. } = &reqs[i] else {
+                        unreachable!()
+                    };
+                    let resp = if input.len() != setup.input_bits {
+                        Response::Error(format!(
+                            "input is {} bits, {} expects {}",
+                            input.len(),
+                            group.spec.name(),
+                            setup.input_bits
+                        ))
+                    } else {
+                        state
+                            .counters
+                            .requests_served
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Run(run_sequential(
+                            setup.proto.as_ref(),
+                            &setup.partition,
+                            input,
+                            *seed,
+                        ))
+                    };
+                    (i, resp)
+                })
+                .collect()
+        });
+    for (i, r) in group_outs.into_iter().flatten() {
+        responses[i] = Some(r);
     }
     for &i in &plan.singles {
         responses[i] = Some(match &reqs[i] {
@@ -621,6 +639,58 @@ mod tests {
                 &setup.partition,
                 &BitString::from_u64(v, 8),
                 v,
+            );
+            assert_eq!(resps[i], Response::Run(expected), "batch slot {i}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn multi_group_batch_runs_on_shared_pool() {
+        let server = small_server();
+        let mut t = connect(&server);
+        let spec_a = ProtoSpec::SendAllSingularity { dim: 2, k: 2 };
+        let spec_b = ProtoSpec::SendAllSingularity { dim: 2, k: 1 };
+        let (_, batches_before) = ccmx_linalg::pool::pool_stats();
+        let batch = Request::Batch(vec![
+            Request::Run {
+                spec: spec_a,
+                input: BitString::from_u64(0b1010_0110, 8),
+                seed: 1,
+            },
+            Request::Run {
+                spec: spec_b,
+                input: BitString::from_u64(0b1001, 4),
+                seed: 2,
+            },
+            Request::Run {
+                spec: spec_a,
+                input: BitString::from_u64(0b0011_0101, 8),
+                seed: 3,
+            },
+        ]);
+        let Response::Batch(resps) = roundtrip(&mut t, &batch) else {
+            panic!("expected a batch response")
+        };
+        let (_, batches_after) = ccmx_linalg::pool::pool_stats();
+        assert!(
+            batches_after > batches_before,
+            "group fan-out should submit a pool batch"
+        );
+        for (i, (spec, v, seed)) in [
+            (spec_a, 0b1010_0110u64, 1u64),
+            (spec_b, 0b1001, 2),
+            (spec_a, 0b0011_0101, 3),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let setup = spec.build();
+            let expected = run_sequential(
+                setup.proto.as_ref(),
+                &setup.partition,
+                &BitString::from_u64(v, setup.input_bits),
+                seed,
             );
             assert_eq!(resps[i], Response::Run(expected), "batch slot {i}");
         }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Regenerate the committed machine-readable benchmark snapshot.
+# Regenerate the committed machine-readable benchmark snapshots.
 #
 # Runs the E14 exact-kernel comparison (rational Gauss vs Bareiss vs
-# Montgomery-CRT) with wall-clock timing and writes BENCH_e14.json at the
-# repo root. Commit the result so the perf trajectory is tracked in-tree.
+# Montgomery-CRT) and the E15 kernel-engine comparison (fresh vs
+# incremental Gray-walk enumeration, per-prime vs batched residue
+# reduction) with wall-clock timing, writing BENCH_e14.json and
+# BENCH_e15.json at the repo root. Commit both so the perf trajectory is
+# tracked in-tree.
 #
 # Usage: scripts/bench_snapshot.sh [--quick]
 #   --quick   single rep per measurement (CI sanity; noisier numbers)
@@ -20,3 +23,10 @@ cargo run --release -p ccmx-bench --bin bench_snapshot -- ${ARGS[@]+"${ARGS[@]}"
 mv "$OUT.tmp" "$OUT"
 echo "==> wrote $OUT"
 grep speedup "$OUT"
+
+OUT15=BENCH_e15.json
+echo "==> cargo run --release --bin bench_snapshot -- --e15 ${ARGS[*]:-}"
+cargo run --release -p ccmx-bench --bin bench_snapshot -- --e15 ${ARGS[@]+"${ARGS[@]}"} > "$OUT15.tmp"
+mv "$OUT15.tmp" "$OUT15"
+echo "==> wrote $OUT15"
+grep -E "speedup|incremental_ok" "$OUT15"

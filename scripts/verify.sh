@@ -40,6 +40,14 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
     CCMX_BENCH_SMOKE=1 cargo bench -p ccmx-bench
     echo "==> bench_snapshot --quick"
     cargo run --release -p ccmx-bench --bin bench_snapshot -- --quick > /dev/null
+    echo "==> bench_snapshot --e15 --quick (incremental-path gate)"
+    E15_OUT=$(cargo run --release -p ccmx-bench --bin bench_snapshot -- --e15 --quick)
+    if ! grep -q '"incremental_ok": true' <<< "$E15_OUT"; then
+        echo "FAIL: enumeration fell back to fresh evaluation" >&2
+        grep -E "incremental_ok|cursor_points|update_steps|fresh_refreshes" <<< "$E15_OUT" >&2
+        exit 1
+    fi
+    grep '"incremental_ok"' <<< "$E15_OUT"
 fi
 
 echo "==> verify: all gates passed"
