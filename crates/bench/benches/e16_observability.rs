@@ -1,0 +1,61 @@
+//! E16: observability overhead — the registry must be cheap enough for
+//! the pool hot path.
+//!
+//! Measured shoot-outs:
+//!
+//! * `counter_inc` vs `raw_atomic_inc`: a registered counter increment
+//!   is one relaxed `fetch_add` on a `&'static` atomic — the bench
+//!   documents that the registry adds no locking over the raw atomic
+//!   (`mutex_inc_baseline` shows what a locked counter would cost).
+//! * `histogram_record`: bucket search + two `fetch_add`s.
+//! * `span_scope`: open + drop one top-level span, including the
+//!   per-thread buffer drain into the global ring.
+//! * `render`: a full exposition pass over the registry (the slow path
+//!   — scrapes, not hot loops).
+//!
+//! `bench_snapshot --e16` runs the same workloads with wall-clock
+//! timing and commits `BENCH_e16.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_observability");
+    group.sample_size(10);
+
+    let counter = ccmx_obs::registry().counter("e16_bench_counter", &[]);
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    static RAW: AtomicU64 = AtomicU64::new(0);
+    group.bench_function("raw_atomic_inc", |b| {
+        b.iter(|| RAW.fetch_add(1, Ordering::Relaxed))
+    });
+
+    let locked = Mutex::new(0u64);
+    group.bench_function("mutex_inc_baseline", |b| {
+        b.iter(|| {
+            let mut g = locked.lock().unwrap();
+            *g += 1;
+            *g
+        })
+    });
+
+    let hist = ccmx_obs::registry().histogram("e16_bench_hist", &[], ccmx_obs::buckets::LATENCY_NS);
+    group.bench_function("histogram_record", |b| b.iter(|| hist.record(12_345)));
+
+    group.bench_function("span_scope", |b| {
+        b.iter(|| {
+            let g = ccmx_obs::span("e16.bench");
+            g.id()
+        })
+    });
+
+    group.bench_function("render", |b| b.iter(|| ccmx_obs::registry().render().len()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

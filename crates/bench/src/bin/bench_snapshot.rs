@@ -12,8 +12,18 @@
 //! path instead of falling back to fresh evaluation (checked by
 //! `scripts/verify.sh --bench-smoke`).
 //!
-//! Usage: `bench_snapshot [--quick] [--e15]` — `--quick` lowers the
-//! repeat count (CI smoke); the committed snapshots use the default.
+//! `--e16` runs the observability-overhead workloads from
+//! `e16_observability` — registered counter vs raw atomic vs a mutexed
+//! baseline, histogram record, span scope, full render — committed as
+//! `BENCH_e16.json`.
+//!
+//! Every mode starts from `ccmx_obs::registry().reset()` so the counter
+//! rows of one document never include another mode's traffic, and every
+//! document ends with a `metrics` dump of the registry as it stood when
+//! the snapshot finished.
+//!
+//! Usage: `bench_snapshot [--quick] [--e15 | --e16]` — `--quick` lowers
+//! the repeat count (CI smoke); the committed snapshots use the default.
 
 use std::time::Instant;
 
@@ -56,8 +66,14 @@ struct Row {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 1 } else { 3 };
+    // Fresh counters per mode: e14/e15/e16 rows must be independent.
+    ccmx_obs::registry().reset();
     if std::env::args().any(|a| a == "--e15") {
         e15_snapshot(reps);
+        return;
+    }
+    if std::env::args().any(|a| a == "--e16") {
+        e16_snapshot(if quick { 1 } else { CRT_REPS });
         return;
     }
     let threads = default_threads();
@@ -138,6 +154,22 @@ fn main() {
     };
 
     emit_e14(threads, reps, &rows, speedup_32);
+}
+
+/// Render the live registry as a JSON string array, one exposition line
+/// per element, for embedding in a snapshot document.
+fn metrics_json_lines(indent: &str) -> String {
+    let text = ccmx_obs::registry().render();
+    let lines: Vec<String> = text
+        .lines()
+        .map(|l| {
+            format!(
+                "{indent}\"{}\"",
+                l.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    lines.join(",\n")
 }
 
 /// The `--e15` snapshot: kernel-engine workloads, mirroring the
@@ -252,6 +284,91 @@ fn e15_snapshot(reps: usize) {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         println!("    {r}{comma}");
     }
+    println!("  ],");
+    println!("  \"metrics\": [");
+    println!("{}", metrics_json_lines("    "));
+    println!("  ]");
+    println!("}}");
+}
+
+/// The `--e16` snapshot: per-op costs of the observability primitives,
+/// wall-clock versions of the `e16_observability` criterion rows. The
+/// headline ratios document that a registered counter increment is a
+/// plain relaxed atomic add (parity with `raw_atomic_inc`) and how much
+/// a mutexed counter would have cost instead.
+fn e16_snapshot(reps: usize) {
+    const OPS: usize = 1_000_000;
+    const RENDER_OPS: usize = 1_000;
+    let reg = ccmx_obs::registry();
+    let mut rows: Vec<String> = Vec::new();
+    let mut ns_of = |label: &str, ops: usize, f: &mut dyn FnMut()| -> f64 {
+        let (ms, ()) = time_best(reps, || {
+            for _ in 0..ops {
+                f();
+            }
+        });
+        let ns = ms * 1e6 / ops as f64;
+        rows.push(format!(
+            "{{\"workload\": \"{label}\", \"ops\": {ops}, \"ns_per_op\": {ns:.2}}}"
+        ));
+        ns
+    };
+
+    let counter = reg.counter("e16_snapshot_counter", &[]);
+    let counter_ns = ns_of("counter_inc", OPS, &mut || {
+        counter.inc();
+    });
+
+    let raw = std::sync::atomic::AtomicU64::new(0);
+    let raw_ns = ns_of("raw_atomic_inc", OPS, &mut || {
+        raw.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    let locked = std::sync::Mutex::new(0u64);
+    let mutex_ns = ns_of("mutex_inc_baseline", OPS, &mut || {
+        *locked.lock().unwrap() += 1;
+    });
+
+    let hist = reg.histogram("e16_snapshot_hist", &[], ccmx_obs::buckets::LATENCY_NS);
+    ns_of("histogram_record", OPS, &mut || {
+        hist.record(12_345);
+    });
+
+    ns_of("span_scope", OPS / 10, &mut || {
+        let _g = ccmx_obs::span("e16.snapshot");
+    });
+
+    ns_of("render", RENDER_OPS, &mut || {
+        std::hint::black_box(reg.render());
+    });
+
+    println!("{{");
+    println!("  \"experiment\": \"e16_observability\",");
+    println!("  \"reps\": {reps},");
+    println!(
+        "  \"counter_inc_over_raw_atomic\": {:.2},",
+        if raw_ns > 0.0 {
+            counter_ns / raw_ns
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "  \"mutex_over_lockfree_counter\": {:.2},",
+        if counter_ns > 0.0 {
+            mutex_ns / counter_ns
+        } else {
+            0.0
+        }
+    );
+    println!("  \"results_ns\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!("    {r}{comma}");
+    }
+    println!("  ],");
+    println!("  \"metrics\": [");
+    println!("{}", metrics_json_lines("    "));
     println!("  ]");
     println!("}}");
 }
@@ -271,6 +388,9 @@ fn emit_e14(threads: usize, reps: usize, rows: &[Row], speedup_32: f64) {
             r.n, r.backend, r.op, r.millis
         );
     }
+    println!("  ],");
+    println!("  \"metrics\": [");
+    println!("{}", metrics_json_lines("    "));
     println!("  ]");
     println!("}}");
 }

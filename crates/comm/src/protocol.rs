@@ -184,6 +184,7 @@ pub fn run_sequential(
     input: &BitString,
     seed: u64,
 ) -> RunResult {
+    let _sp = ccmx_obs::span("protocol.run");
     let (share_a, share_b) = partition.split(input);
     let mut rng_a = rng_for(seed, Turn::A);
     let mut rng_b = rng_for(seed, Turn::B);

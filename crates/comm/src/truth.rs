@@ -10,8 +10,6 @@
 //! Rows are stored as packed `u64` bitsets; enumeration is parallelized
 //! over rows with the crossbeam pool from `ccmx-linalg`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use ccmx_linalg::parallel::par_map;
 
 use crate::bits::BitString;
@@ -22,15 +20,20 @@ use crate::partition::{Owner, Partition};
 /// cursor (one Gray-code flip each) vs. points evaluated by a fresh
 /// full `eval` call, process-wide. The bench smoke gate reads these to
 /// prove enumeration actually stayed on the incremental path.
-static INCREMENTAL_POINTS: AtomicU64 = AtomicU64::new(0);
-static FRESH_POINTS: AtomicU64 = AtomicU64::new(0);
+fn incremental_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_enum_incremental_points_total")
+}
+fn fresh_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_enum_fresh_points_total")
+}
 
 /// `(incremental_points, fresh_points)` evaluated so far in this process.
+///
+/// Thin view over the shared [`ccmx_obs`] registry series
+/// `ccmx_enum_incremental_points_total` and
+/// `ccmx_enum_fresh_points_total`.
 pub fn enumeration_stats() -> (u64, u64) {
-    (
-        INCREMENTAL_POINTS.load(Ordering::Relaxed),
-        FRESH_POINTS.load(Ordering::Relaxed),
-    )
+    (incremental_counter().get(), fresh_counter().get())
 }
 
 /// Hard cap on either side's bit count: `2^20` rows/columns.
@@ -117,7 +120,7 @@ impl TruthMatrix {
                         row[gray / 64] |= 1u64 << (gray % 64);
                     }
                 }
-                INCREMENTAL_POINTS.fetch_add(cols as u64, Ordering::Relaxed);
+                incremental_counter().add(cols as u64);
             } else {
                 for i in 0..cols {
                     if i > 0 {
@@ -129,7 +132,7 @@ impl TruthMatrix {
                         row[gray / 64] |= 1u64 << (gray % 64);
                     }
                 }
-                FRESH_POINTS.fetch_add(cols as u64, Ordering::Relaxed);
+                fresh_counter().add(cols as u64);
             }
             row
         });

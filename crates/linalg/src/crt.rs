@@ -27,7 +27,6 @@ use ccmx_bigint::modular::inv_mod_u64;
 use ccmx_bigint::prime::next_prime;
 use ccmx_bigint::{Integer, Natural, Rational};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::gauss;
@@ -70,16 +69,25 @@ pub fn active_backend() -> Backend {
     Backend::MontgomeryCrt
 }
 
-static CERTIFIED: AtomicU64 = AtomicU64::new(0);
-static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+/// Registry-backed counter of certified fast-path results
+/// (`ccmx_crt_certified_total`).
+fn certified_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_crt_certified_total")
+}
+
+/// Registry-backed counter of rational-Gauss fallbacks
+/// (`ccmx_crt_fallback_total`).
+fn fallback_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_crt_fallback_total")
+}
 
 /// `(certified_fast_path_results, rational_fallbacks)` so far in this
 /// process — the fallback rate should be ~0 in healthy operation.
+///
+/// Thin view over the shared [`ccmx_obs`] registry: the same numbers are
+/// exported as `ccmx_crt_certified_total` / `ccmx_crt_fallback_total`.
 pub fn fast_path_stats() -> (u64, u64) {
-    (
-        CERTIFIED.load(Ordering::Relaxed),
-        FALLBACKS.load(Ordering::Relaxed),
-    )
+    (certified_counter().get(), fallback_counter().get())
 }
 
 // ----------------------------------------------------------------------
@@ -468,11 +476,12 @@ fn to_q(m: &Matrix<Integer>) -> Matrix<Rational> {
 fn certified<T>(fast: Option<T>, slow: impl FnOnce() -> T) -> T {
     match fast {
         Some(v) => {
-            CERTIFIED.fetch_add(1, Ordering::Relaxed);
+            certified_counter().inc();
             v
         }
         None => {
-            FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            fallback_counter().inc();
+            let _sp = ccmx_obs::span("crt.fallback");
             slow()
         }
     }
@@ -505,11 +514,11 @@ pub fn in_column_span_int(a: &Matrix<Integer>, v: &[Integer]) -> bool {
 pub fn solve_q_int(a: &Matrix<Integer>, b: &[Integer]) -> Option<Vec<Rational>> {
     match try_solve(a, b, default_threads()) {
         Some(x) => {
-            CERTIFIED.fetch_add(1, Ordering::Relaxed);
+            certified_counter().inc();
             Some(x)
         }
         None => {
-            FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            fallback_counter().inc();
             let bq: Vec<Rational> = b.iter().map(|e| Rational::from(e.clone())).collect();
             gauss::solve(&RationalField, &to_q(a), &bq)
         }
@@ -543,7 +552,7 @@ pub fn independent_columns_int(m: &Matrix<Integer>) -> Vec<usize> {
             return e.pivot_cols;
         }
     }
-    FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    fallback_counter().inc();
     gauss::echelon(&RationalField, &to_q(m)).pivot_cols
 }
 

@@ -23,8 +23,6 @@
 //!   elimination. The prime plan's product exceeds the Hadamard bound,
 //!   so "singular mod every plan prime" is *exactly* "singular over ℤ".
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use ccmx_bigint::{Integer, Natural};
 
 use crate::matrix::Matrix;
@@ -191,19 +189,24 @@ impl ResiduePlan {
 /// consecutive updates — the capacitance can't be absorbed then).
 const MAX_PENDING: usize = 8;
 
-static INCREMENTAL_STEPS: AtomicU64 = AtomicU64::new(0);
-static FRESH_REFRESHES: AtomicU64 = AtomicU64::new(0);
+fn steps_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_engine_incremental_steps_total")
+}
+fn refresh_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_engine_fresh_refreshes_total")
+}
 
 /// `(incremental_update_steps, fresh_o_n3_refreshes)` so far in this
 /// process, in the style of [`crate::crt::fast_path_stats`]. Healthy
 /// Gray-coded enumeration keeps the second counter a small fraction of
 /// the first (a refresh happens per [`SingularityEngine::load`], after a
 /// pending-set overflow, or while the base matrix is singular).
+///
+/// Thin view over the shared [`ccmx_obs`] registry series
+/// `ccmx_engine_incremental_steps_total` and
+/// `ccmx_engine_fresh_refreshes_total`.
 pub fn incremental_stats() -> (u64, u64) {
-    (
-        INCREMENTAL_STEPS.load(Ordering::Relaxed),
-        FRESH_REFRESHES.load(Ordering::Relaxed),
-    )
+    (steps_counter().get(), refresh_counter().get())
 }
 
 /// Per-prime incremental state: the current residue matrix, and — when
@@ -297,7 +300,7 @@ impl SingularityEngine {
     /// `O(n²)` per prime.
     pub fn update(&mut self, row: usize, col: usize, delta: &Integer) -> bool {
         assert!(row < self.n && col < self.n, "update out of bounds");
-        INCREMENTAL_STEPS.fetch_add(1, Ordering::Relaxed);
+        steps_counter().inc();
         for state in &mut self.primes {
             let alpha = state.field.reduce(delta);
             let idx = row * self.n + col;
@@ -422,7 +425,7 @@ fn apply_update(
 /// Fresh `O(n³)` Gauss–Jordan over the current residues: sets the
 /// singularity verdict and, when nonsingular, rebases the inverse.
 fn refresh(state: &mut PrimeState, n: usize, scratch: &mut Vec<u64>) {
-    FRESH_REFRESHES.fetch_add(1, Ordering::Relaxed);
+    refresh_counter().inc();
     let field = state.field;
     state.pending.clear();
     scratch.clear();

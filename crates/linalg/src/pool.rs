@@ -33,7 +33,7 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
@@ -62,6 +62,11 @@ unsafe impl Sync for TaskPtr {}
 /// drained when `completed == n`.
 struct Batch {
     n: usize,
+    /// Span open on the submitting thread when the batch was created;
+    /// every executor segment (submitter or stolen worker) opens its
+    /// span as a child of this id, so traces stay consistent across
+    /// work stealing.
+    parent_span: ccmx_obs::SpanId,
     /// Next unclaimed index (may run past `n`; claims test `i < n`).
     cursor: AtomicUsize,
     /// Indices fully executed. The release sequence on this counter is
@@ -88,13 +93,18 @@ impl Batch {
     }
 
     /// Claim-and-run loop shared by workers and the submitter.
-    fn execute(&self) {
+    /// `stolen` marks segments executed by pool workers (vs the
+    /// submitting thread) for the steal counter.
+    fn execute(&self, stolen: bool) {
         let task = unsafe { &*self.task.0 };
+        let _seg = ccmx_obs::child_of("pool.exec", self.parent_span);
+        let mut claimed = 0u64;
         loop {
             let i = self.cursor.fetch_add(1, Ordering::Relaxed);
             if i >= self.n {
-                return;
+                break;
             }
+            claimed += 1;
             if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
                 self.panicked.store(true, Ordering::SeqCst);
             }
@@ -105,6 +115,14 @@ impl Batch {
                 let mut g = self.done.lock();
                 *g = true;
                 self.done_cv.notify_all();
+            }
+        }
+        // One relaxed add per segment, not per task: the hot path stays
+        // a single atomic RMW on the cursor.
+        if claimed > 0 {
+            tasks_counter().add(claimed);
+            if stolen {
+                stolen_counter().add(claimed);
             }
         }
     }
@@ -122,7 +140,23 @@ struct Pool {
     grow_lock: Mutex<()>,
 }
 
-static BATCHES: AtomicU64 = AtomicU64::new(0);
+/// Registry-backed pool counters. `ccmx_pool_tasks_total` counts every
+/// executed index, `ccmx_pool_tasks_stolen_total` the subset run by pool
+/// workers rather than the submitting thread, `ccmx_pool_batches_total`
+/// submitted batches; `ccmx_pool_workers` mirrors the spawn high-water
+/// mark as a gauge.
+fn tasks_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_pool_tasks_total")
+}
+fn stolen_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_pool_tasks_stolen_total")
+}
+fn batches_counter() -> &'static ccmx_obs::Counter {
+    ccmx_obs::counter!("ccmx_pool_batches_total")
+}
+fn workers_gauge() -> &'static ccmx_obs::Gauge {
+    ccmx_obs::gauge!("ccmx_pool_workers")
+}
 
 fn global() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
@@ -148,7 +182,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 shared.work_cv.wait(&mut q);
             }
         };
-        batch.execute();
+        batch.execute(true);
     }
 }
 
@@ -171,17 +205,24 @@ impl Pool {
                 .expect("failed to spawn pool worker");
         }
         self.spawned.store(cur.max(want), Ordering::Release);
+        workers_gauge().set(cur.max(want) as i64);
     }
 }
 
 /// `(workers_spawned, batches_submitted)` so far in this process. The
 /// worker count reaching a plateau while batches keep climbing is the
 /// observable form of "no per-call thread spawns".
+///
+/// Thin view over the shared [`ccmx_obs`] registry
+/// (`ccmx_pool_workers`, `ccmx_pool_batches_total`; per-index execution
+/// is `ccmx_pool_tasks_total` / `ccmx_pool_tasks_stolen_total`). The
+/// worker count is structural (spawn high-water mark) and survives a
+/// registry reset; the gauge is refreshed here so a scrape after a
+/// reset still sees it.
 pub fn pool_stats() -> (usize, u64) {
-    (
-        global().spawned.load(Ordering::Relaxed),
-        BATCHES.load(Ordering::Relaxed),
-    )
+    let workers = global().spawned.load(Ordering::Relaxed);
+    workers_gauge().set(workers as i64);
+    (workers, batches_counter().get())
 }
 
 /// Run `task` for every index in `0..n` on the shared pool, using at
@@ -197,13 +238,15 @@ pub fn run(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     let pool = global();
     let helpers = threads.saturating_sub(1).min(n.saturating_sub(1));
     pool.ensure_workers(helpers);
-    BATCHES.fetch_add(1, Ordering::Relaxed);
+    batches_counter().inc();
+    let batch_span = ccmx_obs::span("pool.batch");
     // SAFETY: lifetime erasure, sound per the module docs — `run` does
     // not return until `completed == n`, and no worker dereferences the
     // pointer after completing its claimed indices.
     let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
     let batch = Arc::new(Batch {
         n,
+        parent_span: batch_span.id(),
         cursor: AtomicUsize::new(0),
         completed: AtomicUsize::new(0),
         slots: AtomicUsize::new(helpers),
@@ -221,7 +264,7 @@ pub fn run(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     // The submitter is an executor too: mark it so tasks that call back
     // into par_map degrade to serial instead of re-entering the pool.
     let was_worker = IN_WORKER.with(|f| f.replace(true));
-    batch.execute();
+    batch.execute(false);
     IN_WORKER.with(|f| f.set(was_worker));
     {
         let mut g = batch.done.lock();
@@ -250,6 +293,45 @@ mod tests {
         });
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    /// Every executor segment — whether run by the submitting thread or
+    /// stolen by a pool worker — must parent its `pool.exec` span on the
+    /// batch's submit-side `pool.batch` span, so traces stay a single
+    /// tree across work stealing.
+    #[test]
+    fn stolen_segments_parent_on_the_submit_span() {
+        let outer_id = {
+            let outer = ccmx_obs::span("test.pool.outer");
+            // Slow tasks so pool workers have time to steal segments.
+            run(64, 4, &|_| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+            outer.id()
+        };
+        let spans = ccmx_obs::recent_spans();
+        // Other tests in this binary run pools concurrently; our batch is
+        // the one parented on our unique outer span.
+        let batch = spans
+            .iter()
+            .find(|s| s.name == "pool.batch" && s.parent == outer_id)
+            .expect("pool.batch span recorded under the outer span");
+        let segs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "pool.exec" && s.parent == batch.id)
+            .collect();
+        assert!(
+            !segs.is_empty(),
+            "at least one executor segment parented on the batch span"
+        );
+        // The submitter participates, so its thread recorded one segment;
+        // with slow tasks and 4 threads, workers steal the rest on other
+        // threads. Either way every segment shares the same parent —
+        // assert the cross-thread case when it occurred.
+        let threads: std::collections::BTreeSet<u64> = segs.iter().map(|s| s.thread).collect();
+        if threads.len() > 1 {
+            assert!(segs.iter().any(|s| s.thread != batch.thread));
         }
     }
 

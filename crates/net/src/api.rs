@@ -232,6 +232,10 @@ pub enum Request {
     /// Several requests in one frame; the server's batcher groups them
     /// by setup so protocol construction is amortized across the burst.
     Batch(Vec<Request>),
+    /// Live metrics scrape: the server answers with its whole
+    /// [`ccmx_obs`](ccmx_obs) registry rendered as Prometheus-style
+    /// exposition text.
+    Metrics,
 }
 
 impl WireCodec for Request {
@@ -260,6 +264,7 @@ impl WireCodec for Request {
                 out.push(4);
                 reqs.put(out);
             }
+            Request::Metrics => out.push(5),
         }
     }
 
@@ -282,6 +287,7 @@ impl WireCodec for Request {
                 input: BitString::take(d)?,
             }),
             4 => Ok(Request::Batch(Vec::<Request>::take(d)?)),
+            5 => Ok(Request::Metrics),
             v => Err(NetError::Frame(format!("unknown Request tag {v}"))),
         }
     }
@@ -306,6 +312,8 @@ pub enum Response {
     Batch(Vec<Response>),
     /// The request could not be served.
     Error(String),
+    /// Metrics exposition text (reply to [`Request::Metrics`]).
+    Metrics(String),
 }
 
 impl WireCodec for Response {
@@ -332,6 +340,10 @@ impl WireCodec for Response {
                 out.push(5);
                 msg.put(out);
             }
+            Response::Metrics(text) => {
+                out.push(6);
+                text.put(out);
+            }
         }
     }
 
@@ -345,6 +357,7 @@ impl WireCodec for Response {
             }),
             4 => Ok(Response::Batch(Vec::<Response>::take(d)?)),
             5 => Ok(Response::Error(String::take(d)?)),
+            6 => Ok(Response::Metrics(String::take(d)?)),
             v => Err(NetError::Frame(format!("unknown Response tag {v}"))),
         }
     }
@@ -424,10 +437,16 @@ mod tests {
         ]);
         assert_eq!(Request::from_wire_bytes(&req.to_wire_bytes()).unwrap(), req);
 
+        assert_eq!(
+            Request::from_wire_bytes(&Request::Metrics.to_wire_bytes()).unwrap(),
+            Request::Metrics
+        );
+
         let resp = Response::Batch(vec![
             Response::Pong,
             Response::Error("nope".into()),
             Response::Singularity { singular: true },
+            Response::Metrics("ccmx_server_requests_total 3\n".into()),
         ]);
         assert_eq!(
             Response::from_wire_bytes(&resp.to_wire_bytes()).unwrap(),

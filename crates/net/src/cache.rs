@@ -23,12 +23,23 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// Process-wide mirror of one cache's counters in the [`ccmx_obs`]
+/// registry. Unlike the per-instance [`CacheStats`], these survive the
+/// cache (and the server owning it) being dropped, so totals aggregate
+/// across server restarts and client reconnects within the process.
+struct MetricsMirror {
+    hits: &'static ccmx_obs::Counter,
+    misses: &'static ccmx_obs::Counter,
+    evictions: &'static ccmx_obs::Counter,
+}
+
 /// Least-recently-used cache with a fixed capacity.
 pub struct LruCache<K, V> {
     map: HashMap<K, (V, u64)>,
     capacity: usize,
     tick: u64,
     stats: CacheStats,
+    mirror: Option<MetricsMirror>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -39,7 +50,26 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             capacity: capacity.max(1),
             tick: 0,
             stats: CacheStats::default(),
+            mirror: None,
         }
+    }
+
+    /// Like [`LruCache::new`], but additionally mirror hit/miss/eviction
+    /// counts into the shared metrics registry as
+    /// `ccmx_cache_{hits,misses,evictions}_total{cache="<label>"}`.
+    /// The per-instance [`LruCache::stats`] still start at zero; the
+    /// registry series accumulate across every cache created with the
+    /// same label for the life of the process.
+    pub fn with_metrics(capacity: usize, label: &'static str) -> Self {
+        let reg = ccmx_obs::registry();
+        let labels = [("cache", label)];
+        let mut cache = Self::new(capacity);
+        cache.mirror = Some(MetricsMirror {
+            hits: reg.counter("ccmx_cache_hits_total", &labels),
+            misses: reg.counter("ccmx_cache_misses_total", &labels),
+            evictions: reg.counter("ccmx_cache_evictions_total", &labels),
+        });
+        cache
     }
 
     /// Entries currently resident.
@@ -64,10 +94,16 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             Some((v, stamp)) => {
                 *stamp = self.tick;
                 self.stats.hits += 1;
+                if let Some(m) = &self.mirror {
+                    m.hits.inc();
+                }
                 Some(v.clone())
             }
             None => {
                 self.stats.misses += 1;
+                if let Some(m) = &self.mirror {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -86,6 +122,9 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             {
                 self.map.remove(&oldest);
                 self.stats.evictions += 1;
+                if let Some(m) = &self.mirror {
+                    m.evictions.inc();
+                }
             }
         }
         self.map.insert(key, (value, self.tick));
@@ -167,6 +206,36 @@ mod tests {
         // And the active backend id is one of the declared ones.
         let active = ccmx_linalg::crt::active_backend().id();
         assert!(["rational", "bareiss", "crt"].contains(&active));
+    }
+
+    #[test]
+    fn metrics_mirror_outlives_the_cache() {
+        let reg = ccmx_obs::registry();
+        let labels = [("cache", "test-cache-mirror")];
+        let base_hits = reg.counter("ccmx_cache_hits_total", &labels).get();
+        let base_misses = reg.counter("ccmx_cache_misses_total", &labels).get();
+        {
+            let mut c = LruCache::with_metrics(2, "test-cache-mirror");
+            c.put("a", 1i32);
+            assert_eq!(c.get(&"a"), Some(1));
+            assert_eq!(c.get(&"b"), None);
+            assert_eq!(c.stats().hits, 1);
+            assert_eq!(c.stats().misses, 1);
+        } // cache dropped here
+        {
+            let mut c: LruCache<&str, i32> = LruCache::with_metrics(2, "test-cache-mirror");
+            assert_eq!(c.get(&"a"), None, "fresh cache starts cold");
+            assert_eq!(c.stats().misses, 1, "per-instance stats restart");
+        }
+        // The registry series aggregated across both instances.
+        assert_eq!(
+            reg.counter("ccmx_cache_hits_total", &labels).get() - base_hits,
+            1
+        );
+        assert_eq!(
+            reg.counter("ccmx_cache_misses_total", &labels).get() - base_misses,
+            2
+        );
     }
 
     #[test]

@@ -84,6 +84,17 @@ impl Client {
         }
     }
 
+    /// Scrape the server's live metrics registry: Prometheus-style
+    /// exposition text (`name{label="v"} value` lines) covering request
+    /// counters and latency histograms, pool gauges, CRT fast-path and
+    /// enumeration counters.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Send a burst of requests in one frame; the server amortizes
     /// protocol setup across the burst. Responses are in request order.
     pub fn batch(&mut self, reqs: Vec<Request>) -> Result<Vec<Response>, NetError> {

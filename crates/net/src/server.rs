@@ -90,12 +90,42 @@ impl ServerConfig {
 }
 
 /// Monotonic counters, readable while the server runs.
+///
+/// Per-`ServerHandle` instance values (what [`ServerHandle::stats`]
+/// reports) live in the atomics; every increment is mirrored into the
+/// process-wide [`ccmx_obs`] registry (`ccmx_server_*_total`), where the
+/// totals survive this server being dropped and aggregate across
+/// servers in the process.
 #[derive(Debug, Default)]
 struct Counters {
     connections_accepted: AtomicU64,
     requests_served: AtomicU64,
     interactive_runs: AtomicU64,
     connections_dropped: AtomicU64,
+}
+
+impl Counters {
+    fn inc_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        ccmx_obs::counter!("ccmx_server_connections_total").inc();
+    }
+    fn inc_served(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        ccmx_obs::counter!("ccmx_server_requests_total").inc();
+    }
+    fn inc_interactive(&self) {
+        self.interactive_runs.fetch_add(1, Ordering::Relaxed);
+        ccmx_obs::counter!("ccmx_server_interactive_runs_total").inc();
+    }
+    fn inc_dropped(&self) {
+        self.connections_dropped.fetch_add(1, Ordering::Relaxed);
+        ccmx_obs::counter!("ccmx_server_connections_dropped_total").inc();
+    }
+}
+
+/// Connections accepted but not yet picked up by a worker.
+fn queue_depth_gauge() -> &'static ccmx_obs::Gauge {
+    ccmx_obs::gauge!("ccmx_server_queue_depth")
 }
 
 /// A point-in-time copy of the server counters.
@@ -190,7 +220,10 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
     let state = Arc::new(ServerState {
         config,
         counters: Counters::default(),
-        bounds_cache: Mutex::new(LruCache::new(config.bounds_cache_capacity)),
+        bounds_cache: Mutex::new(LruCache::with_metrics(
+            config.bounds_cache_capacity,
+            "bounds",
+        )),
     });
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -204,6 +237,7 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
                 // recv drains queued connections and returns Err once
                 // the accept thread drops the sole sender: shutdown.
                 while let Ok(stream) = rx.recv() {
+                    queue_depth_gauge().add(-1);
                     serve_connection(&state, stream);
                 }
             })
@@ -220,11 +254,10 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                state
-                    .counters
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
+                state.counters.inc_accepted();
+                queue_depth_gauge().add(1);
                 if conn_tx.send(stream).is_err() {
+                    queue_depth_gauge().add(-1);
                     break;
                 }
             }
@@ -247,28 +280,33 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
     let mut transport = match TcpTransport::from_stream(stream, state.config.transport_config()) {
         Ok(t) => t,
         Err(_) => {
-            state
-                .counters
-                .connections_dropped
-                .fetch_add(1, Ordering::Relaxed);
+            state.counters.inc_dropped();
             return;
         }
     };
     loop {
         match transport.recv_frame() {
             Ok((KIND_REQUEST, payload)) => {
-                let response = match Request::from_wire_bytes(&payload) {
-                    Ok(req) => dispatch_guarded(state, &req),
-                    Err(e) => Response::Error(format!("bad request: {e}")),
+                ccmx_obs::histogram!("ccmx_server_request_bytes", &ccmx_obs::buckets::SIZE_BYTES)
+                    .record(payload.len() as u64);
+                let started = std::time::Instant::now();
+                let response = {
+                    let _sp = ccmx_obs::span("server.request");
+                    match Request::from_wire_bytes(&payload) {
+                        Ok(req) => dispatch_guarded(state, &req),
+                        Err(e) => Response::Error(format!("bad request: {e}")),
+                    }
                 };
+                ccmx_obs::histogram!(
+                    "ccmx_server_request_latency_ns",
+                    &ccmx_obs::buckets::LATENCY_NS
+                )
+                .record(started.elapsed().as_nanos() as u64);
                 if transport
                     .send_frame(KIND_RESPONSE, &response.to_wire_bytes())
                     .is_err()
                 {
-                    state
-                        .counters
-                        .connections_dropped
-                        .fetch_add(1, Ordering::Relaxed);
+                    state.counters.inc_dropped();
                     return;
                 }
             }
@@ -279,10 +317,7 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
                         Err(_) => {
                             // The protocol exchange itself broke; the
                             // connection is out of sync — drop it.
-                            state
-                                .counters
-                                .connections_dropped
-                                .fetch_add(1, Ordering::Relaxed);
+                            state.counters.inc_dropped();
                             return;
                         }
                     },
@@ -292,30 +327,21 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
                     .send_frame(KIND_RESPONSE, &response.to_wire_bytes())
                     .is_err()
                 {
-                    state
-                        .counters
-                        .connections_dropped
-                        .fetch_add(1, Ordering::Relaxed);
+                    state.counters.inc_dropped();
                     return;
                 }
             }
             Ok((kind, _)) => {
                 let resp = Response::Error(format!("unexpected frame kind {kind}"));
                 let _ = transport.send_frame(KIND_RESPONSE, &resp.to_wire_bytes());
-                state
-                    .counters
-                    .connections_dropped
-                    .fetch_add(1, Ordering::Relaxed);
+                state.counters.inc_dropped();
                 return;
             }
             Err(NetError::Disconnected) => return, // clean close
             Err(_) => {
                 // Timeout (stalled client) or garbage: drop, freeing
                 // the worker for the next connection.
-                state
-                    .counters
-                    .connections_dropped
-                    .fetch_add(1, Ordering::Relaxed);
+                state.counters.inc_dropped();
                 return;
             }
         }
@@ -330,10 +356,7 @@ fn dispatch_guarded(state: &ServerState, req: &Request) -> Response {
 }
 
 fn dispatch(state: &ServerState, req: &Request) -> Response {
-    state
-        .counters
-        .requests_served
-        .fetch_add(1, Ordering::Relaxed);
+    state.counters.inc_served();
     match req {
         Request::Ping => Response::Pong,
         Request::Bounds { n, k, security } => bounds_response(state, *n, *k, *security),
@@ -363,11 +386,17 @@ fn dispatch(state: &ServerState, req: &Request) -> Response {
                     f.num_bits()
                 ));
             }
+            // Decide via the certified CRT rank path (same verdict as
+            // `f.eval`'s Bareiss elimination — a square matrix is
+            // singular iff its rank is deficient) so server traffic
+            // exercises, and is counted by, the exact-linalg fast path.
+            let m = f.enc.decode(input);
             Response::Singularity {
-                singular: f.eval(input),
+                singular: ccmx_linalg::crt::rank_int(&m) < *dim,
             }
         }
         Request::Batch(reqs) => batch_response(state, reqs),
+        Request::Metrics => Response::Metrics(ccmx_obs::registry().render()),
     }
 }
 
@@ -428,10 +457,7 @@ fn batch_response(state: &ServerState, reqs: &[Request]) -> Response {
                             setup.input_bits
                         ))
                     } else {
-                        state
-                            .counters
-                            .requests_served
-                            .fetch_add(1, Ordering::Relaxed);
+                        state.counters.inc_served();
                         Response::Run(run_sequential(
                             setup.proto.as_ref(),
                             &setup.partition,
@@ -512,10 +538,7 @@ fn interactive_run(
             }
         }
     };
-    state
-        .counters
-        .interactive_runs
-        .fetch_add(1, Ordering::Relaxed);
+    state.counters.inc_interactive();
     Ok(Response::Run(result))
 }
 
@@ -575,6 +598,44 @@ mod tests {
         let cache = server.cache_stats();
         assert_eq!(cache.misses, 1);
         assert_eq!(cache.hits, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_request_serves_live_exposition_text() {
+        let server = small_server();
+        let mut t = connect(&server);
+        assert_eq!(roundtrip(&mut t, &Request::Ping), Response::Pong);
+        // Exercise the CRT path so its counter is live in the scrape.
+        let f = ccmx_comm::functions::Singularity::new(2, 2);
+        let m = ccmx_linalg::Matrix::from_fn(2, 2, |i, j| {
+            ccmx_bigint::Integer::from(if i == j { 1i64 } else { 0 })
+        });
+        let resp = roundtrip(
+            &mut t,
+            &Request::Singularity {
+                dim: 2,
+                k: 2,
+                input: f.enc.encode(&m),
+            },
+        );
+        assert_eq!(resp, Response::Singularity { singular: false });
+        let Response::Metrics(text) = roundtrip(&mut t, &Request::Metrics) else {
+            panic!("expected a metrics response")
+        };
+        for series in [
+            "ccmx_server_requests_total",
+            "ccmx_server_connections_total",
+            "ccmx_server_request_latency_ns_bucket",
+            "ccmx_server_request_latency_ns_count",
+            "ccmx_server_request_bytes_sum",
+            "ccmx_crt_certified_total",
+        ] {
+            assert!(
+                text.contains(series),
+                "metrics text lacks {series}:\n{text}"
+            );
+        }
         server.shutdown();
     }
 

@@ -1,0 +1,98 @@
+//! # ccmx-obs
+//!
+//! Observability substrate for the ccmx workspace. The paper this repo
+//! reproduces treats *cost accounting* — bits across a partition, rounds,
+//! area–time products — as the primary observable of a linear-algebra
+//! system; this crate applies the same discipline to the runtime itself.
+//!
+//! Three pieces, all dependency-free (std only):
+//!
+//! * [`metrics`] — a process-global **registry** of named counters,
+//!   gauges, and fixed-bucket histograms. Registration takes a short
+//!   lock once per series; every increment afterwards is a single atomic
+//!   RMW on a `&'static` cell — cheap enough for the worker-pool hot
+//!   path, and safe to call from any thread. [`Registry::render`]
+//!   produces Prometheus-style `name{label="v"} value` text.
+//! * [`span`] — scoped **span tracing**: RAII timers that record
+//!   (name, id, parent id, start, duration, thread) into per-thread
+//!   buffers, drained into a bounded process-global ring buffer when the
+//!   top-level span on a thread closes. Parents propagate across the
+//!   work-stealing pool via explicit [`span::current`] /
+//!   [`span::child_of`] handoff.
+//! * the [`counter!`], [`gauge!`], and [`histogram!`] macros — each call
+//!   site caches its `&'static` handle in a local `OnceLock`, so the
+//!   registry lock is touched once per site, not per increment.
+//!
+//! Every legacy `*_stats()` island in the workspace (`crt`, `pool`,
+//! `engine`, `truth`, the net server and its bounds cache) is a thin
+//! view over this registry; `ccmx client <addr> --stats` scrapes the
+//! same registry from a live server over the wire.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    bucket_index, buckets, registry, Counter, Gauge, HistSnapshot, Histogram, Registry,
+};
+pub use span::{child_of, current, recent_spans, span, SpanGuard, SpanId, SpanRecord};
+
+/// Fetch (and on first use register) a process-global counter, caching
+/// the `&'static` handle at the call site so the registry lock is taken
+/// at most once per site.
+///
+/// ```
+/// let c = ccmx_obs::counter!("doc_example_total");
+/// c.inc();
+/// let labeled = ccmx_obs::counter!("doc_example_hits_total", "cache" => "bounds");
+/// labeled.add(2);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().counter($name, &[]))
+    }};
+    ($name:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().counter($name, &[$(($k, $v)),+]))
+    }};
+}
+
+/// Fetch (and on first use register) a process-global gauge, caching the
+/// `&'static` handle at the call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().gauge($name, &[]))
+    }};
+    ($name:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().gauge($name, &[$(($k, $v)),+]))
+    }};
+}
+
+/// Fetch (and on first use register) a process-global fixed-bucket
+/// histogram, caching the `&'static` handle at the call site. `$bounds`
+/// is a slice of inclusive upper bucket bounds (an implicit `+Inf`
+/// bucket is always appended); see [`buckets`] for standard sets.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().histogram($name, &[], $bounds))
+    }};
+    ($name:expr, $bounds:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().histogram($name, &[$(($k, $v)),+], $bounds))
+    }};
+}

@@ -1,0 +1,493 @@
+//! The process-global metrics registry: counters, gauges, fixed-bucket
+//! histograms, and Prometheus-style text exposition.
+//!
+//! Concurrency contract: *registration* (first use of a series) takes a
+//! short mutex; the returned handles are `&'static` references to leaked
+//! atomics, so the *increment path is lock-free* — a counter bump is one
+//! `fetch_add(Relaxed)`, a histogram record is two. Rendering and
+//! [`Registry::reset`] take the registration lock but only read/zero the
+//! atomics with relaxed ordering, so they never stall writers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter. Increments are single relaxed
+/// atomic RMWs; there is no lock anywhere on the path.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depths, pool sizes).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (negative to decrement).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Index of the bucket a value lands in, given inclusive upper `bounds`
+/// (sorted ascending). Returns `bounds.len()` for values above every
+/// bound — the implicit `+Inf` bucket.
+pub fn bucket_index(bounds: &[u64], v: u64) -> usize {
+    bounds.partition_point(|&b| b < v)
+}
+
+/// A fixed-bucket histogram over `u64` samples (latencies in
+/// nanoseconds, sizes in bytes). Buckets hold *non-cumulative* counts
+/// internally; [`Registry::render`] emits the cumulative `le` form.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` slots; the last is the `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free: two relaxed RMWs plus a relaxed
+    /// increment of the bucket slot.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(&self.bounds, v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The inclusive upper bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy of the full distribution.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time histogram copy, mergeable: the merge of two
+/// snapshots equals the snapshot of a histogram fed the concatenation
+/// of both sample streams (the proptest in `tests/proptest_obs.rs`
+/// checks exactly this).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Inclusive upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Non-cumulative per-bucket counts (`bounds.len() + 1` slots, the
+    /// last being `+Inf`).
+    pub counts: Vec<u64>,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Merge `other` into `self`. Panics if the bucket bounds differ —
+    /// distributions over different bucketings are not comparable.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "merging mismatched bucketings");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Standard bucket-bound sets.
+pub mod buckets {
+    /// Latency buckets in nanoseconds: powers of four from 1 µs to ~4 s.
+    /// Wide enough for a counter bump and a multi-second rational
+    /// fallback to land in distinct, interior buckets.
+    pub const LATENCY_NS: &[u64] = &[
+        1_000,
+        4_000,
+        16_000,
+        64_000,
+        256_000,
+        1_024_000,
+        4_096_000,
+        16_384_000,
+        65_536_000,
+        262_144_000,
+        1_048_576_000,
+        4_194_304_000,
+    ];
+
+    /// Size buckets in bytes: powers of four from 64 B to ~64 MiB.
+    pub const SIZE_BYTES: &[u64] = &[
+        64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+        67_108_864,
+    ];
+}
+
+/// One registered series: name + sorted label pairs.
+type SeriesKey = (&'static str, Vec<(&'static str, &'static str)>);
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The process-global registry. Obtain it with [`registry`]; register
+/// series with [`Registry::counter`] / [`Registry::gauge`] /
+/// [`Registry::histogram`] (idempotent — the same key returns the same
+/// handle), read everything back with [`Registry::render`].
+pub struct Registry {
+    inner: Mutex<BTreeMap<SeriesKey, Metric>>,
+}
+
+impl Registry {
+    /// Registration/render lock. Poison-tolerant: a panic inside a
+    /// registration (e.g. a metric-kind mismatch) must not wedge every
+    /// later increment site in the process.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<SeriesKey, Metric>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The process-global registry instance.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        inner: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn series_key(name: &'static str, labels: &[(&'static str, &'static str)]) -> SeriesKey {
+    let mut l = labels.to_vec();
+    l.sort_unstable();
+    (name, l)
+}
+
+impl Registry {
+    /// Get or register the counter `name{labels}`. Panics if the series
+    /// exists with a different metric kind.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+    ) -> &'static Counter {
+        let key = series_key(name, labels);
+        let mut inner = self.lock();
+        match inner.entry(key).or_insert_with(|| {
+            Metric::Counter(Box::leak(Box::new(Counter {
+                value: AtomicU64::new(0),
+            })))
+        }) {
+            Metric::Counter(c) => c,
+            _ => panic!("series {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+    ) -> &'static Gauge {
+        let key = series_key(name, labels);
+        let mut inner = self.lock();
+        match inner.entry(key).or_insert_with(|| {
+            Metric::Gauge(Box::leak(Box::new(Gauge {
+                value: AtomicI64::new(0),
+            })))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => panic!("series {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the histogram `name{labels}` with the given
+    /// inclusive upper bucket `bounds` (see [`buckets`]). Re-registering
+    /// with different bounds returns the original histogram — bounds are
+    /// fixed at first registration.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+        bounds: &[u64],
+    ) -> &'static Histogram {
+        let key = series_key(name, labels);
+        let mut inner = self.lock();
+        match inner
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds)))))
+        {
+            Metric::Histogram(h) => h,
+            _ => panic!("series {name} already registered with a different kind"),
+        }
+    }
+
+    /// Value of a registered counter, or `None` if the series does not
+    /// exist. Test/introspection helper — hot paths hold handles.
+    pub fn counter_value(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+    ) -> Option<u64> {
+        let key = series_key(name, labels);
+        match self.lock().get(&key) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Value of a registered gauge, or `None`.
+    pub fn gauge_value(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+    ) -> Option<i64> {
+        let key = series_key(name, labels);
+        match self.lock().get(&key) {
+            Some(Metric::Gauge(g)) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Zero every registered counter, gauge, and histogram (the series
+    /// themselves stay registered — handles remain valid), and clear the
+    /// span ring. Benchmarks call this between experiments so rows are
+    /// independent of whatever warmed the process.
+    pub fn reset(&self) {
+        let inner = self.lock();
+        for metric in inner.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+        drop(inner);
+        crate::span::clear();
+    }
+
+    /// Render every registered series as Prometheus-style text
+    /// exposition: `name{label="v"} value` lines, histograms as
+    /// cumulative `_bucket{le="..."}` plus `_sum` and `_count`. Series
+    /// appear in sorted order; values are relaxed-atomic reads, so the
+    /// text is a near-point-in-time snapshot, never a stall for writers.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for ((name, labels), metric) in inner.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (i, n) in snap.counts.iter().enumerate() {
+                        cumulative += n;
+                        let le = snap
+                            .bounds
+                            .get(i)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+Inf".to_string());
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            name,
+                            fmt_labels(labels, Some(&le)),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum{} {}", name, fmt_labels(labels, None), snap.sum);
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        name,
+                        fmt_labels(labels, None),
+                        snap.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format a label set, optionally with a trailing `le` label (histogram
+/// buckets). Empty set and no `le` renders as the empty string.
+fn fmt_labels(labels: &[(&'static str, &'static str)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let c = registry().counter("test_metrics_counter_total", &[]);
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        // Same key returns the same handle.
+        let c2 = registry().counter("test_metrics_counter_total", &[]);
+        assert!(std::ptr::eq(c, c2));
+
+        let g = registry().gauge("test_metrics_gauge", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let a = registry().counter("test_metrics_labeled_total", &[("side", "a")]);
+        let b = registry().counter("test_metrics_labeled_total", &[("side", "b")]);
+        assert!(!std::ptr::eq(a, b));
+        a.inc();
+        let text = registry().render();
+        assert!(text.contains("test_metrics_labeled_total{side=\"a\"}"));
+        assert!(text.contains("test_metrics_labeled_total{side=\"b\"} 0"));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let ab = registry().counter("test_metrics_order_total", &[("x", "1"), ("y", "2")]);
+        let ba = registry().counter("test_metrics_order_total", &[("y", "2"), ("x", "1")]);
+        assert!(std::ptr::eq(ab, ba));
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        let bounds = [10, 100, 1000];
+        assert_eq!(bucket_index(&bounds, 0), 0);
+        assert_eq!(bucket_index(&bounds, 10), 0); // inclusive upper bound
+        assert_eq!(bucket_index(&bounds, 11), 1);
+        assert_eq!(bucket_index(&bounds, 100), 1);
+        assert_eq!(bucket_index(&bounds, 1000), 2);
+        assert_eq!(bucket_index(&bounds, 1001), 3); // +Inf
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let h = registry().histogram("test_metrics_hist", &[], &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        let text = registry().render();
+        assert!(text.contains("test_metrics_hist_bucket{le=\"10\"} 1"));
+        assert!(text.contains("test_metrics_hist_bucket{le=\"100\"} 2"));
+        assert!(text.contains("test_metrics_hist_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("test_metrics_hist_sum 555"));
+        assert!(text.contains("test_metrics_hist_count 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        registry().counter("test_metrics_kind_clash", &[]);
+        registry().gauge("test_metrics_kind_clash", &[]);
+    }
+}

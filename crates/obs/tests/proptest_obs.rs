@@ -1,0 +1,101 @@
+//! Property tests for the histogram bucket math: recorded values land
+//! in exactly the bucket their value selects, and merging two snapshots
+//! equals the snapshot of the concatenated sample stream.
+
+use ccmx_obs::{bucket_index, HistSnapshot};
+use proptest::prelude::*;
+
+/// Strictly ascending bucket bounds (1..=8 of them) over a wide range.
+fn arb_bounds() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_000_000, 1..=8).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..2_000_000, 0..64)
+}
+
+/// Reference model: histogram a sample stream with plain loops.
+fn model_hist(bounds: &[u64], samples: &[u64]) -> HistSnapshot {
+    let mut counts = vec![0u64; bounds.len() + 1];
+    for &v in samples {
+        counts[bucket_index(bounds, v)] += 1;
+    }
+    HistSnapshot {
+        bounds: bounds.to_vec(),
+        counts,
+        sum: samples.iter().sum(),
+        count: samples.len() as u64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A value's bucket is the unique slot whose bound window contains
+    /// it: every bound below the slot is `< v`, the slot's bound (when
+    /// not `+Inf`) is `>= v`.
+    #[test]
+    fn bucket_index_is_the_unique_containing_slot(
+        bounds in arb_bounds(),
+        v in 0u64..2_000_000,
+    ) {
+        let i = bucket_index(&bounds, v);
+        prop_assert!(i <= bounds.len());
+        for (j, &b) in bounds.iter().enumerate() {
+            if j < i {
+                prop_assert!(b < v, "bound {b} at {j} should be below {v}");
+            } else {
+                prop_assert!(b >= v, "bound {b} at {j} should cover {v}");
+            }
+        }
+    }
+
+    /// Bucket counts conserve the sample count: each sample lands in
+    /// exactly one bucket.
+    #[test]
+    fn bucket_counts_conserve_samples(
+        bounds in arb_bounds(),
+        samples in arb_samples(),
+    ) {
+        let snap = model_hist(&bounds, &samples);
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+    }
+
+    /// Merging the snapshots of two streams equals the snapshot of the
+    /// concatenated stream — histograms form a commutative monoid.
+    #[test]
+    fn merge_equals_concatenation(
+        bounds in arb_bounds(),
+        xs in arb_samples(),
+        ys in arb_samples(),
+    ) {
+        let mut merged = model_hist(&bounds, &xs);
+        merged.merge(&model_hist(&bounds, &ys));
+
+        let concat: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(&merged, &model_hist(&bounds, &concat));
+
+        // And the other order agrees (commutativity).
+        let mut flipped = model_hist(&bounds, &ys);
+        flipped.merge(&model_hist(&bounds, &xs));
+        prop_assert_eq!(&merged, &flipped);
+    }
+}
+
+/// The same properties hold for the live atomic histogram, not just the
+/// model: feed a real registry histogram and compare snapshots.
+#[test]
+fn live_histogram_matches_model() {
+    let bounds = [100u64, 10_000, 1_000_000];
+    let h = ccmx_obs::registry().histogram("test_proptest_live_hist", &[], &bounds);
+    let samples = [0u64, 99, 100, 101, 9_999, 10_001, 5_000_000];
+    for &v in &samples {
+        h.record(v);
+    }
+    assert_eq!(h.snapshot(), model_hist(&bounds, &samples));
+}

@@ -4,9 +4,11 @@
 # Runs the E14 exact-kernel comparison (rational Gauss vs Bareiss vs
 # Montgomery-CRT) and the E15 kernel-engine comparison (fresh vs
 # incremental Gray-walk enumeration, per-prime vs batched residue
-# reduction) with wall-clock timing, writing BENCH_e14.json and
-# BENCH_e15.json at the repo root. Commit both so the perf trajectory is
-# tracked in-tree.
+# reduction) with wall-clock timing, plus the E16 observability-overhead
+# rows (lock-free counter vs raw atomic vs mutexed baseline, histogram,
+# span, render), writing BENCH_e14.json, BENCH_e15.json and
+# BENCH_e16.json at the repo root. Commit all three so the perf
+# trajectory is tracked in-tree.
 #
 # Usage: scripts/bench_snapshot.sh [--quick]
 #   --quick   single rep per measurement (CI sanity; noisier numbers)
@@ -30,3 +32,10 @@ cargo run --release -p ccmx-bench --bin bench_snapshot -- --e15 ${ARGS[@]+"${ARG
 mv "$OUT15.tmp" "$OUT15"
 echo "==> wrote $OUT15"
 grep -E "speedup|incremental_ok" "$OUT15"
+
+OUT16=BENCH_e16.json
+echo "==> cargo run --release --bin bench_snapshot -- --e16 ${ARGS[*]:-}"
+cargo run --release -p ccmx-bench --bin bench_snapshot -- --e16 ${ARGS[@]+"${ARGS[@]}"} > "$OUT16.tmp"
+mv "$OUT16.tmp" "$OUT16"
+echo "==> wrote $OUT16"
+grep -E "over" "$OUT16"

@@ -6,7 +6,10 @@
 #   --quick        skip the release build (debug tests + lints only)
 #   --bench-smoke  additionally run every criterion bench for exactly one
 #                  iteration (CCMX_BENCH_SMOKE=1): compile + run sanity
-#                  with no timing, so benches can't silently rot
+#                  with no timing, so benches can't silently rot; then
+#                  boot a real `ccmx serve`, warm it up over the wire,
+#                  and fail unless its metrics scrape shows live request,
+#                  pool and CRT counters
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,6 +51,40 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
         exit 1
     fi
     grep '"incremental_ok"' <<< "$E15_OUT"
+
+    echo "==> live server metrics gate"
+    cargo build --release --bin ccmx
+    SRV_LOG=$(mktemp)
+    ./target/release/ccmx serve 127.0.0.1:0 > "$SRV_LOG" &
+    SRV_PID=$!
+    trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+    ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR=$(sed -n 's/^ccmx protocol-lab server on \([0-9.:]*\).*/\1/p' "$SRV_LOG")
+        [[ -n "$ADDR" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$ADDR" ]]; then
+        echo "FAIL: ccmx serve did not come up" >&2
+        cat "$SRV_LOG" >&2
+        exit 1
+    fi
+    ./target/release/ccmx client "$ADDR" ping
+    # Warm-up: a multi-spec batch exercises the shared worker pool, a
+    # remote singularity decision exercises the certified CRT path.
+    ./target/release/ccmx client "$ADDR" batch 4 2 6 > /dev/null
+    ./target/release/ccmx client "$ADDR" singular "1,2;2,4" > /dev/null
+    STATS=$(./target/release/ccmx client "$ADDR" stats)
+    for series in ccmx_server_requests_total ccmx_pool_tasks_total ccmx_crt_certified_total; do
+        if ! grep -Eq "^${series} [0-9]*[1-9][0-9]*$" <<< "$STATS"; then
+            echo "FAIL: metrics scrape lacks a live (nonzero) ${series}" >&2
+            grep -E "^${series}" <<< "$STATS" >&2 || true
+            exit 1
+        fi
+        grep -E "^${series} " <<< "$STATS"
+    done
+    kill "$SRV_PID" 2>/dev/null || true
+    trap - EXIT
 fi
 
 echo "==> verify: all gates passed"

@@ -8,6 +8,7 @@
 //! ccmx truth <2n> <k>             enumerate the π₀ truth matrix + certificates
 //! ccmx serve <addr> [workers]     run the protocol-lab server (e.g. 127.0.0.1:7878)
 //! ccmx client <addr> <cmd> ...    talk to a server: ping | bounds <n> <k> | run <2n> <k> [--rand]
+//!                                 | singular <rows> | batch <2n> <k> <count> | stats
 //! ```
 
 use ccmx::core::{counting, lemma32, lemma35, Params, RestrictedInstance};
@@ -24,7 +25,7 @@ fn net_fail(what: &str, err: ccmx::net::NetError) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]"
+        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats"
     );
     std::process::exit(2)
 }
@@ -226,6 +227,90 @@ fn main() {
                     println!(
                         "  randomized       : {:.0} bits (mod-prime, sec {})",
                         b.randomized_upper_bits, b.security
+                    );
+                }
+                Some("stats") | Some("--stats") => {
+                    let text = client
+                        .metrics()
+                        .unwrap_or_else(|e| net_fail("metrics request failed", e));
+                    print!("{text}");
+                }
+                Some("singular") => {
+                    let m = parse_matrix(args.get(3).unwrap_or_else(|| usage()));
+                    let dim = m.rows();
+                    assert_eq!(dim, m.cols(), "singularity needs a square matrix");
+                    // Smallest encoding width that fits every entry
+                    // (entries must be nonnegative k-bit integers).
+                    let k = (0..dim)
+                        .flat_map(|i| (0..dim).map(move |j| (i, j)))
+                        .map(|(i, j)| {
+                            let e = &m[(i, j)];
+                            assert!(!e.is_negative(), "encoded entries must be nonnegative");
+                            e.bit_len() as u32
+                        })
+                        .max()
+                        .unwrap_or(1)
+                        .max(1);
+                    let enc = MatrixEncoding::new(dim, k);
+                    let singular = client
+                        .singularity(dim, k, &enc.encode(&m))
+                        .unwrap_or_else(|e| net_fail("singularity request failed", e));
+                    println!("matrix:\n{m}");
+                    println!("singular  = {singular} (decided remotely, k = {k})");
+                }
+                Some("batch") => {
+                    let dim: usize = args.get(3).unwrap_or_else(|| usage()).parse().expect("2n");
+                    let k: u32 = args.get(4).unwrap_or_else(|| usage()).parse().expect("k");
+                    let count: usize = args
+                        .get(5)
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .expect("count");
+                    let enc = MatrixEncoding::new(dim, k);
+                    let mut rng = StdRng::seed_from_u64(42);
+                    // Alternate the two singularity protocols so the
+                    // server's batch planner sees several distinct spec
+                    // groups and fans them out over its worker pool.
+                    let reqs: Vec<ccmx::net::Request> = (0..count)
+                        .map(|i| {
+                            let m = Matrix::from_fn(dim, dim, |_, _| {
+                                Integer::from(rand::Rng::gen_range(&mut rng, 0..(1i64 << k)))
+                            });
+                            let spec = if i % 2 == 0 {
+                                ProtoSpec::SendAllSingularity { dim, k }
+                            } else {
+                                ProtoSpec::ModPrimeSingularity {
+                                    dim,
+                                    k,
+                                    security: 20,
+                                }
+                            };
+                            ccmx::net::Request::Run {
+                                spec,
+                                input: enc.encode(&m),
+                                seed: i as u64,
+                            }
+                        })
+                        .collect();
+                    let resps = client
+                        .batch(reqs)
+                        .unwrap_or_else(|e| net_fail("batch request failed", e));
+                    let mut singular = 0usize;
+                    let mut bits = 0usize;
+                    for (i, r) in resps.iter().enumerate() {
+                        match r {
+                            ccmx::net::Response::Run(run) => {
+                                if run.output {
+                                    singular += 1;
+                                }
+                                bits += run.cost_bits();
+                            }
+                            other => panic!("batch slot {i}: unexpected response {other:?}"),
+                        }
+                    }
+                    println!(
+                        "batch of {count} runs ({dim}x{dim}, {k}-bit entries): \
+                         {singular} singular, {bits} protocol bits total"
                     );
                 }
                 Some("run") => {

@@ -16,6 +16,9 @@
 //! * [`core`] — the paper's construction, lemmas and reductions,
 //! * [`net`] — wire-level transports and the multi-client protocol-lab
 //!   server (`ccmx serve` / `ccmx client`),
+//! * [`obs`] — the shared observability registry: lock-free counters,
+//!   gauges and histograms, scoped span tracing, and Prometheus-style
+//!   exposition (`ccmx client <addr> stats`),
 //! * [`vlsi`] — Thompson-model AT² bounds and the systolic simulator.
 //!
 //! ## Quickstart
@@ -48,6 +51,7 @@ pub use ccmx_comm as comm;
 pub use ccmx_core as core;
 pub use ccmx_linalg as linalg;
 pub use ccmx_net as net;
+pub use ccmx_obs as obs;
 pub use ccmx_vlsi as vlsi;
 
 /// The most commonly used items, in one import.
