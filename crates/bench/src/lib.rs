@@ -1,7 +1,19 @@
+//! # ccmx-bench
+//!
 //! Shared workload generators and table rendering for the experiment
-//! harness. Every experiment (E1–E12 in DESIGN.md) pulls its inputs from
-//! here so the Criterion benches and the `experiments` table binary
-//! measure exactly the same workloads.
+//! harness. Every experiment (see DESIGN.md and EXPERIMENTS.md) pulls
+//! its inputs from here so the Criterion benches, the `experiments`
+//! table binary and the `bench_snapshot` JSON emitter measure exactly
+//! the same workloads.
+//!
+//! Paper mapping: the experiments instantiate the quantities that
+//! Chu & Schnitger's Theorem 1.1 and Corollaries 1.2/1.3 bound —
+//! deterministic vs randomized communication for singularity testing
+//! (E-series protocol costs), the truth-matrix rectangle machinery
+//! behind the Ω(k n²) lower bound, the VLSI AT² consequences, and the
+//! serving-stack experiments (retry storms, breaker degradation,
+//! chaos-soak divergence) that keep the *metered-bit* invariant
+//! `wire bits == Transcript::total_bits()` observable under load.
 
 #![deny(missing_docs)]
 

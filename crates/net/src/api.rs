@@ -233,7 +233,7 @@ pub enum Request {
     /// by setup so protocol construction is amortized across the burst.
     Batch(Vec<Request>),
     /// Live metrics scrape: the server answers with its whole
-    /// [`ccmx_obs`](ccmx_obs) registry rendered as Prometheus-style
+    /// [`ccmx_obs`] registry rendered as Prometheus-style
     /// exposition text.
     Metrics,
 }

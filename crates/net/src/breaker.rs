@@ -1,0 +1,274 @@
+//! Per-peer circuit breaker: stop hammering a failing server, probe it
+//! gently, and let callers degrade gracefully while it is dark.
+//!
+//! The classic three-state machine:
+//!
+//! * **Closed** — traffic flows; consecutive failures are counted and
+//!   the breaker trips open at
+//!   [`BreakerConfig::failure_threshold`].
+//! * **Open** — calls are refused locally (no wire traffic, no metered
+//!   bits) until [`BreakerConfig::open_for`] has elapsed. Callers fall
+//!   back to cached answers — see
+//!   [`crate::retry::RetryClient::bounds_degraded`].
+//! * **Half-open** — after the cool-down, probe requests are let
+//!   through; [`BreakerConfig::half_open_successes`] consecutive
+//!   successes re-close the breaker, any failure re-opens it.
+//!
+//! Every state change is visible in the metrics registry as a
+//! `ccmx_breaker_state{peer="…"}` gauge (0 = closed, 1 = open,
+//! 2 = half-open) and a `ccmx_breaker_transitions_total{peer,to}`
+//! counter, so a chaos soak can assert the transitions it provoked.
+
+use std::time::{Duration, Instant};
+
+/// The three breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are counted.
+    Closed,
+    /// Tripped: requests are refused without touching the wire.
+    Open,
+    /// Probing: limited traffic decides between re-close and re-open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding: 0 closed, 1 open, 2 half-open.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    /// Label value for transition counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Trip/recover policy for a [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker.
+    pub failure_threshold: u32,
+    /// Cool-down before an open breaker lets a probe through.
+    pub open_for: Duration,
+    /// Consecutive half-open successes that re-close the breaker.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_for: Duration::from_millis(250),
+            half_open_successes: 1,
+        }
+    }
+}
+
+/// Metric labels want `&'static str`; peers form a tiny closed set per
+/// process, so leak each distinct name once.
+pub(crate) fn intern_label(name: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut table = TABLE.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap();
+    if let Some(&existing) = table.iter().find(|&&s| s == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+/// A circuit breaker guarding one peer.
+pub struct CircuitBreaker {
+    peer: &'static str,
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    opened_at: Option<Instant>,
+    transitions: u64,
+    state_gauge: &'static ccmx_obs::Gauge,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for `peer` (interned for metric labels).
+    pub fn new(peer: &str, config: BreakerConfig) -> Self {
+        let peer = intern_label(peer);
+        let state_gauge = ccmx_obs::registry().gauge("ccmx_breaker_state", &[("peer", peer)]);
+        state_gauge.set(BreakerState::Closed.gauge_value());
+        CircuitBreaker {
+            peer,
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            opened_at: None,
+            transitions: 0,
+            state_gauge,
+        }
+    }
+
+    /// The peer this breaker guards.
+    pub fn peer(&self) -> &'static str {
+        self.peer
+    }
+
+    /// Current state *without* ticking the open→half-open clock.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total state transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// May a request go out now? An open breaker flips to half-open
+    /// (and answers yes) once its cool-down has elapsed.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let cooled = self
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.config.open_for)
+                    .unwrap_or(true);
+                if cooled {
+                    self.transition(BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful request.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.half_open_successes {
+                    self.transition(BreakerState::Closed);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed request.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.transition(BreakerState::Open);
+                }
+            }
+            BreakerState::HalfOpen => self.transition(BreakerState::Open),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        self.state = to;
+        self.transitions += 1;
+        self.consecutive_failures = 0;
+        self.probe_successes = 0;
+        self.opened_at = match to {
+            BreakerState::Open => Some(Instant::now()),
+            _ => None,
+        };
+        self.state_gauge.set(to.gauge_value());
+        ccmx_obs::registry()
+            .counter(
+                "ccmx_breaker_transitions_total",
+                &[("peer", self.peer), ("to", to.label())],
+            )
+            .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            open_for: Duration::from_millis(20),
+            half_open_successes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_and_recovers_through_half_open() {
+        let mut b = CircuitBreaker::new("test-peer-a", fast());
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open breaker must refuse before cool-down");
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow(), "cooled breaker must let a probe through");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs two successes");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = CircuitBreaker::new("test-peer-b", fast());
+        b.record_failure();
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new("test-peer-c", fast());
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn transitions_are_observable_in_the_registry() {
+        let mut b = CircuitBreaker::new("test-peer-obs", fast());
+        b.record_failure();
+        b.record_failure();
+        let rendered = ccmx_obs::registry().render();
+        assert!(
+            rendered.contains(r#"ccmx_breaker_state{peer="test-peer-obs"} 1"#),
+            "open state not visible:\n{rendered}"
+        );
+        assert!(rendered
+            .contains(r#"ccmx_breaker_transitions_total{peer="test-peer-obs",to="open"} 1"#));
+    }
+
+    #[test]
+    fn intern_label_dedups() {
+        let a = intern_label("same-peer");
+        let b = intern_label("same-peer");
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -16,6 +16,10 @@ pub enum NetError {
     Frame(String),
     /// A frame decoded structurally but made no semantic sense here.
     Protocol(String),
+    /// The per-peer circuit breaker is open: the call was refused
+    /// locally, without wire traffic, and nothing cached could answer
+    /// it. See [`crate::breaker`].
+    CircuitOpen,
 }
 
 impl NetError {
@@ -47,6 +51,9 @@ impl fmt::Display for NetError {
             NetError::Disconnected => write!(f, "peer disconnected mid-exchange"),
             NetError::Frame(msg) => write!(f, "malformed frame: {msg}"),
             NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::CircuitOpen => {
+                write!(f, "circuit breaker open and no cached answer available")
+            }
         }
     }
 }

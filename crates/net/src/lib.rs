@@ -22,28 +22,59 @@
 //! * [`runner`] — transported runners whose [`ccmx_comm::RunResult`] is
 //!   asserted bit-identical to `run_sequential`'s.
 //! * [`server`] / [`client`] — a threaded protocol-lab server (fixed
-//!   worker pool, per-connection timeouts, graceful shutdown) answering
+//!   worker pool, per-connection timeouts, per-request deadlines,
+//!   strike-based slow-client eviction, graceful shutdown) answering
 //!   bound, singularity, protocol-run, and live interactive-run
 //!   requests for many concurrent clients, with an LRU [`cache`] for
 //!   repeated bound computations and a request [`batch`]er that
 //!   amortizes protocol setup across bursts.
+//! * [`fault`] / [`chaos`] — chaos engineering: [`fault::FaultTransport`]
+//!   wraps any frame link in a deterministic seeded schedule of bit
+//!   flips, truncations, drops, duplicates, delays and stalls, recovers
+//!   via checksummed envelopes + NACK retransmission, and still meters
+//!   *exactly* the protocol bits — the seeded soaks in [`chaos`] assert
+//!   zero metered-bit divergence against `run_sequential`.
+//! * [`retry`] / [`breaker`] — the client-side resilience stack:
+//!   jittered exponential backoff behind an idempotency key (retried
+//!   runs never double-count metered bits; see the two-ledger
+//!   accounting in [`retry`]) and a per-peer closed/open/half-open
+//!   [`breaker::CircuitBreaker`] with graceful degradation to cached
+//!   Theorem 1.1 bounds while the peer is dark.
+//!
+//! Paper mapping: this crate is the physical realization of Yao's
+//! two-party model that Chu & Schnitger's Theorem 1.1 lower-bounds —
+//! two agents separated by a real byte stream, every protocol bit
+//! metered. The chaos layer exists to defend that accounting: the
+//! Ω(k n²) bound is a statement about *protocol* bits, so transport
+//! faults, retransmissions and retries must never leak into the meter.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod api;
 pub mod batch;
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod error;
+pub mod fault;
+pub mod retry;
 pub mod runner;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use api::{BoundsReport, InteractiveSetup, ProtoSpec, Request, Response};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{chaos_soak, server_soak, ChaosLevel, ChaosReport};
 pub use client::Client;
 pub use error::NetError;
+pub use fault::{
+    fault_mem_pair, mem_link_pair, FaultConfig, FaultKind, FaultPlan, FaultStats, FaultTransport,
+    FrameLink, MemFrameLink,
+};
+pub use retry::{IdempotentRun, RetryClient, RetryPolicy};
 pub use runner::{run_mem_metered, run_mem_transport, run_tcp_loopback, run_tcp_loopback_metered};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
 pub use transport::{

@@ -15,9 +15,72 @@ use ccmx_comm::partition::Owner;
 use ccmx_comm::protocol::{round_limit, run_agent, RunResult, Turn, TwoPartyProtocol};
 use ccmx_comm::{BitString, Partition};
 
+use crate::error::NetError;
 use crate::transport::{
     mem_transport_pair, AsChannel, TcpTransport, Transport, TransportConfig, TransportStats,
 };
+
+/// Drive both agents over an arbitrary connected transport pair,
+/// propagating transport errors instead of panicking. After each agent
+/// finishes, its transport is handed to a `finish` closure — identity
+/// stats collection for the plain runners, recovery-traffic draining
+/// for the chaos layer ([`crate::chaos`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_over_result<TA, TB, FA, FB, OA, OB>(
+    proto: &dyn TwoPartyProtocol,
+    partition: &Partition,
+    input: &BitString,
+    seed: u64,
+    chan_a: TA,
+    chan_b: TB,
+    finish_a: FA,
+    finish_b: FB,
+) -> Result<(RunResult, OA, OB), NetError>
+where
+    TA: Transport + Send,
+    TB: Transport + Send,
+    FA: FnOnce(TA) -> Result<OA, NetError> + Send,
+    FB: FnOnce(TB) -> Result<OB, NetError> + Send,
+    OA: Send,
+    OB: Send,
+{
+    assert_eq!(
+        partition.len(),
+        input.len(),
+        "partition and input length mismatch"
+    );
+    let (share_a, share_b) = partition.split(input);
+    let limit = round_limit(input.len());
+
+    let (res_a, res_b) = crossbeam::scope(|s| {
+        let a = s.spawn(|_| -> Result<(RunResult, OA), NetError> {
+            let mut chan = AsChannel(chan_a);
+            let r = run_agent(proto, partition, &share_a, Turn::A, seed, limit, &mut chan)
+                .map_err(|e| NetError::Protocol(format!("agent A: {e}")))?;
+            Ok((r, finish_a(chan.into_inner())?))
+        });
+        let b = s.spawn(|_| -> Result<(RunResult, OB), NetError> {
+            let mut chan = AsChannel(chan_b);
+            let r = run_agent(proto, partition, &share_b, Turn::B, seed, limit, &mut chan)
+                .map_err(|e| NetError::Protocol(format!("agent B: {e}")))?;
+            Ok((r, finish_b(chan.into_inner())?))
+        });
+        (
+            a.join().expect("agent A panicked"),
+            b.join().expect("agent B panicked"),
+        )
+    })
+    .expect("transported run panicked");
+
+    let (result_a, out_a) = res_a?;
+    let (result_b, out_b) = res_b?;
+    if result_a != result_b {
+        return Err(NetError::Protocol(
+            "the two agents disagree on the run result".to_string(),
+        ));
+    }
+    Ok((result_a, out_a, out_b))
+}
 
 /// Drive both agents over an arbitrary connected transport pair.
 fn run_over<TA, TB>(
@@ -32,46 +95,23 @@ where
     TA: Transport + Send,
     TB: Transport + Send,
 {
-    assert_eq!(
-        partition.len(),
-        input.len(),
-        "partition and input length mismatch"
-    );
-    let (share_a, share_b) = partition.split(input);
-    let limit = round_limit(input.len());
-
-    let (res_a, res_b) = crossbeam::scope(|s| {
-        let a = s.spawn(|_| {
-            let mut chan = AsChannel(chan_a);
-            let r = run_agent(proto, partition, &share_a, Turn::A, seed, limit, &mut chan)
-                .expect("agent A: transport failed mid-protocol");
-            (r, chan.into_inner().stats())
-        });
-        let b = s.spawn(|_| {
-            let mut chan = AsChannel(chan_b);
-            let r = run_agent(proto, partition, &share_b, Turn::B, seed, limit, &mut chan)
-                .expect("agent B: transport failed mid-protocol");
-            (r, chan.into_inner().stats())
-        });
-        (
-            a.join().expect("agent A panicked"),
-            b.join().expect("agent B panicked"),
-        )
-    })
-    .expect("transported run panicked");
-
-    let (result_a, stats_a) = res_a;
-    let (result_b, stats_b) = res_b;
-    assert_eq!(
-        result_a, result_b,
-        "the two agents disagree on the run result"
-    );
+    let (result, stats_a, stats_b) = run_over_result(
+        proto,
+        partition,
+        input,
+        seed,
+        chan_a,
+        chan_b,
+        |t: TA| Ok(t.stats()),
+        |t: TB| Ok(t.stats()),
+    )
+    .expect("transported run failed");
     assert_eq!(
         stats_a.bits_total(),
-        result_a.transcript.total_bits(),
+        result.transcript.total_bits(),
         "wire metering diverged from the transcript"
     );
-    (result_a, stats_a, stats_b)
+    (result, stats_a, stats_b)
 }
 
 /// Run over the in-memory framed transport; returns per-endpoint stats.

@@ -62,6 +62,15 @@ pub struct ServerConfig {
     pub bounds_cache_capacity: usize,
     /// Depth of the accepted-connection queue.
     pub queue_depth: usize,
+    /// Per-request compute budget. A request whose dispatch overruns it
+    /// is answered with an error (the connection survives); batch
+    /// members past the deadline are refused without executing.
+    /// `None` means unbounded.
+    pub request_deadline: Option<Duration>,
+    /// Consecutive read-timeout strikes before a slow client is
+    /// evicted. `1` reproduces the old drop-on-first-timeout behavior;
+    /// higher values give bursty-but-alive clients extra read windows.
+    pub eviction_strikes: u32,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +83,8 @@ impl Default for ServerConfig {
             retry_backoff: Duration::from_millis(10),
             bounds_cache_capacity: 64,
             queue_depth: 16,
+            request_deadline: None,
+            eviction_strikes: 1,
         }
     }
 }
@@ -102,6 +113,8 @@ struct Counters {
     requests_served: AtomicU64,
     interactive_runs: AtomicU64,
     connections_dropped: AtomicU64,
+    connections_evicted: AtomicU64,
+    deadlines_exceeded: AtomicU64,
 }
 
 impl Counters {
@@ -121,6 +134,14 @@ impl Counters {
         self.connections_dropped.fetch_add(1, Ordering::Relaxed);
         ccmx_obs::counter!("ccmx_server_connections_dropped_total").inc();
     }
+    fn inc_evicted(&self) {
+        self.connections_evicted.fetch_add(1, Ordering::Relaxed);
+        ccmx_obs::counter!("ccmx_server_evicted_total").inc();
+    }
+    fn inc_deadline(&self) {
+        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+        ccmx_obs::counter!("ccmx_server_deadline_exceeded_total").inc();
+    }
 }
 
 /// Connections accepted but not yet picked up by a worker.
@@ -139,6 +160,11 @@ pub struct ServerStats {
     pub interactive_runs: u64,
     /// Connections dropped for timeouts, garbage, or I/O failure.
     pub connections_dropped: u64,
+    /// Slow clients evicted after exhausting their read-timeout
+    /// strikes (also counted in `connections_dropped`).
+    pub connections_evicted: u64,
+    /// Requests that overran [`ServerConfig::request_deadline`].
+    pub deadlines_exceeded: u64,
 }
 
 /// Bounds-cache key: `(n, k, security, linalg backend id)` — the backend
@@ -176,6 +202,8 @@ impl ServerHandle {
             requests_served: c.requests_served.load(Ordering::Relaxed),
             interactive_runs: c.interactive_runs.load(Ordering::Relaxed),
             connections_dropped: c.connections_dropped.load(Ordering::Relaxed),
+            connections_evicted: c.connections_evicted.load(Ordering::Relaxed),
+            deadlines_exceeded: c.deadlines_exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -217,6 +245,10 @@ impl Drop for ServerHandle {
 pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    // Pre-register the robustness series so a metrics scrape of a
+    // healthy server shows them at zero instead of omitting them.
+    ccmx_obs::counter!("ccmx_server_evicted_total").add(0);
+    ccmx_obs::counter!("ccmx_server_deadline_exceeded_total").add(0);
     let state = Arc::new(ServerState {
         config,
         counters: Counters::default(),
@@ -274,8 +306,8 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
     })
 }
 
-/// Serve one connection until it closes, stalls, or errors. Never
-/// panics out to the worker loop.
+/// Serve one connection until it closes, exhausts its read-timeout
+/// strikes, or errors. Never panics out to the worker loop.
 fn serve_connection(state: &ServerState, stream: TcpStream) {
     let mut transport = match TcpTransport::from_stream(stream, state.config.transport_config()) {
         Ok(t) => t,
@@ -284,19 +316,39 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
             return;
         }
     };
+    let mut strikes = 0u32;
     loop {
         match transport.recv_frame() {
             Ok((KIND_REQUEST, payload)) => {
+                strikes = 0;
                 ccmx_obs::histogram!("ccmx_server_request_bytes", &ccmx_obs::buckets::SIZE_BYTES)
                     .record(payload.len() as u64);
                 let started = std::time::Instant::now();
-                let response = {
+                let deadline = state.config.request_deadline.map(|d| started + d);
+                let mut response = {
                     let _sp = ccmx_obs::span("server.request");
                     match Request::from_wire_bytes(&payload) {
-                        Ok(req) => dispatch_guarded(state, &req),
+                        Ok(req) => dispatch_guarded(state, &req, deadline),
                         Err(e) => Response::Error(format!("bad request: {e}")),
                     }
                 };
+                // Post-hoc enforcement for the top-level request: a
+                // dispatch cannot be preempted mid-computation, but an
+                // overrun answer is replaced by an error so the client
+                // never mistakes a blown budget for a timely result.
+                // Batches are exempt — their members were enforced
+                // individually and the partial answers are kept.
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() > d
+                        && !matches!(response, Response::Error(_) | Response::Batch(_))
+                    {
+                        state.counters.inc_deadline();
+                        response = Response::Error(format!(
+                            "request deadline of {:?} exceeded",
+                            state.config.request_deadline.unwrap_or_default()
+                        ));
+                    }
+                }
                 ccmx_obs::histogram!(
                     "ccmx_server_request_latency_ns",
                     &ccmx_obs::buckets::LATENCY_NS
@@ -311,6 +363,7 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
                 }
             }
             Ok((KIND_INTERACTIVE, payload)) => {
+                strikes = 0;
                 let response = match InteractiveSetup::from_wire_bytes(&payload) {
                     Ok(setup) => match interactive_run(state, &mut transport, &setup) {
                         Ok(resp) => resp,
@@ -338,9 +391,20 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
                 return;
             }
             Err(NetError::Disconnected) => return, // clean close
+            Err(NetError::Timeout) => {
+                // A slow client earns a strike per silent read window;
+                // it is evicted — freeing the worker — only once the
+                // configured strikes are exhausted.
+                strikes += 1;
+                if strikes >= state.config.eviction_strikes.max(1) {
+                    state.counters.inc_evicted();
+                    state.counters.inc_dropped();
+                    return;
+                }
+            }
             Err(_) => {
-                // Timeout (stalled client) or garbage: drop, freeing
-                // the worker for the next connection.
+                // Garbage or I/O failure: drop, freeing the worker for
+                // the next connection.
                 state.counters.inc_dropped();
                 return;
             }
@@ -350,12 +414,32 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
 
 /// Dispatch with a panic shield: a request that trips an internal
 /// assertion produces `Response::Error`, not a dead worker.
-fn dispatch_guarded(state: &ServerState, req: &Request) -> Response {
-    catch_unwind(AssertUnwindSafe(|| dispatch(state, req)))
+fn dispatch_guarded(
+    state: &ServerState,
+    req: &Request,
+    deadline: Option<std::time::Instant>,
+) -> Response {
+    catch_unwind(AssertUnwindSafe(|| dispatch(state, req, deadline)))
         .unwrap_or_else(|_| Response::Error("internal error while serving the request".into()))
 }
 
-fn dispatch(state: &ServerState, req: &Request) -> Response {
+/// Refuse work whose budget is already spent: checked between batch
+/// members so one slow item cannot drag every later item past the
+/// deadline "for free".
+fn past_deadline(state: &ServerState, deadline: Option<std::time::Instant>) -> Option<Response> {
+    match deadline {
+        Some(d) if std::time::Instant::now() > d => {
+            state.counters.inc_deadline();
+            Some(Response::Error(format!(
+                "request deadline of {:?} exceeded",
+                state.config.request_deadline.unwrap_or_default()
+            )))
+        }
+        _ => None,
+    }
+}
+
+fn dispatch(state: &ServerState, req: &Request, deadline: Option<std::time::Instant>) -> Response {
     state.counters.inc_served();
     match req {
         Request::Ping => Response::Pong,
@@ -395,7 +479,7 @@ fn dispatch(state: &ServerState, req: &Request) -> Response {
                 singular: ccmx_linalg::crt::rank_int(&m) < *dim,
             }
         }
-        Request::Batch(reqs) => batch_response(state, reqs),
+        Request::Batch(reqs) => batch_response(state, reqs, deadline),
         Request::Metrics => Response::Metrics(ccmx_obs::registry().render()),
     }
 }
@@ -427,7 +511,11 @@ fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Resp
 /// Execute a batch: `Run` requests grouped by spec so each distinct
 /// protocol setup is constructed once, everything else served in place.
 /// Responses come back in request order.
-fn batch_response(state: &ServerState, reqs: &[Request]) -> Response {
+fn batch_response(
+    state: &ServerState,
+    reqs: &[Request],
+    deadline: Option<std::time::Instant>,
+) -> Response {
     let plan = batch::plan(reqs);
     let mut responses: Vec<Option<Response>> = vec![None; reqs.len()];
     // Distinct-spec groups fan out over the shared ccmx-linalg worker
@@ -449,7 +537,9 @@ fn batch_response(state: &ServerState, reqs: &[Request]) -> Response {
                     let Request::Run { input, seed, .. } = &reqs[i] else {
                         unreachable!()
                     };
-                    let resp = if input.len() != setup.input_bits {
+                    let resp = if let Some(refused) = past_deadline(state, deadline) {
+                        refused
+                    } else if input.len() != setup.input_bits {
                         Response::Error(format!(
                             "input is {} bits, {} expects {}",
                             input.len(),
@@ -475,7 +565,10 @@ fn batch_response(state: &ServerState, reqs: &[Request]) -> Response {
     for &i in &plan.singles {
         responses[i] = Some(match &reqs[i] {
             Request::Batch(_) => Response::Error("nested batches are not allowed".into()),
-            other => dispatch_guarded(state, other),
+            other => match past_deadline(state, deadline) {
+                Some(refused) => refused,
+                None => dispatch_guarded(state, other, deadline),
+            },
         });
     }
     Response::Batch(
@@ -782,6 +875,92 @@ mod tests {
         assert_eq!(roundtrip(&mut t, &Request::Ping), Response::Pong);
         assert!(server.stats().connections_dropped >= 1);
         drop(stalled);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_rejects_requests_but_keeps_the_connection() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                request_deadline: Some(Duration::ZERO),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind test server");
+        let mut t = connect(&server);
+        let resp = roundtrip(&mut t, &Request::Ping);
+        assert!(
+            matches!(&resp, Response::Error(msg) if msg.contains("deadline")),
+            "zero budget must refuse even a ping, got {resp:?}"
+        );
+        // The connection survives a blown deadline.
+        let again = roundtrip(&mut t, &Request::Ping);
+        assert!(matches!(again, Response::Error(_)));
+        assert!(server.stats().deadlines_exceeded >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_refuses_batch_members_individually() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                request_deadline: Some(Duration::ZERO),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind test server");
+        let mut t = connect(&server);
+        let spec = ProtoSpec::SendAllSingularity { dim: 2, k: 2 };
+        let batch = Request::Batch(vec![
+            Request::Ping,
+            Request::Run {
+                spec,
+                input: BitString::from_u64(0b1011_0010, 8),
+                seed: 1,
+            },
+        ]);
+        let Response::Batch(resps) = roundtrip(&mut t, &batch) else {
+            panic!("expected a batch response")
+        };
+        for (i, r) in resps.iter().enumerate() {
+            assert!(
+                matches!(r, Response::Error(msg) if msg.contains("deadline")),
+                "batch slot {i} should be refused, got {r:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn eviction_strikes_give_slow_clients_extra_windows() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                read_timeout: Duration::from_millis(80),
+                eviction_strikes: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind test server");
+        let mut t = connect(&server);
+        // One silent window (one strike) must not cost the connection…
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(roundtrip(&mut t, &Request::Ping), Response::Pong);
+        assert_eq!(server.stats().connections_evicted, 0);
+        // …but exhausting all three strikes must.
+        std::thread::sleep(Duration::from_millis(400));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.stats().connections_evicted == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.connections_evicted, 1, "slow client not evicted");
+        assert!(stats.connections_dropped >= 1);
         server.shutdown();
     }
 

@@ -47,6 +47,9 @@ pub const KIND_RESPONSE: u8 = 3;
 /// Frame kind: setup header that switches the connection into an
 /// interactive agent-vs-agent protocol run.
 pub const KIND_INTERACTIVE: u8 = 4;
+/// Frame kind: a chaos-layer envelope (sequenced, checksummed protocol
+/// message or a retransmission request) — see [`crate::fault`].
+pub const KIND_CHAOS: u8 = 5;
 
 // ----------------------------------------------------------------------
 // Decoder cursor

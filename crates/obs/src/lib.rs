@@ -13,7 +13,7 @@
 //!   RMW on a `&'static` cell — cheap enough for the worker-pool hot
 //!   path, and safe to call from any thread. [`Registry::render`]
 //!   produces Prometheus-style `name{label="v"} value` text.
-//! * [`span`] — scoped **span tracing**: RAII timers that record
+//! * [`mod@span`] — scoped **span tracing**: RAII timers that record
 //!   (name, id, parent id, start, duration, thread) into per-thread
 //!   buffers, drained into a bounded process-global ring buffer when the
 //!   top-level span on a thread closes. Parents propagate across the
@@ -65,6 +65,15 @@ macro_rules! counter {
 
 /// Fetch (and on first use register) a process-global gauge, caching the
 /// `&'static` handle at the call site.
+///
+/// ```
+/// let g = ccmx_obs::gauge!("doc_example_depth");
+/// g.set(3);
+/// g.add(-1);
+/// let labeled = ccmx_obs::gauge!("doc_example_state", "peer" => "a");
+/// labeled.set(1);
+/// assert!(ccmx_obs::registry().render().contains("doc_example_depth 2"));
+/// ```
 #[macro_export]
 macro_rules! gauge {
     ($name:expr) => {{
@@ -83,6 +92,14 @@ macro_rules! gauge {
 /// histogram, caching the `&'static` handle at the call site. `$bounds`
 /// is a slice of inclusive upper bucket bounds (an implicit `+Inf`
 /// bucket is always appended); see [`buckets`] for standard sets.
+///
+/// ```
+/// let h = ccmx_obs::histogram!("doc_example_ns", &ccmx_obs::buckets::LATENCY_NS);
+/// h.record(1_500);
+/// h.record(2_000_000);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.sum(), 2_001_500);
+/// ```
 #[macro_export]
 macro_rules! histogram {
     ($name:expr, $bounds:expr) => {{

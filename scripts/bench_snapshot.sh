@@ -6,8 +6,10 @@
 # incremental Gray-walk enumeration, per-prime vs batched residue
 # reduction) with wall-clock timing, plus the E16 observability-overhead
 # rows (lock-free counter vs raw atomic vs mutexed baseline, histogram,
-# span, render), writing BENCH_e14.json, BENCH_e15.json and
-# BENCH_e16.json at the repo root. Commit all three so the perf
+# span, render) and the E17 resilience-stack rows (retry-storm
+# throughput, breaker-open degradation latency, chaos-soak divergence),
+# writing BENCH_e14.json, BENCH_e15.json, BENCH_e16.json and
+# BENCH_e17.json at the repo root. Commit all four so the perf
 # trajectory is tracked in-tree.
 #
 # Usage: scripts/bench_snapshot.sh [--quick]
@@ -39,3 +41,14 @@ cargo run --release -p ccmx-bench --bin bench_snapshot -- --e16 ${ARGS[@]+"${ARG
 mv "$OUT16.tmp" "$OUT16"
 echo "==> wrote $OUT16"
 grep -E "over" "$OUT16"
+
+OUT17=BENCH_e17.json
+echo "==> cargo run --release --bin bench_snapshot -- --e17 ${ARGS[*]:-}"
+cargo run --release -p ccmx-bench --bin bench_snapshot -- --e17 ${ARGS[@]+"${ARGS[@]}"} > "$OUT17.tmp"
+mv "$OUT17.tmp" "$OUT17"
+echo "==> wrote $OUT17"
+grep -E "runs_per_sec|divergence" "$OUT17"
+if ! grep -q '"zero_bit_divergence": true' "$OUT17"; then
+    echo "FAIL: chaos soak reported nonzero metered-bit divergence" >&2
+    exit 1
+fi

@@ -9,7 +9,9 @@
 #                  with no timing, so benches can't silently rot; then
 #                  boot a real `ccmx serve`, warm it up over the wire,
 #                  and fail unless its metrics scrape shows live request,
-#                  pool and CRT counters
+#                  pool and CRT counters; finally run a seeded chaos soak
+#                  (`ccmx chaos --server`), which exits non-zero on any
+#                  metered-bit divergence under fault injection
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,6 +31,9 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> cargo build --release (tier-1)"
@@ -85,6 +90,9 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
     done
     kill "$SRV_PID" 2>/dev/null || true
     trap - EXIT
+
+    echo "==> chaos soak (seeded fault injection, zero-divergence gate)"
+    ./target/release/ccmx chaos --trials 4 --seed 7 --level aggressive --server
 fi
 
 echo "==> verify: all gates passed"

@@ -9,11 +9,18 @@
 //! ccmx serve <addr> [workers]     run the protocol-lab server (e.g. 127.0.0.1:7878)
 //! ccmx client <addr> <cmd> ...    talk to a server: ping | bounds <n> <k> | run <2n> <k> [--rand]
 //!                                 | singular <rows> | batch <2n> <k> <count> | stats
+//! ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]
+//!                                 seeded fault-injection soak; exits non-zero on any
+//!                                 metered-bit divergence
 //! ```
 
 use ccmx::core::{counting, lemma32, lemma35, Params, RestrictedInstance};
 use ccmx::linalg::{bareiss, smith, Matrix};
-use ccmx::net::{Client, ProtoSpec, ServerConfig, TransportConfig};
+use ccmx::net::chaos::render_report;
+use ccmx::net::{
+    chaos_soak, server_soak, BreakerConfig, BreakerState, ChaosLevel, Client, ProtoSpec,
+    RetryClient, RetryPolicy, ServerConfig, TransportConfig,
+};
 use ccmx::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +32,7 @@ fn net_fail(what: &str, err: ccmx::net::NetError) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats"
+        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats\n  ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]"
     );
     std::process::exit(2)
 }
@@ -353,6 +360,114 @@ fn main() {
                     assert_eq!(stats.bits_total(), mine.cost_bits(), "wire meter diverged");
                 }
                 _ => usage(),
+            }
+        }
+        Some("chaos") => {
+            let mut trials = 8usize;
+            let mut seed = 0xC4A05u64;
+            let mut level = ChaosLevel::Aggressive;
+            let mut with_server = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--trials" => {
+                        i += 1;
+                        trials = args.get(i).unwrap_or_else(|| usage()).parse().expect("N");
+                    }
+                    "--seed" => {
+                        i += 1;
+                        seed = args.get(i).unwrap_or_else(|| usage()).parse().expect("S");
+                    }
+                    "--level" => {
+                        i += 1;
+                        level = ChaosLevel::parse(args.get(i).unwrap_or_else(|| usage()))
+                            .unwrap_or_else(|| usage());
+                    }
+                    "--server" => with_server = true,
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            let specs = [
+                ProtoSpec::FingerprintEquality {
+                    half_bits: 24,
+                    security: 20,
+                },
+                ProtoSpec::SendAllSingularity { dim: 2, k: 3 },
+                ProtoSpec::ModPrimeSingularity {
+                    dim: 2,
+                    k: 4,
+                    security: 16,
+                },
+            ];
+            println!("chaos soak: {trials} trial(s)/spec, seed {seed}, level {level:?}");
+            let mut all_passed = true;
+            for spec in specs {
+                let report = chaos_soak(spec, trials, seed, level);
+                println!("  {}", render_report(&report));
+                all_passed &= report.passed();
+            }
+            if with_server {
+                // The live stack: a real server, concurrent clients, and
+                // the zero-divergence verdict measured end to end.
+                let server = ccmx::net::serve("127.0.0.1:0", ServerConfig::default())
+                    .unwrap_or_else(|e| net_fail("cannot bind chaos server", e.into()));
+                let report = server_soak(
+                    &server.addr().to_string(),
+                    ProtoSpec::ModPrimeSingularity {
+                        dim: 2,
+                        k: 4,
+                        security: 16,
+                    },
+                    4,
+                    trials.max(1),
+                    seed,
+                );
+                println!("  server: {}", render_report(&report));
+                all_passed &= report.passed();
+                server.shutdown();
+
+                // Breaker drill: hammer a dead port until the per-peer
+                // circuit breaker trips, so its transitions land in the
+                // metrics registry alongside the soak counters.
+                let dead = {
+                    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+                    l.local_addr().expect("port addr").to_string()
+                };
+                let mut rc = RetryClient::new(
+                    &dead,
+                    TransportConfig::default(),
+                    RetryPolicy {
+                        max_attempts: 3,
+                        base_backoff: std::time::Duration::from_millis(1),
+                        max_backoff: std::time::Duration::from_millis(5),
+                        jitter_seed: seed,
+                    },
+                    BreakerConfig::default(),
+                );
+                let _ = rc.ping();
+                println!(
+                    "  breaker drill: peer {} is {:?} after {} transition(s)",
+                    dead,
+                    rc.breaker().state(),
+                    rc.breaker().transitions()
+                );
+                all_passed &= rc.breaker().state() == BreakerState::Open;
+            }
+            let metrics = ccmx::obs::registry().render();
+            println!("-- chaos metrics --");
+            for line in metrics.lines().filter(|l| {
+                l.starts_with("ccmx_fault_")
+                    || l.starts_with("ccmx_retry_")
+                    || l.starts_with("ccmx_breaker_")
+            }) {
+                println!("{line}");
+            }
+            if all_passed {
+                println!("chaos verdict: PASS (zero metered-bit divergence)");
+            } else {
+                eprintln!("chaos verdict: FAIL");
+                std::process::exit(1);
             }
         }
         _ => usage(),
