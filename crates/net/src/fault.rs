@@ -608,6 +608,71 @@ impl<L: FrameLink> FaultTransport<L> {
         }
     }
 
+    /// Pump the link until at least one in-order inner payload sits in
+    /// `ready` or `deadline` passes, running the full recovery protocol
+    /// (NACKs on silence, retransmits on the peer's NACKs) meanwhile.
+    fn fill_ready(&mut self, deadline: Instant) -> Result<(), NetError> {
+        loop {
+            if !self.ready.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            match self.link.recv_link() {
+                Ok((KIND_CHAOS, payload)) => {
+                    self.stats.raw_bytes_received += wire::HEADER_BYTES + payload.len();
+                    self.handle_envelope(&payload)?;
+                }
+                Ok((kind, _)) => {
+                    return Err(NetError::Protocol(format!(
+                        "chaos link got unexpected frame kind {kind}"
+                    )))
+                }
+                Err(NetError::Timeout) => {
+                    // Nothing arrived within the NACK clock: assume our
+                    // expected frame was lost and ask for it again (a
+                    // spurious NACK is ignored by the peer).
+                    self.send_nack(self.next_recv_seq)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send an arbitrary `(kind, payload)` frame through the chaos
+    /// envelope machinery — same sequence numbers, checksums, NACK
+    /// recovery and forced-clean retransmits as protocol messages, but
+    /// **no protocol bits are metered**: sealed frames carry
+    /// request/response traffic (e.g. a cluster coordinator talking to
+    /// a shard), whose bytes are infrastructure, not Theorem 1.1
+    /// communication. Do not mix sealed and [`Transport::send_wire`]
+    /// traffic on one link: they share a sequence space but the
+    /// receiver must know which decoder to apply.
+    pub fn send_sealed(&mut self, kind: u8, payload: &[u8]) -> Result<(), NetError> {
+        let seq = self.next_send_seq;
+        self.next_send_seq += 1;
+        let mut inner = Vec::with_capacity(1 + payload.len());
+        inner.push(kind);
+        inner.extend_from_slice(payload);
+        self.sent_log.push(inner);
+        self.attempts.push(0);
+        self.transmit(seq)
+    }
+
+    /// Receive the next sealed `(kind, payload)` frame, in order,
+    /// surviving whatever the fault schedule did to it in flight.
+    pub fn recv_sealed(&mut self) -> Result<(u8, Vec<u8>), NetError> {
+        let deadline = Instant::now() + self.recv_deadline;
+        self.fill_ready(deadline)?;
+        let mut inner = self.ready.pop_front().expect("fill_ready guarantees one");
+        if inner.is_empty() {
+            return Err(NetError::Protocol("empty sealed frame".to_string()));
+        }
+        let kind = inner.remove(0);
+        Ok((kind, inner))
+    }
+
     /// After the local agent has finished its run, keep servicing the
     /// peer's recovery traffic (NACKs for envelopes of ours that were
     /// dropped or corrupted in flight) until the link has been quiet
@@ -651,36 +716,13 @@ impl<L: FrameLink> Transport for FaultTransport<L> {
 
     fn recv_wire(&mut self) -> Result<WireMsg, NetError> {
         let deadline = Instant::now() + self.recv_deadline;
-        loop {
-            if let Some(inner) = self.ready.pop_front() {
-                let msg = WireMsg::from_wire_bytes(&inner)?;
-                // Metered exactly once, on in-order delivery.
-                self.stats.msgs_received += 1;
-                self.stats.bits_received += payload_bits(&msg);
-                return Ok(msg);
-            }
-            if Instant::now() >= deadline {
-                return Err(NetError::Timeout);
-            }
-            match self.link.recv_link() {
-                Ok((KIND_CHAOS, payload)) => {
-                    self.stats.raw_bytes_received += wire::HEADER_BYTES + payload.len();
-                    self.handle_envelope(&payload)?;
-                }
-                Ok((kind, _)) => {
-                    return Err(NetError::Protocol(format!(
-                        "chaos link got unexpected frame kind {kind}"
-                    )))
-                }
-                Err(NetError::Timeout) => {
-                    // Nothing arrived within the NACK clock: assume our
-                    // expected frame was lost and ask for it again (a
-                    // spurious NACK is ignored by the peer).
-                    self.send_nack(self.next_recv_seq)?;
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        self.fill_ready(deadline)?;
+        let inner = self.ready.pop_front().expect("fill_ready guarantees one");
+        let msg = WireMsg::from_wire_bytes(&inner)?;
+        // Metered exactly once, on in-order delivery.
+        self.stats.msgs_received += 1;
+        self.stats.bits_received += payload_bits(&msg);
+        Ok(msg)
     }
 
     fn stats(&self) -> TransportStats {

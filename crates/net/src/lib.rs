@@ -21,13 +21,24 @@
 //!   carry, so the wire cost of a run equals its transcript bit count.
 //! * [`runner`] — transported runners whose [`ccmx_comm::RunResult`] is
 //!   asserted bit-identical to `run_sequential`'s.
-//! * [`server`] / [`client`] — a threaded protocol-lab server (fixed
-//!   worker pool, per-connection timeouts, per-request deadlines,
-//!   strike-based slow-client eviction, graceful shutdown) answering
-//!   bound, singularity, protocol-run, and live interactive-run
-//!   requests for many concurrent clients, with an LRU [`cache`] for
-//!   repeated bound computations and a request [`batch`]er that
-//!   amortizes protocol setup across bursts.
+//! * [`evloop`] — a hand-rolled readiness-based event loop (nonblocking
+//!   TCP + `poll(2)` via the vendored `polling` shim; the build is
+//!   offline, so no async runtime): one thread multiplexes the accept
+//!   path and every idle or header-reading connection, and promotes a
+//!   connection to a worker only once a complete request header is
+//!   buffered. Thousands of open connections cost file descriptors,
+//!   not threads. The [`evloop::EventHandler`] trait lets embedders
+//!   (the cluster coordinator) reuse the engine with their own
+//!   dispatch.
+//! * [`server`] / [`client`] — the protocol-lab server on top of that
+//!   engine (fixed worker pool for request execution, per-connection
+//!   timeouts, per-request deadlines, strike-based slow-client
+//!   eviction, queue-depth load shedding, graceful shutdown that
+//!   drains in-flight batch groups) answering bound, singularity,
+//!   protocol-run, and live interactive-run requests for many
+//!   concurrent clients, with an LRU [`cache`] for repeated bound
+//!   computations and a request [`batch`]er that amortizes protocol
+//!   setup across bursts.
 //! * [`fault`] / [`chaos`] — chaos engineering: [`fault::FaultTransport`]
 //!   wraps any frame link in a deterministic seeded schedule of bit
 //!   flips, truncations, drops, duplicates, delays and stalls, recovers
@@ -58,6 +69,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod error;
+pub mod evloop;
 pub mod fault;
 pub mod retry;
 pub mod runner;
@@ -70,13 +82,16 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{chaos_soak, server_soak, ChaosLevel, ChaosReport};
 pub use client::Client;
 pub use error::NetError;
+pub use evloop::{EventHandler, PromotedConn};
 pub use fault::{
     fault_mem_pair, mem_link_pair, FaultConfig, FaultKind, FaultPlan, FaultStats, FaultTransport,
     FrameLink, MemFrameLink,
 };
 pub use retry::{IdempotentRun, RetryClient, RetryPolicy};
 pub use runner::{run_mem_metered, run_mem_transport, run_tcp_loopback, run_tcp_loopback_metered};
-pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use server::{
+    serve, serve_with_handler, ServerConfig, ServerEngine, ServerHandle, ServerStats,
+};
 pub use transport::{
     mem_transport_pair, AsChannel, MemTransport, TcpTransport, Transport, TransportConfig,
     TransportStats,

@@ -1,26 +1,32 @@
-//! The protocol-lab server: a threaded TCP service answering bound,
-//! singularity, and protocol-run requests for many concurrent clients.
+//! The protocol-lab server: a TCP service answering bound, singularity,
+//! and protocol-run requests for many concurrent clients, with a choice
+//! of two engines behind one [`serve`] front door:
 //!
-//! Architecture:
+//! * [`ServerEngine::Evented`] (the default) — a readiness-based event
+//!   loop ([`crate::evloop`]): one loop thread owns every connection via
+//!   nonblocking sockets and `poll(2)`, a small compute pool executes
+//!   dispatch, and connections are state rather than threads — which is
+//!   what lets one process hold ten thousand concurrent clients.
+//! * [`ServerEngine::Threaded`] — the original thread-per-connection
+//!   layout: an accept thread pushes connections into a bounded
+//!   crossbeam channel drained by a fixed worker pool. Kept as the
+//!   conservative fallback and as a behavioral reference for the loop.
 //!
-//! * one **accept thread** pushes incoming connections into a bounded
-//!   crossbeam channel (backpressure: a flooded server queues at the
-//!   listener, it does not spawn unboundedly);
-//! * a **fixed worker pool** drains the channel; each worker owns one
-//!   connection at a time and serves its requests until the client
-//!   closes, stalls past the read timeout, or sends garbage — a dropped
-//!   connection never takes the worker with it;
-//! * a shared [`LruCache`] memoizes Theorem 1.1 bound packages;
-//! * **graceful shutdown**: a flag flips, a self-connection unblocks
-//!   `accept`, the channel's sender drops, workers finish their current
-//!   connection and exit, and `shutdown()` joins every thread.
+//! Both engines share everything above the socket: the dispatch table,
+//! a shared [`LruCache`] memoizing Theorem 1.1 bound packages,
+//! per-request deadlines, strike-based slow-client eviction, and
+//! **graceful shutdown that drains in-flight work** — a stop closes the
+//! listener first and answers what was already queued (batch members
+//! are never silently dropped) before joining every thread.
 //!
 //! Interactive runs: a client may switch its connection into a live
 //! two-agent protocol run (client = agent A, server = agent B). The
 //! server replays the identical `run_agent` state machine as the
 //! in-process runners, so the transcript both sides assemble — and
 //! therefore the metered bit cost — is byte-for-byte the same as
-//! `run_sequential` on one machine.
+//! `run_sequential` on one machine. Under the evented engine such a
+//! connection is *promoted* off the loop onto a dedicated thread, since
+//! the exchange is blocking by nature.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,13 +47,28 @@ use crate::api::{BoundsReport, InteractiveSetup, Request, Response};
 use crate::batch;
 use crate::cache::{CacheStats, LruCache};
 use crate::error::NetError;
+use crate::evloop::{self, EventHandler, PromotedConn};
 use crate::transport::{AsChannel, TcpTransport, TransportConfig};
 use crate::wire::{WireCodec, KIND_INTERACTIVE, KIND_REQUEST, KIND_RESPONSE};
+
+/// Which connection-handling engine [`serve`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerEngine {
+    /// Readiness-based event loop: nonblocking sockets + `poll(2)`,
+    /// connections as state. Scales to tens of thousands of clients.
+    Evented,
+    /// Thread-per-connection with a fixed worker pool: concurrency is
+    /// capped at [`ServerConfig::workers`].
+    Threaded,
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Fixed worker-pool size.
+    /// Connection engine; [`ServerEngine::Evented`] unless overridden.
+    pub engine: ServerEngine,
+    /// Compute-pool size (evented) or connection-worker count
+    /// (threaded).
     pub workers: usize,
     /// Per-connection read timeout; a client silent for longer is
     /// dropped (and its worker freed).
@@ -71,11 +92,18 @@ pub struct ServerConfig {
     /// evicted. `1` reproduces the old drop-on-first-timeout behavior;
     /// higher values give bursty-but-alive clients extra read windows.
     pub eviction_strikes: u32,
+    /// Evented engine: requests parsed but not yet answered before the
+    /// loop starts shedding load with immediate overload errors.
+    pub max_pending_requests: usize,
+    /// Evented engine: how long a shutdown waits for in-flight requests
+    /// to finish and their responses to flush before giving up.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            engine: ServerEngine::Evented,
             workers: 4,
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
@@ -85,6 +113,8 @@ impl Default for ServerConfig {
             queue_depth: 16,
             request_deadline: None,
             eviction_strikes: 1,
+            max_pending_requests: 16 * 1024,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -108,17 +138,18 @@ impl ServerConfig {
 /// totals survive this server being dropped and aggregate across
 /// servers in the process.
 #[derive(Debug, Default)]
-struct Counters {
+pub(crate) struct Counters {
     connections_accepted: AtomicU64,
     requests_served: AtomicU64,
     interactive_runs: AtomicU64,
     connections_dropped: AtomicU64,
     connections_evicted: AtomicU64,
     deadlines_exceeded: AtomicU64,
+    requests_shed: AtomicU64,
 }
 
 impl Counters {
-    fn inc_accepted(&self) {
+    pub(crate) fn inc_accepted(&self) {
         self.connections_accepted.fetch_add(1, Ordering::Relaxed);
         ccmx_obs::counter!("ccmx_server_connections_total").inc();
     }
@@ -130,17 +161,21 @@ impl Counters {
         self.interactive_runs.fetch_add(1, Ordering::Relaxed);
         ccmx_obs::counter!("ccmx_server_interactive_runs_total").inc();
     }
-    fn inc_dropped(&self) {
+    pub(crate) fn inc_dropped(&self) {
         self.connections_dropped.fetch_add(1, Ordering::Relaxed);
         ccmx_obs::counter!("ccmx_server_connections_dropped_total").inc();
     }
-    fn inc_evicted(&self) {
+    pub(crate) fn inc_evicted(&self) {
         self.connections_evicted.fetch_add(1, Ordering::Relaxed);
         ccmx_obs::counter!("ccmx_server_evicted_total").inc();
     }
     fn inc_deadline(&self) {
         self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
         ccmx_obs::counter!("ccmx_server_deadline_exceeded_total").inc();
+    }
+    pub(crate) fn inc_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+        ccmx_obs::counter!("ccmx_server_shed_total").inc();
     }
 }
 
@@ -165,6 +200,9 @@ pub struct ServerStats {
     pub connections_evicted: u64,
     /// Requests that overran [`ServerConfig::request_deadline`].
     pub deadlines_exceeded: u64,
+    /// Requests answered with an immediate overload error because the
+    /// evented engine's pending queue was full.
+    pub requests_shed: u64,
 }
 
 /// Bounds-cache key: `(n, k, security, linalg backend id)` — the backend
@@ -172,9 +210,9 @@ pub struct ServerStats {
 /// engine can never serve an entry computed by the old one.
 type BoundsKey = (usize, u32, u32, &'static str);
 
-struct ServerState {
-    config: ServerConfig,
-    counters: Counters,
+pub(crate) struct ServerState {
+    pub(crate) config: ServerConfig,
+    pub(crate) counters: Counters,
     bounds_cache: Mutex<LruCache<BoundsKey, BoundsReport>>,
 }
 
@@ -183,8 +221,10 @@ struct ServerState {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Connections promoted off the event loop for interactive runs;
+    /// joined at shutdown so no agent thread outlives the handle.
+    promoted: Arc<Mutex<Vec<JoinHandle<()>>>>,
     state: Arc<ServerState>,
 }
 
@@ -204,6 +244,7 @@ impl ServerHandle {
             connections_dropped: c.connections_dropped.load(Ordering::Relaxed),
             connections_evicted: c.connections_evicted.load(Ordering::Relaxed),
             deadlines_exceeded: c.deadlines_exceeded.load(Ordering::Relaxed),
+            requests_shed: c.requests_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -222,14 +263,16 @@ impl ServerHandle {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The accept thread blocks in `accept`; a throwaway
-        // self-connection wakes it so it can observe the flag.
+        // The threaded accept thread blocks in `accept`; a throwaway
+        // self-connection wakes it so it can observe the flag. The
+        // event loop notices at its next tick regardless.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        let promoted = std::mem::take(&mut *self.promoted.lock());
+        for t in promoted {
+            let _ = t.join();
         }
     }
 }
@@ -240,8 +283,7 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the accept thread and
-/// worker pool.
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the configured engine.
 pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -249,6 +291,7 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
     // healthy server shows them at zero instead of omitting them.
     ccmx_obs::counter!("ccmx_server_evicted_total").add(0);
     ccmx_obs::counter!("ccmx_server_deadline_exceeded_total").add(0);
+    ccmx_obs::counter!("ccmx_server_shed_total").add(0);
     let state = Arc::new(ServerState {
         config,
         counters: Counters::default(),
@@ -258,29 +301,74 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
         )),
     });
     let stop = Arc::new(AtomicBool::new(false));
+    let promoted: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
+    let threads = match config.engine {
+        ServerEngine::Evented => {
+            let handler = Arc::new(LabHandler {
+                state: Arc::clone(&state),
+                promoted: Arc::clone(&promoted),
+            });
+            evloop::spawn_engine(listener, Arc::clone(&state), handler, Arc::clone(&stop))?
+        }
+        ServerEngine::Threaded => spawn_threaded(listener, Arc::clone(&state), Arc::clone(&stop)),
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        threads,
+        promoted,
+        state,
+    })
+}
+
+/// Bind `addr` and run the evented engine with a *custom* dispatch —
+/// the building block for services that speak the lab's wire protocol
+/// but answer requests their own way (the cluster coordinator routes
+/// them to shards instead of computing locally). The handler runs on
+/// the engine's compute pool; `config` supplies the pool size, drain
+/// and backpressure knobs exactly as for [`serve`].
+pub fn serve_with_handler(
+    addr: &str,
+    config: ServerConfig,
+    handler: Arc<dyn EventHandler>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        config,
+        counters: Counters::default(),
+        bounds_cache: Mutex::new(LruCache::with_metrics(
+            config.bounds_cache_capacity,
+            "bounds",
+        )),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let promoted: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let threads = evloop::spawn_engine(listener, Arc::clone(&state), handler, Arc::clone(&stop))?;
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        threads,
+        promoted,
+        state,
+    })
+}
+
+/// The thread-per-connection engine: accept thread + fixed worker pool.
+fn spawn_threaded(
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+) -> Vec<JoinHandle<()>> {
+    let config = state.config;
     let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.queue_depth.max(1));
 
-    let workers = (0..config.workers.max(1))
-        .map(|_| {
-            let rx = conn_rx.clone();
-            let state = Arc::clone(&state);
-            std::thread::spawn(move || {
-                // recv drains queued connections and returns Err once
-                // the accept thread drops the sole sender: shutdown.
-                while let Ok(stream) = rx.recv() {
-                    queue_depth_gauge().add(-1);
-                    serve_connection(&state, stream);
-                }
-            })
-        })
-        .collect();
-    drop(conn_rx);
-
-    let accept_thread = {
-        let stop = Arc::clone(&stop);
+    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+    threads.push({
         let state = Arc::clone(&state);
-        Some(std::thread::spawn(move || {
+        std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
@@ -294,16 +382,60 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
                 }
             }
             // conn_tx drops here; workers drain and exit.
-        }))
-    };
+        })
+    });
+    for _ in 0..config.workers.max(1) {
+        let rx = conn_rx.clone();
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || {
+            // recv drains queued connections and returns Err once the
+            // accept thread drops the sole sender: shutdown.
+            while let Ok(stream) = rx.recv() {
+                queue_depth_gauge().add(-1);
+                serve_connection(&state, stream);
+            }
+        }));
+    }
+    threads
+}
 
-    Ok(ServerHandle {
-        addr: local,
-        stop,
-        accept_thread,
-        workers,
-        state,
-    })
+/// The event loop's bridge into the lab dispatch table.
+struct LabHandler {
+    state: Arc<ServerState>,
+    promoted: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl EventHandler for LabHandler {
+    fn handle_request(&self, payload: &[u8], received: std::time::Instant) -> Vec<u8> {
+        answer_request(&self.state, payload, received).to_wire_bytes()
+    }
+
+    fn interactive(&self, conn: PromotedConn) {
+        // The blocking two-agent exchange gets its own thread; the
+        // handle is kept so shutdown joins it.
+        let state = Arc::clone(&self.state);
+        let handle = std::thread::spawn(move || serve_promoted(&state, conn));
+        self.promoted.lock().push(handle);
+    }
+}
+
+/// Continue a connection promoted off the event loop: replay the
+/// interactive frame it was promoted for (any bytes already buffered
+/// come first via the transport's prefix), then keep serving the same
+/// connection with the ordinary blocking loop.
+fn serve_promoted(state: &ServerState, conn: PromotedConn) {
+    let mut transport = match TcpTransport::from_stream_with_prefix(
+        conn.stream,
+        state.config.transport_config(),
+        conn.leftover,
+    ) {
+        Ok(t) => t,
+        Err(_) => {
+            state.counters.inc_dropped();
+            return;
+        }
+    };
+    serve_transport(state, &mut transport, Some((KIND_INTERACTIVE, conn.setup)));
 }
 
 /// Serve one connection until it closes, exhausts its read-timeout
@@ -316,44 +448,27 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
             return;
         }
     };
+    serve_transport(state, &mut transport, None);
+}
+
+/// The blocking per-connection serve loop, optionally starting from a
+/// frame that was already read on the caller's behalf.
+fn serve_transport(
+    state: &ServerState,
+    transport: &mut TcpTransport,
+    first: Option<(u8, Vec<u8>)>,
+) {
+    let mut pending = first;
     let mut strikes = 0u32;
     loop {
-        match transport.recv_frame() {
+        let frame = match pending.take() {
+            Some(f) => Ok(f),
+            None => transport.recv_frame(),
+        };
+        match frame {
             Ok((KIND_REQUEST, payload)) => {
                 strikes = 0;
-                ccmx_obs::histogram!("ccmx_server_request_bytes", &ccmx_obs::buckets::SIZE_BYTES)
-                    .record(payload.len() as u64);
-                let started = std::time::Instant::now();
-                let deadline = state.config.request_deadline.map(|d| started + d);
-                let mut response = {
-                    let _sp = ccmx_obs::span("server.request");
-                    match Request::from_wire_bytes(&payload) {
-                        Ok(req) => dispatch_guarded(state, &req, deadline),
-                        Err(e) => Response::Error(format!("bad request: {e}")),
-                    }
-                };
-                // Post-hoc enforcement for the top-level request: a
-                // dispatch cannot be preempted mid-computation, but an
-                // overrun answer is replaced by an error so the client
-                // never mistakes a blown budget for a timely result.
-                // Batches are exempt — their members were enforced
-                // individually and the partial answers are kept.
-                if let Some(d) = deadline {
-                    if std::time::Instant::now() > d
-                        && !matches!(response, Response::Error(_) | Response::Batch(_))
-                    {
-                        state.counters.inc_deadline();
-                        response = Response::Error(format!(
-                            "request deadline of {:?} exceeded",
-                            state.config.request_deadline.unwrap_or_default()
-                        ));
-                    }
-                }
-                ccmx_obs::histogram!(
-                    "ccmx_server_request_latency_ns",
-                    &ccmx_obs::buckets::LATENCY_NS
-                )
-                .record(started.elapsed().as_nanos() as u64);
+                let response = answer_request(state, &payload, std::time::Instant::now());
                 if transport
                     .send_frame(KIND_RESPONSE, &response.to_wire_bytes())
                     .is_err()
@@ -365,7 +480,7 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
             Ok((KIND_INTERACTIVE, payload)) => {
                 strikes = 0;
                 let response = match InteractiveSetup::from_wire_bytes(&payload) {
-                    Ok(setup) => match interactive_run(state, &mut transport, &setup) {
+                    Ok(setup) => match interactive_run(state, transport, &setup) {
                         Ok(resp) => resp,
                         Err(_) => {
                             // The protocol exchange itself broke; the
@@ -410,6 +525,44 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
             }
         }
     }
+}
+
+/// Decode and dispatch one request payload, with metering, the panic
+/// shield, and post-hoc deadline enforcement. Shared by both engines;
+/// `received` anchors the deadline clock at frame arrival.
+fn answer_request(state: &ServerState, payload: &[u8], received: std::time::Instant) -> Response {
+    ccmx_obs::histogram!("ccmx_server_request_bytes", &ccmx_obs::buckets::SIZE_BYTES)
+        .record(payload.len() as u64);
+    let deadline = state.config.request_deadline.map(|d| received + d);
+    let mut response = {
+        let _sp = ccmx_obs::span("server.request");
+        match Request::from_wire_bytes(payload) {
+            Ok(req) => dispatch_guarded(state, &req, deadline),
+            Err(e) => Response::Error(format!("bad request: {e}")),
+        }
+    };
+    // Post-hoc enforcement for the top-level request: a dispatch cannot
+    // be preempted mid-computation, but an overrun answer is replaced
+    // by an error so the client never mistakes a blown budget for a
+    // timely result. Batches are exempt — their members were enforced
+    // individually and the partial answers are kept.
+    if let Some(d) = deadline {
+        if std::time::Instant::now() > d
+            && !matches!(response, Response::Error(_) | Response::Batch(_))
+        {
+            state.counters.inc_deadline();
+            response = Response::Error(format!(
+                "request deadline of {:?} exceeded",
+                state.config.request_deadline.unwrap_or_default()
+            ));
+        }
+    }
+    ccmx_obs::histogram!(
+        "ccmx_server_request_latency_ns",
+        &ccmx_obs::buckets::LATENCY_NS
+    )
+    .record(received.elapsed().as_nanos() as u64);
+    response
 }
 
 /// Dispatch with a panic shield: a request that trips an internal
@@ -978,5 +1131,161 @@ mod tests {
             })
             .is_ok();
         assert!(!still_up, "server still answering after shutdown");
+    }
+
+    #[test]
+    fn threaded_engine_still_serves() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                engine: ServerEngine::Threaded,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind threaded test server");
+        let mut t = connect(&server);
+        assert_eq!(roundtrip(&mut t, &Request::Ping), Response::Pong);
+        let resp = roundtrip(
+            &mut t,
+            &Request::Bounds {
+                n: 5,
+                k: 3,
+                security: 20,
+            },
+        );
+        assert!(matches!(resp, Response::Bounds(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn evented_pipelining_preserves_response_order() {
+        let server = small_server();
+        let mut t = connect(&server);
+        // Fire a burst of requests without reading a single response;
+        // the per-connection FIFO must answer them in request order
+        // even though dispatch happens off-loop.
+        let ns = [5u16, 7, 9, 11, 5, 7];
+        for &n in &ns {
+            t.send_frame(
+                KIND_REQUEST,
+                &Request::Bounds {
+                    n: n as usize,
+                    k: 3,
+                    security: 20,
+                }
+                .to_wire_bytes(),
+            )
+            .unwrap();
+        }
+        for &n in &ns {
+            let (kind, payload) = t.recv_frame().unwrap();
+            assert_eq!(kind, KIND_RESPONSE);
+            let Response::Bounds(b) = Response::from_wire_bytes(&payload).unwrap() else {
+                panic!("expected a bounds response for n={n}")
+            };
+            assert_eq!(b.n, n as usize, "responses out of request order");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_batch_group() {
+        // Regression: a stop during batch fan-out used to close the
+        // listener and drop queued batch members silently. The evented
+        // engine's drain phase must finish the batch and flush the full
+        // response before the loop exits.
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind test server");
+        let mut t = connect(&server);
+        let spec = ProtoSpec::SendAllSingularity { dim: 2, k: 2 };
+        let members: Vec<Request> = (0..24)
+            .map(|v| Request::Run {
+                spec,
+                input: BitString::from_u64(v, 8),
+                seed: v,
+            })
+            .collect();
+        let n_members = members.len();
+        t.send_frame(KIND_REQUEST, &Request::Batch(members).to_wire_bytes())
+            .unwrap();
+        // Stop the server while the batch is (very likely) mid-flight.
+        // `shutdown` blocks until the drain completes, so run it from a
+        // second thread while this one waits for the response.
+        let stopper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            server.shutdown();
+        });
+        let (kind, payload) = t
+            .recv_frame()
+            .expect("batch response must survive shutdown");
+        assert_eq!(kind, KIND_RESPONSE);
+        let Response::Batch(resps) = Response::from_wire_bytes(&payload).unwrap() else {
+            panic!("expected a batch response")
+        };
+        assert_eq!(resps.len(), n_members, "batch members dropped by shutdown");
+        for (i, r) in resps.iter().enumerate() {
+            assert!(
+                matches!(r, Response::Run(_)),
+                "batch slot {i} degraded to {r:?} during drain"
+            );
+        }
+        stopper.join().unwrap();
+    }
+
+    #[test]
+    fn overload_sheds_new_requests_with_an_error() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                max_pending_requests: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind test server");
+        let mut t = connect(&server);
+        // One slow batch occupies the single queue slot…
+        let spec = ProtoSpec::SendAllSingularity { dim: 2, k: 2 };
+        let members: Vec<Request> = (0..32)
+            .map(|v| Request::Run {
+                spec,
+                input: BitString::from_u64(v, 8),
+                seed: v,
+            })
+            .collect();
+        t.send_frame(KIND_REQUEST, &Request::Batch(members).to_wire_bytes())
+            .unwrap();
+        // …so a request arriving right behind it must be shed. Shed
+        // errors jump the response queue (they are answered at parse
+        // time), so read both and sort by shape.
+        t.send_frame(KIND_REQUEST, &Request::Ping.to_wire_bytes())
+            .unwrap();
+        let mut saw_batch = false;
+        let mut saw_shed = false;
+        for _ in 0..2 {
+            let (_, payload) = t.recv_frame().unwrap();
+            match Response::from_wire_bytes(&payload).unwrap() {
+                Response::Batch(resps) => {
+                    assert_eq!(resps.len(), 32);
+                    saw_batch = true;
+                }
+                Response::Error(msg) => {
+                    assert!(msg.contains("overloaded"), "unexpected error: {msg}");
+                    saw_shed = true;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert!(saw_batch, "the in-flight batch must still complete");
+        assert!(saw_shed, "the second request should have been shed");
+        assert!(server.stats().requests_shed >= 1);
+        server.shutdown();
     }
 }

@@ -15,7 +15,7 @@
 //! identical `run_agent` logic as the in-process runners — which is why
 //! transcripts (and therefore costs) agree bit for bit.
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -195,9 +195,35 @@ impl Default for TransportConfig {
     }
 }
 
+/// A `TcpStream` reader that first replays bytes handed over by a
+/// previous owner of the connection — e.g. the readiness event loop,
+/// which may have buffered past the frame that triggered a promotion —
+/// before reading from the socket itself.
+pub(crate) struct PrefixedStream {
+    prefix: Vec<u8>,
+    pos: usize,
+    stream: TcpStream,
+}
+
+impl Read for PrefixedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.prefix.len() {
+            let n = (self.prefix.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+            self.pos += n;
+            if self.pos == self.prefix.len() {
+                self.prefix = Vec::new();
+                self.pos = 0;
+            }
+            return Ok(n);
+        }
+        self.stream.read(buf)
+    }
+}
+
 /// One endpoint of a TCP connection carrying framed protocol messages.
 pub struct TcpTransport {
-    reader: BufReader<TcpStream>,
+    reader: BufReader<PrefixedStream>,
     writer: BufWriter<TcpStream>,
     config: TransportConfig,
     stats: TransportStats,
@@ -212,10 +238,25 @@ impl TcpTransport {
 
     /// Wrap an accepted stream (server side).
     pub fn from_stream(stream: TcpStream, config: TransportConfig) -> Result<Self, NetError> {
+        Self::from_stream_with_prefix(stream, config, Vec::new())
+    }
+
+    /// Wrap a stream that already had `prefix` bytes read off it; the
+    /// reader consumes those first, so no data is lost when a
+    /// connection migrates between engines.
+    pub fn from_stream_with_prefix(
+        stream: TcpStream,
+        config: TransportConfig,
+        prefix: Vec<u8>,
+    ) -> Result<Self, NetError> {
         stream.set_read_timeout(config.read_timeout)?;
         stream.set_write_timeout(config.write_timeout)?;
         stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let reader = BufReader::new(PrefixedStream {
+            prefix,
+            pos: 0,
+            stream: stream.try_clone()?,
+        });
         Ok(TcpTransport {
             reader,
             writer: BufWriter::new(stream),

@@ -7,10 +7,12 @@
 # reduction) with wall-clock timing, plus the E16 observability-overhead
 # rows (lock-free counter vs raw atomic vs mutexed baseline, histogram,
 # span, render) and the E17 resilience-stack rows (retry-storm
-# throughput, breaker-open degradation latency, chaos-soak divergence),
-# writing BENCH_e14.json, BENCH_e15.json, BENCH_e16.json and
-# BENCH_e17.json at the repo root. Commit all four so the perf
-# trajectory is tracked in-tree.
+# throughput, breaker-open degradation latency, chaos-soak divergence)
+# and the E18 cluster rows (10k-connection concurrency wave, the
+# cache-partition scaling sweep over 2/4/8 shard processes, and the
+# chaos-soaked resharding run), writing BENCH_e14.json ... BENCH_e18.json
+# at the repo root. Commit all five so the perf trajectory is tracked
+# in-tree.
 #
 # Usage: scripts/bench_snapshot.sh [--quick]
 #   --quick   single rep per measurement (CI sanity; noisier numbers)
@@ -50,5 +52,23 @@ echo "==> wrote $OUT17"
 grep -E "runs_per_sec|divergence" "$OUT17"
 if ! grep -q '"zero_bit_divergence": true' "$OUT17"; then
     echo "FAIL: chaos soak reported nonzero metered-bit divergence" >&2
+    exit 1
+fi
+
+OUT18=BENCH_e18.json
+echo "==> cargo build --release (the e18 phases spawn the ccmx binary)"
+cargo build --release
+echo "==> cargo run --release --bin bench_snapshot -- --e18 ${ARGS[*]:-}"
+cargo run --release -p ccmx-bench --bin bench_snapshot -- --e18 ${ARGS[@]+"${ARGS[@]}"} > "$OUT18.tmp"
+mv "$OUT18.tmp" "$OUT18"
+echo "==> wrote $OUT18"
+grep -E "concurrent_clients|runs_per_sec|scaling|divergence" "$OUT18"
+if ! grep -q '"zero_bit_divergence": true' "$OUT18"; then
+    echo "FAIL: cluster reshard soak reported nonzero metered-bit divergence" >&2
+    exit 1
+fi
+SCALING=$(grep -o '"scaling_2_to_4": [0-9.]*' "$OUT18" | awk '{print $2}')
+if ! awk -v s="$SCALING" 'BEGIN { exit !(s >= 1.6) }'; then
+    echo "FAIL: 2->4 shard scaling $SCALING below the 1.6x gate" >&2
     exit 1
 fi

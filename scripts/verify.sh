@@ -9,9 +9,14 @@
 #                  with no timing, so benches can't silently rot; then
 #                  boot a real `ccmx serve`, warm it up over the wire,
 #                  and fail unless its metrics scrape shows live request,
-#                  pool and CRT counters; finally run a seeded chaos soak
+#                  pool and CRT counters; then run a seeded chaos soak
 #                  (`ccmx chaos --server`), which exits non-zero on any
-#                  metered-bit divergence under fault injection
+#                  metered-bit divergence under fault injection; finally
+#                  boot a 2-shard cluster (`ccmx shard` x2 + a fronting
+#                  `ccmx coordinator`), drive keyed traffic through it,
+#                  and fail unless every shard shows a nonzero
+#                  ccmx_cluster_routed_total and the busiest shard saw
+#                  no more than 2x the quietest one's share
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -93,6 +98,75 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
 
     echo "==> chaos soak (seeded fault injection, zero-divergence gate)"
     ./target/release/ccmx chaos --trials 4 --seed 7 --level aggressive --server
+
+    echo "==> cluster routing gate (2 shards + coordinator)"
+    CLUSTER_PIDS=()
+    cleanup_cluster() {
+        for pid in "${CLUSTER_PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    }
+    trap cleanup_cluster EXIT
+    SHARD_ADDRS=()
+    for name in verify-a verify-b; do
+        SLOG=$(mktemp)
+        ./target/release/ccmx shard 127.0.0.1:0 --name "$name" > "$SLOG" &
+        CLUSTER_PIDS+=($!)
+        SADDR=""
+        for _ in $(seq 1 50); do
+            SADDR=$(sed -n 's/^ccmx shard .* on \([0-9.:]*\) .*/\1/p' "$SLOG")
+            [[ -n "$SADDR" ]] && break
+            sleep 0.1
+        done
+        if [[ -z "$SADDR" ]]; then
+            echo "FAIL: ccmx shard $name did not come up" >&2
+            cat "$SLOG" >&2
+            exit 1
+        fi
+        SHARD_ADDRS+=("$name=$SADDR")
+    done
+    CLOG=$(mktemp)
+    ./target/release/ccmx coordinator 127.0.0.1:0 \
+        --shard "${SHARD_ADDRS[0]}" --shard "${SHARD_ADDRS[1]}" > "$CLOG" &
+    CLUSTER_PIDS+=($!)
+    CADDR=""
+    for _ in $(seq 1 50); do
+        CADDR=$(sed -n 's/^ccmx coordinator on \([0-9.:]*\).*/\1/p' "$CLOG")
+        [[ -n "$CADDR" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$CADDR" ]]; then
+        echo "FAIL: ccmx coordinator did not come up" >&2
+        cat "$CLOG" >&2
+        exit 1
+    fi
+    ./target/release/ccmx client "$CADDR" ping
+    # Keyed traffic: a batch group fans out across replicas, the bounds
+    # sweep walks distinct route keys so both shards take real load, and
+    # the singularity run exercises the metered protocol path end-to-end.
+    ./target/release/ccmx client "$CADDR" batch 4 2 8 > /dev/null
+    for n in $(seq 5 2 67); do
+        ./target/release/ccmx client "$CADDR" bounds "$n" 3 > /dev/null
+    done
+    ./target/release/ccmx client "$CADDR" singular "1,2;2,4" > /dev/null
+    CSTATS=$(./target/release/ccmx client "$CADDR" stats)
+    ROUTED=$(grep -E '^ccmx_cluster_routed_total\{shard="verify-[ab]"\} [0-9]+$' <<< "$CSTATS" || true)
+    if [[ $(wc -l <<< "$ROUTED") -ne 2 ]]; then
+        echo "FAIL: expected routed counters for both shards, got:" >&2
+        echo "$ROUTED" >&2
+        exit 1
+    fi
+    echo "$ROUTED"
+    MIN=$(awk '{print $2}' <<< "$ROUTED" | sort -n | head -1)
+    MAX=$(awk '{print $2}' <<< "$ROUTED" | sort -n | tail -1)
+    if [[ "$MIN" -eq 0 ]]; then
+        echo "FAIL: a shard received zero routed requests" >&2
+        exit 1
+    fi
+    if (( MAX > 2 * MIN )); then
+        echo "FAIL: shard imbalance ${MAX}/${MIN} exceeds the 2x gate" >&2
+        exit 1
+    fi
+    cleanup_cluster
+    trap - EXIT
 fi
 
 echo "==> verify: all gates passed"

@@ -7,6 +7,10 @@
 //! ccmx construct <n> <k> [--complete]  generate a restricted instance (Fig. 1/3)
 //! ccmx truth <2n> <k>             enumerate the π₀ truth matrix + certificates
 //! ccmx serve <addr> [workers]     run the protocol-lab server (e.g. 127.0.0.1:7878)
+//! ccmx shard <addr> [--name N] [--cache-cap C] [--workers W] [--idle-secs S]
+//!                                 run one cluster shard (a named lab server)
+//! ccmx coordinator <addr> --shard name=addr [--shard ...] [--replicas R] [--vnodes V]
+//!                         [--idle-secs S]   run the shard router fronting a fleet
 //! ccmx client <addr> <cmd> ...    talk to a server: ping | bounds <n> <k> | run <2n> <k> [--rand]
 //!                                 | singular <rows> | batch <2n> <k> <count> | stats
 //! ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]
@@ -32,7 +36,7 @@ fn net_fail(what: &str, err: ccmx::net::NetError) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats\n  ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]"
+        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx shard <addr> [--name N] [--cache-cap C] [--workers W]\n  ccmx coordinator <addr> --shard name=addr [--shard ...] [--replicas R] [--vnodes V]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats\n  ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]"
     );
     std::process::exit(2)
 }
@@ -207,6 +211,113 @@ fn main() {
                     s.connections_accepted,
                     s.interactive_runs,
                     s.connections_dropped
+                );
+            }
+        }
+        Some("shard") => {
+            let addr = args.get(1).unwrap_or_else(|| usage());
+            let mut config = ccmx::cluster::ShardConfig::named("shard-0");
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--name" => {
+                        i += 1;
+                        config.name = args.get(i).unwrap_or_else(|| usage()).clone();
+                    }
+                    "--cache-cap" => {
+                        i += 1;
+                        config.cache_capacity =
+                            args.get(i).unwrap_or_else(|| usage()).parse().expect("C");
+                    }
+                    "--workers" => {
+                        i += 1;
+                        config.workers = args.get(i).unwrap_or_else(|| usage()).parse().expect("W");
+                    }
+                    "--idle-secs" => {
+                        i += 1;
+                        let secs: u64 = args.get(i).unwrap_or_else(|| usage()).parse().expect("S");
+                        config.server.read_timeout = std::time::Duration::from_secs(secs.max(1));
+                    }
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            let name = config.name.clone();
+            let (cache, workers) = (config.cache_capacity, config.workers);
+            let handle = ccmx::cluster::serve_shard(addr, config)
+                .unwrap_or_else(|e| net_fail(&format!("cannot bind {addr}"), e.into()));
+            println!(
+                "ccmx shard {name} on {} (cache {cache}, {workers} workers)",
+                handle.addr()
+            );
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                let s = handle.stats();
+                println!(
+                    "shard {name}: served {} requests over {} connections ({} shed)",
+                    s.requests_served, s.connections_accepted, s.requests_shed
+                );
+            }
+        }
+        Some("coordinator") => {
+            let addr = args.get(1).unwrap_or_else(|| usage());
+            let mut cluster = ccmx::cluster::ClusterConfig::default();
+            let mut server = ServerConfig::default();
+            let mut shards = Vec::new();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--shard" => {
+                        i += 1;
+                        let spec = args.get(i).unwrap_or_else(|| usage());
+                        shards.push(ccmx::cluster::ShardSpec::parse(spec).unwrap_or_else(|| {
+                            eprintln!("ccmx: bad --shard {spec:?} (want name=addr)");
+                            std::process::exit(2)
+                        }));
+                    }
+                    "--replicas" => {
+                        i += 1;
+                        cluster.replicas =
+                            args.get(i).unwrap_or_else(|| usage()).parse().expect("R");
+                    }
+                    "--vnodes" => {
+                        i += 1;
+                        cluster.vnodes_per_shard =
+                            args.get(i).unwrap_or_else(|| usage()).parse().expect("V");
+                    }
+                    "--idle-secs" => {
+                        i += 1;
+                        let secs: u64 = args.get(i).unwrap_or_else(|| usage()).parse().expect("S");
+                        server.read_timeout = std::time::Duration::from_secs(secs.max(1));
+                    }
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            if shards.is_empty() {
+                eprintln!("ccmx: a coordinator needs at least one --shard name=addr");
+                std::process::exit(2)
+            }
+            let names: Vec<String> = shards.iter().map(|s| s.name.clone()).collect();
+            let coordinator =
+                std::sync::Arc::new(ccmx::cluster::Coordinator::over_tcp(cluster, shards));
+            let handle =
+                ccmx::cluster::serve_coordinator(addr, server, std::sync::Arc::clone(&coordinator))
+                    .unwrap_or_else(|e| net_fail(&format!("cannot bind {addr}"), e.into()));
+            println!(
+                "ccmx coordinator on {} fronting {} shard(s): {}",
+                handle.addr(),
+                names.len(),
+                names.join(", ")
+            );
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                let s = handle.stats();
+                println!(
+                    "coordinator: routed {} requests over {} connections ({} shed at ingress)",
+                    s.requests_served, s.connections_accepted, s.requests_shed
                 );
             }
         }

@@ -15,7 +15,11 @@
 //!   truth matrices, rectangle lower bounds,
 //! * [`core`] — the paper's construction, lemmas and reductions,
 //! * [`net`] — wire-level transports and the multi-client protocol-lab
-//!   server (`ccmx serve` / `ccmx client`),
+//!   server (`ccmx serve` / `ccmx client`), now on a readiness-based
+//!   evented engine,
+//! * [`cluster`] — the sharded lab: consistent-hash coordinator,
+//!   breaker-guarded shard links, cluster chaos soaks
+//!   (`ccmx shard` / `ccmx coordinator`),
 //! * [`obs`] — the shared observability registry: lock-free counters,
 //!   gauges and histograms, scoped span tracing, and Prometheus-style
 //!   exposition (`ccmx client <addr> stats`),
@@ -47,6 +51,7 @@
 //! ```
 
 pub use ccmx_bigint as bigint;
+pub use ccmx_cluster as cluster;
 pub use ccmx_comm as comm;
 pub use ccmx_core as core;
 pub use ccmx_linalg as linalg;

@@ -1,0 +1,174 @@
+//! Thin, dependency-free shim over `poll(2)` for readiness-based I/O.
+//!
+//! The build runs fully offline, so neither tokio/mio nor even the
+//! `libc` crate can be pulled in. On linux-gnu the standard library
+//! already links the platform C library, so declaring the one symbol we
+//! need (`poll`) ourselves is enough: this crate fixes the `pollfd` ABI
+//! layout, exposes the event flags, and wraps the raw call in a safe
+//! slice-based API that maps `EINTR` to a zero-event tick.
+//!
+//! The API is deliberately tiny — one struct, five flags, one function —
+//! because everything above it (nonblocking sockets, frame buffers,
+//! wakeup pipes) lives in the caller.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Data is readable (or a peer has connected/closed: readable-with-EOF).
+pub const POLLIN: i16 = 0x001;
+/// Writing now will not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition on the descriptor (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Descriptor is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` descriptor set. `#[repr(C)]` with the
+/// exact field order the kernel ABI expects: fd, requested events,
+/// returned events.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for the readiness bits in `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The watched descriptor.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Replace the requested-event mask.
+    pub fn set_events(&mut self, events: i16) {
+        self.events = events;
+    }
+
+    /// The readiness bits the last [`poll`] call reported.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Readable (or readable-with-EOF / error — callers must `read` to
+    /// find out, which is exactly what a readiness loop does anyway).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP) != 0
+    }
+
+    /// Writable without blocking.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+    }
+
+    /// The kernel flagged the descriptor as broken (error, hangup, or
+    /// not open).
+    pub fn broken(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+}
+
+// `std` already links the platform C library on unix targets; only the
+// declaration is needed. nfds_t is unsigned long on linux.
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Wait until at least one descriptor in `fds` is ready or `timeout_ms`
+/// elapses (`-1` waits forever, `0` polls). Returns the number of
+/// entries with nonzero `revents`; `EINTR` is reported as `Ok(0)` so a
+/// signal behaves like a timeout tick.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of
+    // `#[repr(C)]` pollfd-layout structs, and nfds is its exact length.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_elapses_with_no_ready_fds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let start = Instant::now();
+        let n = poll_fds(&mut fds, 30).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed().as_millis() >= 25, "poll returned too early");
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn stream_readability_tracks_arriving_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN | POLLOUT)];
+        poll_fds(&mut fds, 1000).unwrap();
+        assert!(fds[0].writable(), "fresh socket should be writable");
+        assert!(
+            fds[0].revents() & POLLIN == 0,
+            "nothing sent yet, POLLIN must be clear"
+        );
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn hangup_is_reported_as_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        drop(client);
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "EOF must wake the reader");
+    }
+}
