@@ -1,0 +1,71 @@
+//! E19: communication-avoiding elimination vs the scalar sweeps.
+//!
+//! The blocked Montgomery kernels (panel factorization with one batched
+//! inversion per panel + grouped-REDC trailing update, tile width from
+//! the Hong–Kung fast-memory knob `CCMX_FAST_MEM_WORDS`) against the
+//! scalar delayed-reduction oracles, over the full CRT prime plan of a
+//! random `n × n` matrix of 32-bit entries. `scripts/bench_snapshot.sh`
+//! runs the same workloads with wall-clock timing plus the I/O-meter
+//! read-back and commits `BENCH_e19.json`.
+
+use ccmx_bench::{random_matrix, rng_for};
+use ccmx_bigint::Natural;
+use ccmx_linalg::engine::ResiduePlan;
+use ccmx_linalg::modular;
+use ccmx_linalg::montgomery::{
+    det_from_residues, det_from_residues_scalar, echelon_from_residues,
+    echelon_from_residues_scalar,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const ENTRY_BITS: u32 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_comm_avoiding");
+    group.sample_size(10);
+    let mut rng = rng_for("e19");
+    for n in [16usize, 32, 64] {
+        let m = random_matrix(n, ENTRY_BITS, &mut rng);
+        let primes = modular::crt_prime_plan(n, &Natural::from(1u64 << ENTRY_BITS));
+        let mut plan = ResiduePlan::new(&primes);
+        let residues = plan.reduce_matrix(&m);
+        let fields = plan.fields();
+
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("det_scalar_crt_n{n}")),
+            |b| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for (k, f) in fields.iter().enumerate() {
+                        acc ^= det_from_residues_scalar(f, n, &residues[k]);
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("det_blocked_crt_n{n}")),
+            |b| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for (k, f) in fields.iter().enumerate() {
+                        acc ^= det_from_residues(f, n, &residues[k]);
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("rref_scalar_n{n}")),
+            |b| b.iter(|| echelon_from_residues_scalar(&fields[0], n, n, &residues[0]).rank()),
+        );
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("rref_blocked_n{n}")),
+            |b| b.iter(|| echelon_from_residues(&fields[0], n, n, &residues[0]).rank()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

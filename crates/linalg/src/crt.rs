@@ -94,12 +94,14 @@ pub fn fast_path_stats() -> (u64, u64) {
 // Prime pool
 // ----------------------------------------------------------------------
 
-/// All CRT primes are drawn from `[2^61, 2^62)`: odd, Montgomery-lazy
-/// compatible, and big enough that a handful covers any minor bound the
-/// verifiers produce. The pool is grown lazily and shared process-wide.
+/// All CRT primes are drawn from `[2^59, 2^60)`: odd, Montgomery-lazy
+/// compatible, below the grouped-REDC ceiling (so every per-prime
+/// elimination takes the blocked communication-avoiding kernel), and big
+/// enough that a handful covers any minor bound the verifiers produce.
+/// The pool is grown lazily and shared process-wide.
 fn with_primes<T>(f: impl FnOnce(&mut Vec<u64>) -> T) -> T {
     static POOL: OnceLock<parking_lot::Mutex<Vec<u64>>> = OnceLock::new();
-    let pool = POOL.get_or_init(|| parking_lot::Mutex::new(vec![next_prime(1 << 61)]));
+    let pool = POOL.get_or_init(|| parking_lot::Mutex::new(vec![next_prime(1 << 59)]));
     f(&mut pool.lock())
 }
 
@@ -168,12 +170,14 @@ struct QRref {
 }
 
 /// Residue RREFs mod each prime: one batched reduction pass over the
-/// bigint matrix ([`crate::engine::ResiduePlan`]), then the per-prime
+/// bigint matrix ([`crate::engine::ResiduePlan`]), itself fanned out in
+/// the 2D prime × entry-chunk decomposition, then the per-prime
 /// eliminations fan out over the pre-reduced residue matrices on the
-/// worker pool.
+/// worker pool (elimination is sequential per prime, so the prime axis
+/// is its natural split).
 fn rref_residues(m: &Matrix<Integer>, primes: &[u64], threads: usize) -> Vec<ModEchelon> {
     let mut plan = crate::engine::ResiduePlan::new(primes);
-    let residues = plan.reduce_matrix(m);
+    let residues = plan.reduce_matrix_par(m, threads);
     let fields = plan.fields();
     let (rows, cols) = (m.rows(), m.cols());
     par_map(primes.len(), threads, |i| {

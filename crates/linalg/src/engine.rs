@@ -28,6 +28,8 @@ use ccmx_bigint::{Integer, Natural};
 use crate::matrix::Matrix;
 use crate::modular::crt_prime_plan;
 use crate::montgomery::MontgomeryField;
+use crate::parallel;
+use crate::pool;
 
 // ----------------------------------------------------------------------
 // One-pass multi-prime residue reduction
@@ -41,6 +43,11 @@ const TREE_MIN_PRIMES: usize = 8;
 /// constant-factor trade, not an asymptotic one; the gate keeps it on
 /// the shapes where the single root division dominates both paths.)
 const TREE_MIN_WIDTH_RATIO: usize = 2;
+
+/// Entries per parallel-reduction task: small enough that prime × chunk
+/// cells outnumber the workers (the cursor balances uneven bigint entry
+/// widths), large enough that one cell amortizes its output allocation.
+const PAR_ENTRY_CHUNK: usize = 256;
 
 /// A reusable multi-prime reduction plan: the Montgomery fields of a
 /// CRT prime set plus the precomputed per-prime radix powers (and, for
@@ -152,6 +159,96 @@ impl ResiduePlan {
             }
         }
         out
+    }
+
+    /// [`Self::reduce_matrix`] fanned out over the worker pool with the
+    /// 2D prime × entry-chunk decomposition of
+    /// [`Self::reduce_entries_par`].
+    pub fn reduce_matrix_par(&mut self, m: &Matrix<Integer>, threads: usize) -> Vec<Vec<u64>> {
+        self.reduce_entries_par(m.data(), threads)
+    }
+
+    /// [`Self::reduce_entries`] on the worker pool: the work grid is
+    /// split two-dimensionally into prime × entry-chunk cells sharing
+    /// one work-stealing cursor, replacing the per-prime-only split (a
+    /// single prime's column of work can occupy every worker). The tree
+    /// path fans out per entry chunk only — each remainder-tree descent
+    /// spans all primes at once, so the prime dimension lives inside the
+    /// task there. Bitwise-identical output to the serial pass.
+    pub fn reduce_entries_par(&mut self, entries: &[Integer], threads: usize) -> Vec<Vec<u64>> {
+        let nprimes = self.fields.len();
+        let chunks = entries.len().div_ceil(PAR_ENTRY_CHUNK);
+        if threads <= 1 || nprimes == 0 || nprimes * chunks < 2 || pool::in_worker() {
+            return self.reduce_entries(entries);
+        }
+        let max_limbs = entries
+            .iter()
+            .map(|e| e.magnitude().limbs().len())
+            .max()
+            .unwrap_or(0);
+        self.ensure_powers(max_limbs.max(1));
+        let use_tree = nprimes >= TREE_MIN_PRIMES && max_limbs >= TREE_MIN_WIDTH_RATIO * nprimes;
+        if use_tree {
+            self.ensure_tree();
+        }
+        let bounds = |c: usize| (c * entries.len() / chunks, (c + 1) * entries.len() / chunks);
+        let this: &Self = self;
+        if use_tree {
+            let chunk_outs: Vec<Vec<Vec<u64>>> = parallel::par_map(chunks, threads, |c| {
+                let (lo, hi) = bounds(c);
+                let mut local: Vec<Vec<u64>> = (0..nprimes).map(|_| vec![0u64; hi - lo]).collect();
+                for (li, e) in entries[lo..hi].iter().enumerate() {
+                    if e.is_zero() {
+                        continue;
+                    }
+                    if e.magnitude().limbs().len() >= TREE_MIN_WIDTH_RATIO * nprimes {
+                        this.reduce_entry_tree(e, li, &mut local);
+                    } else {
+                        let limbs = e.magnitude().limbs();
+                        let negative = e.is_negative();
+                        for (k, field) in this.fields.iter().enumerate() {
+                            local[k][li] = field.mont_from_limbs(limbs, negative, &this.powers[k]);
+                        }
+                    }
+                }
+                local
+            });
+            let mut out: Vec<Vec<u64>> = (0..nprimes)
+                .map(|_| Vec::with_capacity(entries.len()))
+                .collect();
+            for chunk in chunk_outs {
+                for (k, part) in chunk.into_iter().enumerate() {
+                    out[k].extend_from_slice(&part);
+                }
+            }
+            out
+        } else {
+            let parts: Vec<Vec<u64>> = parallel::par_map2(nprimes, chunks, threads, |k, c| {
+                let (lo, hi) = bounds(c);
+                let field = &this.fields[k];
+                let pw = &this.powers[k];
+                entries[lo..hi]
+                    .iter()
+                    .map(|e| {
+                        if e.is_zero() {
+                            0
+                        } else {
+                            field.mont_from_limbs(e.magnitude().limbs(), e.is_negative(), pw)
+                        }
+                    })
+                    .collect()
+            });
+            let mut parts = parts.into_iter();
+            (0..nprimes)
+                .map(|_| {
+                    let mut row = Vec::with_capacity(entries.len());
+                    for _ in 0..chunks {
+                        row.extend_from_slice(&parts.next().expect("prime × chunk parts"));
+                    }
+                    row
+                })
+                .collect()
+        }
     }
 
     /// Remainder-tree descent for one wide entry: reduce the magnitude
@@ -622,6 +719,76 @@ mod tests {
                 assert_eq!(via_plan.det, fresh.det);
             }
         }
+    }
+
+    #[test]
+    fn parallel_reduction_matches_serial_direct_path() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let primes: Vec<u64> = {
+            let mut v = Vec::new();
+            let mut p = ccmx_bigint::prime::next_prime(1 << 59);
+            for _ in 0..5 {
+                v.push(p);
+                p = ccmx_bigint::prime::next_prime(p + 1);
+            }
+            v
+        };
+        // Enough entries to split into several chunks.
+        let entries: Vec<Integer> = (0..700)
+            .map(|_| {
+                let mag = rng.gen_range(0..i64::MAX);
+                let sign = if rng.gen_bool(0.5) { -1 } else { 1 };
+                Integer::from(sign * mag)
+            })
+            .collect();
+        let serial = ResiduePlan::new(&primes).reduce_entries(&entries);
+        for threads in [2usize, 4] {
+            let par = ResiduePlan::new(&primes).reduce_entries_par(&entries, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        // Serial-threads path is the identical code path.
+        assert_eq!(
+            ResiduePlan::new(&primes).reduce_entries_par(&entries, 1),
+            serial
+        );
+    }
+
+    #[test]
+    fn parallel_reduction_matches_serial_tree_path() {
+        let mut rng = StdRng::seed_from_u64(96);
+        let primes: Vec<u64> = {
+            let mut v = Vec::new();
+            let mut p = ccmx_bigint::prime::next_prime(1 << 59);
+            for _ in 0..TREE_MIN_PRIMES {
+                v.push(p);
+                p = ccmx_bigint::prime::next_prime(p + 1);
+            }
+            v
+        };
+        // Wide entries (cross the tree gate) mixed with narrow and zero.
+        let entries: Vec<Integer> = (0..300)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Integer::zero()
+                } else if i % 3 == 0 {
+                    Integer::from(rng.gen_range(-1000i64..=1000))
+                } else {
+                    let mut n = Natural::one();
+                    for _ in 0..2 * TREE_MIN_PRIMES {
+                        n = n * Natural::from(rng.gen_range(1u64 << 62..u64::MAX));
+                    }
+                    let i = Integer::from(n);
+                    if rng.gen_bool(0.5) {
+                        -&i
+                    } else {
+                        i
+                    }
+                }
+            })
+            .collect();
+        let serial = ResiduePlan::new(&primes).reduce_entries(&entries);
+        let par = ResiduePlan::new(&primes).reduce_entries_par(&entries, 4);
+        assert_eq!(par, serial);
     }
 
     #[test]

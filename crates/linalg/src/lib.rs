@@ -19,7 +19,11 @@
 //!   and rank without rational blow-up,
 //! * [`montgomery`] — Montgomery-form GF(p) arithmetic with delayed
 //!   reduction, and elimination kernels (`echelon_mod`/`det_mod`/`rank_mod`)
-//!   built on it,
+//!   built on it — cache-blocked (communication-avoiding) for small
+//!   moduli, scalar otherwise,
+//! * [`iomodel`] — the Hong–Kung I/O model: the fast-memory knob, the
+//!   panel-width derivation and the `ccmx_iomodel_*` word meter the
+//!   elimination kernels report into,
 //! * [`modular`] — rank/det over GF(p) with `u64` kernels, random-prime rank,
 //!   and CRT determinant reconstruction (optionally multi-threaded),
 //! * [`crt`] — multi-prime CRT rank/nullspace/solve/span over ℤ with
@@ -47,6 +51,7 @@ pub mod engine;
 pub mod freivalds;
 pub mod gauss;
 pub mod inverse;
+pub mod iomodel;
 pub mod lup;
 pub mod matrix;
 pub mod modular;

@@ -57,14 +57,16 @@ pub fn rank_mod(m: &Matrix<Integer>, p: u64) -> usize {
 }
 
 /// The list of primes used for a CRT determinant of `m`: successive primes
-/// starting just above 2^61 whose product exceeds `2 * hadamard + 1`.
-/// Everything in `[2^61, 2^62)` is Montgomery-kernel compatible, so the
-/// whole plan runs on the fast path.
+/// starting just above 2^59 whose product exceeds `2 * hadamard + 1`.
+/// Everything in `[2^59, 2^60)` is both Montgomery-lazy compatible and
+/// below [`crate::montgomery::GROUPED_REDC_MAX_MODULUS`], so the whole
+/// plan runs on the blocked grouped-REDC fast path (at CRT matrix sizes
+/// the 59- vs 61-bit prime width costs no extra primes).
 pub fn crt_prime_plan(n: usize, entry_bound: &Natural) -> Vec<u64> {
     let target = (hadamard_bound(n, entry_bound) << 1u64) + Natural::one();
     let mut primes = Vec::new();
     let mut product = Natural::one();
-    let mut p = next_prime(1 << 61);
+    let mut p = next_prime(1 << 59);
     while product <= target {
         primes.push(p);
         product = product * Natural::from(p);
@@ -84,11 +86,12 @@ pub fn det_via_crt(m: &Matrix<Integer>, entry_bound: &Natural, threads: usize) -
         return Integer::one();
     }
     let primes = crt_prime_plan(m.rows(), entry_bound);
-    // One batched reduction pass over the bigint entries, then the
-    // per-prime eliminations fan out (on the shared pool when
-    // `threads > 1`) over the pre-reduced residue matrices.
+    // One batched reduction pass over the bigint entries — fanned out in
+    // the 2D prime × entry-chunk decomposition when `threads > 1` — then
+    // the per-prime eliminations fan out over the pre-reduced residue
+    // matrices (elimination is sequential per prime).
     let mut plan = crate::engine::ResiduePlan::new(&primes);
-    let reduced = plan.reduce_matrix(m);
+    let reduced = plan.reduce_matrix_par(m, threads);
     let fields = plan.fields();
     let n = m.rows();
     let residues: Vec<(Natural, Natural)> = crate::parallel::par_map(primes.len(), threads, |i| {

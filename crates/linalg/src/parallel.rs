@@ -83,6 +83,23 @@ where
         .collect()
 }
 
+/// Two-dimensional parallel map over the grid `0..n0 × 0..n1`, results
+/// flattened row-major (`i0 * n1 + i1`). The whole grid shares one
+/// atomic cursor, so *both* dimensions balance together: a worker
+/// finishing its share of one `i0` immediately steals cells of another,
+/// which is what lets the CRT reduction split work by prime × entry
+/// chunk instead of per prime only.
+pub fn par_map2<T, F>(n0: usize, n1: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    if n1 == 0 {
+        return Vec::new();
+    }
+    par_map(n0 * n1, threads, |i| f(i / n1, i % n1))
+}
+
 /// Parallel fold: maps `f` over `0..n` and combines results with `merge`
 /// starting from `init` (combination order is unspecified; `merge` must be
 /// associative and commutative).
@@ -210,6 +227,18 @@ mod tests {
         for (i, inner) in nested.iter().enumerate() {
             assert_eq!(*inner, vec![i * 10, i * 10 + 1, i * 10 + 2]);
         }
+    }
+
+    #[test]
+    fn par_map2_flattens_row_major() {
+        let out = par_map2(5, 7, 4, |i, j| (i, j));
+        assert_eq!(out.len(), 35);
+        for (idx, &(i, j)) in out.iter().enumerate() {
+            assert_eq!((i, j), (idx / 7, idx % 7));
+        }
+        assert!(par_map2(0, 7, 4, |i, j| i + j).is_empty());
+        assert!(par_map2(7, 0, 4, |i, j| i + j).is_empty());
+        assert_eq!(par_map2(1, 1, 1, |i, j| i + j), vec![0]);
     }
 
     #[test]

@@ -299,3 +299,102 @@ proptest! {
         }
     }
 }
+
+// The blocked communication-avoiding Montgomery kernels against the
+// scalar delayed-reduction oracles, across tile widths (including widths
+// that do not divide the dimension) and rank-deficient inputs. The
+// blocked pass either certifies full rank or bails to scalar, so both
+// arms of the contract are asserted.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_montgomery_kernels_match_scalar_oracles(
+        rows in 16usize..=33,
+        cols in 16usize..=33,
+        panel in 1usize..=16,
+        deficient in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use ccmx_bigint::prime::next_prime;
+        use ccmx_linalg::montgomery::{
+            det_from_residues_blocked, det_from_residues_scalar,
+            echelon_from_residues_blocked, echelon_from_residues_scalar,
+            rank_from_residues_blocked, rank_from_residues_scalar, MontgomeryField,
+        };
+        use rand::{Rng, SeedableRng};
+        let field = MontgomeryField::new(next_prime(1 << 59));
+        let p = field.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut residues: Vec<u64> = (0..rows * cols)
+            .map(|_| field.to_mont(rng.gen_range(0..p)))
+            .collect();
+        if deficient {
+            // Last row = first + second (mod p): rank drops below full.
+            for j in 0..cols {
+                residues[(rows - 1) * cols + j] = field.add(residues[j], residues[cols + j]);
+            }
+        }
+        let d = rows.min(cols);
+        let scalar_rank = rank_from_residues_scalar(&field, rows, cols, &residues);
+        match rank_from_residues_blocked(&field, rows, cols, &residues, panel) {
+            Some(r) => {
+                prop_assert_eq!(r, d);
+                prop_assert_eq!(scalar_rank, d);
+            }
+            None => prop_assert!(scalar_rank < d, "blocked bailed on a full-rank input"),
+        }
+        if let Some(blocked) = echelon_from_residues_blocked(&field, rows, cols, &residues, panel) {
+            let scalar = echelon_from_residues_scalar(&field, rows, cols, &residues);
+            prop_assert_eq!(&blocked.pivot_cols, &scalar.pivot_cols);
+            prop_assert_eq!(blocked.det, scalar.det);
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(
+                        field.from_mont(blocked.rref[(r, c)]),
+                        field.from_mont(scalar.rref[(r, c)]),
+                        "rref mismatch at ({}, {}) panel {}", r, c, panel
+                    );
+                }
+            }
+        }
+        if rows == cols {
+            prop_assert_eq!(
+                det_from_residues_blocked(&field, rows, &residues, panel),
+                det_from_residues_scalar(&field, rows, &residues)
+            );
+        }
+    }
+}
+
+// The single-prime full-rank shortcut (`crt::try_rank` certifies rank
+// via one Montgomery elimination when the candidate minor is full-rank)
+// now routes through the blocked kernel at kernel scale; it must keep
+// matching the exact Bareiss oracle on both full- and deficient-rank
+// integer matrices.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn try_rank_shortcut_matches_bareiss_at_kernel_scale(
+        n in 16usize..=18,
+        deficient in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut grid = vec![0i64; n * n];
+        for e in grid.iter_mut() {
+            *e = rng.gen_range(-1000i64..=1000);
+        }
+        if deficient {
+            // Last row = first − second over ℤ: rank < n over ℚ.
+            for j in 0..n {
+                grid[(n - 1) * n + j] = grid[j] - grid[n + j];
+            }
+        }
+        let m = Matrix::from_fn(n, n, |r, c| Integer::from(grid[r * n + c]));
+        let oracle = bareiss::rank(&m);
+        prop_assert_eq!(ccmx_linalg::crt::try_rank(&m, 1), Some(oracle));
+    }
+}

@@ -10,8 +10,12 @@
 # throughput, breaker-open degradation latency, chaos-soak divergence)
 # and the E18 cluster rows (10k-connection concurrency wave, the
 # cache-partition scaling sweep over 2/4/8 shard processes, and the
-# chaos-soaked resharding run), writing BENCH_e14.json ... BENCH_e18.json
-# at the repo root. Commit all five so the perf trajectory is tracked
+# chaos-soaked resharding run) and the E19 communication-avoiding rows
+# (blocked vs scalar Montgomery elimination over full CRT prime plans,
+# with the Hong–Kung words-moved meter read back and gated: the blocked
+# path must be taken, and the blocked CRT det at n=32 must beat the
+# scalar path by >= 1.3x), writing BENCH_e14.json ... BENCH_e19.json
+# at the repo root. Commit all six so the perf trajectory is tracked
 # in-tree.
 #
 # Usage: scripts/bench_snapshot.sh [--quick]
@@ -70,5 +74,21 @@ fi
 SCALING=$(grep -o '"scaling_2_to_4": [0-9.]*' "$OUT18" | awk '{print $2}')
 if ! awk -v s="$SCALING" 'BEGIN { exit !(s >= 1.6) }'; then
     echo "FAIL: 2->4 shard scaling $SCALING below the 1.6x gate" >&2
+    exit 1
+fi
+
+OUT19=BENCH_e19.json
+echo "==> cargo run --release --bin bench_snapshot -- --e19 ${ARGS[*]:-}"
+cargo run --release -p ccmx-bench --bin bench_snapshot -- --e19 ${ARGS[@]+"${ARGS[@]}"} > "$OUT19.tmp"
+mv "$OUT19.tmp" "$OUT19"
+echo "==> wrote $OUT19"
+grep -E "speedup|blocked_ok" "$OUT19"
+if ! grep -q '"blocked_ok": true' "$OUT19"; then
+    echo "FAIL: blocked kernel dispatch fell back to scalar or the I/O meter stayed silent" >&2
+    exit 1
+fi
+SPEEDUP19=$(grep -o '"det_crt_blocked_speedup_n32": [0-9.]*' "$OUT19" | awk '{print $2}')
+if ! awk -v s="$SPEEDUP19" 'BEGIN { exit !(s >= 1.3) }'; then
+    echo "FAIL: blocked CRT det speedup $SPEEDUP19 at n=32 below the 1.3x gate" >&2
     exit 1
 fi

@@ -6,7 +6,10 @@
 #   --quick        skip the release build (debug tests + lints only)
 #   --bench-smoke  additionally run every criterion bench for exactly one
 #                  iteration (CCMX_BENCH_SMOKE=1): compile + run sanity
-#                  with no timing, so benches can't silently rot; then
+#                  with no timing, so benches can't silently rot; check
+#                  the E19 blocked-kernel verdict (the communication-
+#                  avoiding dispatch must actually take the blocked path
+#                  and its Hong-Kung I/O meter must report words); then
 #                  boot a real `ccmx serve`, warm it up over the wire,
 #                  and fail unless its metrics scrape shows live request,
 #                  pool and CRT counters; then run a seeded chaos soak
@@ -61,6 +64,16 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
         exit 1
     fi
     grep '"incremental_ok"' <<< "$E15_OUT"
+
+    echo "==> bench_snapshot --e19 --quick (blocked-kernel dispatch gate)"
+    E19_OUT=$(cargo run --release -p ccmx-bench --bin bench_snapshot -- --e19 --quick)
+    if ! grep -q '"blocked_ok": true' <<< "$E19_OUT"; then
+        echo "FAIL: blocked kernel dispatch silently fell back to scalar," >&2
+        echo "      or the Hong-Kung I/O meter reported zero words under the E19 workload" >&2
+        grep -E "blocked_ok|words_per_call|iomodel" <<< "$E19_OUT" >&2
+        exit 1
+    fi
+    grep '"blocked_ok"' <<< "$E19_OUT"
 
     echo "==> live server metrics gate"
     cargo build --release --bin ccmx

@@ -145,3 +145,74 @@ fn all_stat_islands_share_one_registry() {
     }
     server.shutdown();
 }
+
+/// The Hong–Kung I/O-model families (`ccmx_iomodel_*`) behave like the
+/// bounds-cache counters: they show up in a live wire scrape, and the
+/// totals live in the process-wide registry, so dropping the server
+/// that produced them loses nothing — a successor server scrapes the
+/// accumulated values and keeps adding to them.
+#[test]
+fn iomodel_series_survive_a_server_drop() {
+    use ccmx::linalg::iomodel::{self, Kernel};
+
+    // Total (words, calls) for a kernel across both dispatch paths:
+    // which path a given shape takes is a tuning decision, the meter
+    // contract is only that *some* path counts it.
+    let rank_totals = || {
+        let (wb, cb) = iomodel::kernel_stats(Kernel::Rank, true);
+        let (ws, cs) = iomodel::kernel_stats(Kernel::Rank, false);
+        (wb + ws, cb + cs)
+    };
+
+    // A singularity query at the meter threshold (16 x 16) drives the
+    // certified CRT rank path through a metered Montgomery kernel.
+    let dim = 16usize;
+    let enc = MatrixEncoding::new(dim, 1);
+    let identity = Matrix::from_fn(dim, dim, |i, j| Integer::from(u64::from(i == j)));
+    let input = enc.encode(&identity);
+
+    let (w0, c0) = rank_totals();
+    let server = ccmx::net::serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr(), TransportConfig::default()).expect("connect");
+    assert!(!client
+        .singularity(dim, 1, &input)
+        .expect("singularity query"));
+    let (w1, c1) = rank_totals();
+    assert!(c1 > c0, "wire singularity query hit no metered kernel");
+    assert!(w1 > w0, "metered kernel reported zero words moved");
+
+    // The live scrape exposes the whole family: the fast-memory gauge
+    // and the per-kernel/per-path word and call counters.
+    let text = client.metrics().expect("metrics scrape");
+    for series in [
+        "ccmx_iomodel_fast_mem_words",
+        "ccmx_iomodel_words_moved_total{kernel=\"rank\"",
+        "ccmx_iomodel_kernel_calls_total{kernel=\"rank\"",
+    ] {
+        assert!(text.contains(series), "scrape lacks {series}:\n{text}");
+    }
+    server.shutdown();
+    drop(client);
+
+    // Server gone; the registry totals are untouched.
+    assert_eq!(rank_totals(), (w1, c1), "server drop disturbed the meter");
+
+    // A successor server sees the accumulated series and adds to them.
+    let server2 = ccmx::net::serve("127.0.0.1:0", ServerConfig::default()).expect("rebind");
+    let mut client2 =
+        Client::connect(server2.addr(), TransportConfig::default()).expect("reconnect");
+    assert!(!client2
+        .singularity(dim, 1, &input)
+        .expect("singularity query after restart"));
+    let (w2, c2) = rank_totals();
+    assert!(
+        w2 > w1 && c2 > c1,
+        "successor server did not aggregate onto the surviving series"
+    );
+    let text2 = client2.metrics().expect("second scrape");
+    assert!(
+        text2.contains("ccmx_iomodel_words_moved_total{kernel=\"rank\""),
+        "series vanished across the server drop:\n{text2}"
+    );
+    server2.shutdown();
+}
