@@ -1,0 +1,55 @@
+//! E20: branch-and-bound CC(f) search — memo on vs off, serial vs
+//! the root-frontier worker pool.
+//!
+//! The intersection-threshold family `f(x,y) = popcount(x & y) >= 2`
+//! is the honest hard case here: the two-sided chi bound leaves a
+//! real gap at the root, so the solver actually branches and the
+//! canonical-rectangle memo pays. Equality is the paper's classic
+//! instance and closes almost immediately — it is included as the
+//! "bounds do the work" contrast. `scripts/bench_snapshot.sh --e20`
+//! runs the larger gated instances with wall-clock timing and commits
+//! `BENCH_e20.json`.
+
+use ccmx_comm::truth::TruthMatrix;
+use ccmx_search::{solve, SearchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn cfg(threads: usize, use_memo: bool) -> SearchConfig {
+    SearchConfig {
+        threads,
+        use_memo,
+        ..SearchConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e20_search");
+    group.sample_size(10);
+
+    let equality_8 = TruthMatrix::from_fn(8, 8, |x, y| x == y);
+    let intersect_16 = TruthMatrix::from_fn(16, 16, |x, y| (x & y).count_ones() >= 2);
+    let intersect_18 = TruthMatrix::from_fn(18, 18, |x, y| (x & y).count_ones() >= 2);
+
+    for (label, t) in [
+        ("equality_8", &equality_8),
+        ("intersect_ge2_16", &intersect_16),
+        ("intersect_ge2_18", &intersect_18),
+    ] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{label}_serial_nomemo")),
+            |b| b.iter(|| solve(t, &cfg(1, false)).expect("solve").cc),
+        );
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{label}_serial_memo")),
+            |b| b.iter(|| solve(t, &cfg(1, true)).expect("solve").cc),
+        );
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{label}_parallel_memo")),
+            |b| b.iter(|| solve(t, &cfg(4, true)).expect("solve").cc),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -50,9 +50,17 @@
 //! checked by `scripts/verify.sh --bench-smoke`, and
 //! `scripts/bench_snapshot.sh` gates `det_crt_blocked_speedup_n32 ≥ 1.3`.
 //!
+//! `--e20` runs the exact-CC branch-and-bound workloads: each instance
+//! is solved serial-without-memo (the oracle baseline), serial-with-memo
+//! and parallel-with-memo, and the speedups at the largest benched dim
+//! are the committed acceptance gate in `BENCH_e20.json` (`verify.sh
+//! --bench-smoke` replays the quick variant). `search_ok` asserts the
+//! three configurations agreed on every CC value and that the memo
+//! actually hit.
+//!
 //! Usage: `bench_snapshot [--quick] [--e15 | --e16 | --e17 | --e18 |
-//! --e19]` — `--quick` lowers the repeat count (CI smoke); the committed
-//! snapshots use the default.
+//! --e19 | --e20]` — `--quick` lowers the repeat count (CI smoke); the
+//! committed snapshots use the default.
 
 use std::time::Instant;
 
@@ -115,6 +123,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--e19") {
         e19_snapshot(quick);
+        return;
+    }
+    if std::env::args().any(|a| a == "--e20") {
+        e20_snapshot(quick);
         return;
     }
     let threads = default_threads();
@@ -457,6 +469,128 @@ fn e19_snapshot(quick: bool) {
     println!("  \"quick\": {quick},");
     println!("  \"det_crt_blocked_speedup_n32\": {speedup_32:.2},");
     println!("  \"blocked_ok\": {blocked_ok},");
+    println!("  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!("    {r}{comma}");
+    }
+    println!("  ],");
+    println!("  \"metrics\": [");
+    println!("{}", metrics_json_lines("    "));
+    println!("  ]");
+    println!("}}");
+}
+
+/// The `--e20` snapshot: the exact-CC branch-and-bound engine measured
+/// as a perf artifact.
+///
+/// Instance choice matters: a *random* truth matrix is a bad benchmark,
+/// because the two-sided χ bound (`rank(M) + rank(M̄)`) meets the
+/// row-announce upper bound almost surely and the solver exits without
+/// branching. The instances here are the ones where the bracket stays
+/// open — intersection-threshold ("majority") matrices whose sub-
+/// rectangles repeat heavily (the memo's best case), cyclic-shift
+/// threshold matrices (wide move fans, memo-poor — an honest hard
+/// case), the equality identity, and the paper's smallest singularity
+/// truth matrix under π₀. Every instance is solved three ways:
+///
+/// * `serial_nomemo` — the pruned Bellman recursion alone,
+/// * `serial_memo`   — plus the canonicalized sub-rectangle memo,
+/// * `parallel_memo` — plus the root frontier fanned over the pool
+///   with the shared atomic incumbent.
+///
+/// The acceptance gate is `parallel_memo` vs `serial_nomemo` at the
+/// largest benched dim; `search_ok` additionally asserts all three
+/// configurations returned identical CC values (a disagreement is a
+/// solver bug, not a slow run) and that the memo recorded hits.
+fn e20_snapshot(quick: bool) {
+    use ccmx_comm::truth::TruthMatrix;
+    use ccmx_search::{solve, SearchConfig};
+
+    let mk = |n: usize, f: &dyn Fn(usize, usize) -> bool| TruthMatrix::from_fn(n, n, f);
+    let paper = {
+        let f = Singularity::new(2, 1);
+        let pi0 = Partition::pi_zero(&f.enc);
+        TruthMatrix::enumerate(&f, &pi0, 1)
+    };
+    let instances: Vec<(&'static str, TruthMatrix)> = vec![
+        ("singularity_2x2_k1_pi0", paper),
+        ("equality_8", mk(8, &|x, y| x == y)),
+        ("shift_threshold_16", mk(16, &|x, y| (x + y) % 16 < 8)),
+        (
+            "intersect_ge2_18",
+            mk(18, &|x, y| (x & y).count_ones() >= 2),
+        ),
+        (
+            "intersect_ge2_20",
+            mk(20, &|x, y| (x & y).count_ones() >= 2),
+        ),
+    ];
+    // The big no-memo baselines run hundreds of milliseconds; a handful
+    // of reps pins the best-of minimum without minutes of wall clock.
+    let reps = if quick { 1 } else { 5 };
+    let configs: [(&'static str, SearchConfig); 3] = [
+        (
+            "serial_nomemo",
+            SearchConfig {
+                threads: 1,
+                use_memo: false,
+                ..SearchConfig::default()
+            },
+        ),
+        (
+            "serial_memo",
+            SearchConfig {
+                threads: 1,
+                ..SearchConfig::default()
+            },
+        ),
+        (
+            "parallel_memo",
+            SearchConfig {
+                threads: 4,
+                ..SearchConfig::default()
+            },
+        ),
+    ];
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut search_ok = true;
+    let mut memo_hits_total = 0u64;
+    let mut largest = (0usize, 0.0f64, 0.0f64); // (dim, memo speedup, parallel speedup)
+    for (name, t) in &instances {
+        let dim = t.rows();
+        let mut per_config: Vec<(f64, u32)> = Vec::new();
+        for (label, cfg) in &configs {
+            let (ms, r) = time_best(reps, || solve(t, cfg).expect("bench instance must solve"));
+            search_ok &= r.exact;
+            if *label != "serial_nomemo" {
+                memo_hits_total += r.stats.memo_hits;
+            }
+            rows.push(format!(
+                "{{\"workload\": \"cc_{label}\", \"instance\": \"{name}\", \"dim\": {dim}, \
+                 \"cc\": {}, \"nodes\": {}, \"memo_hits\": {}, \"ms\": {ms:.4}}}",
+                r.cc, r.stats.nodes, r.stats.memo_hits
+            ));
+            per_config.push((ms, r.cc));
+        }
+        // All three configurations must agree exactly — the parallel
+        // incumbent and the memo may change work, never the answer.
+        search_ok &= per_config.iter().all(|&(_, cc)| cc == per_config[0].1);
+        let (base, memo, par) = (per_config[0].0, per_config[1].0, per_config[2].0);
+        if dim >= largest.0 && base > 0.0 {
+            largest = (dim, base / memo.max(1e-9), base / par.max(1e-9));
+        }
+    }
+    search_ok &= memo_hits_total > 0;
+
+    println!("{{");
+    println!("  \"experiment\": \"e20_search\",");
+    println!("  \"quick\": {quick},");
+    println!("  \"largest_dim\": {},", largest.0);
+    println!("  \"memo_speedup_largest\": {:.2},", largest.1);
+    println!("  \"parallel_memo_speedup_largest\": {:.2},", largest.2);
+    println!("  \"search_ok\": {search_ok},");
     println!("  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

@@ -1,0 +1,152 @@
+//! Cluster fan-out for the exact `CC(f)` search: split the root of the
+//! branch-and-bound tree across shards.
+//!
+//! The Bellman recursion behind `ccmx_search` is embarrassingly
+//! parallel at the root: for a non-monochromatic truth matrix,
+//! `CC(t) = min over first moves of 1 + max(CC(zero), CC(one))`, and
+//! each child rectangle is an *independent* sub-instance. The
+//! coordinator therefore ships every distinct child as a
+//! [`Request::CcSearch`] (one [`Request::Batch`], so the existing
+//! batch router groups children by shard), and folds the verdicts back
+//! together locally with [`ccmx_search::combine_root`]. Shard-side
+//! memo tables and the depth-keyed CC cache do the rest: repeated
+//! children across moves — extremely common, the frontier shares
+//! rectangles heavily — cost one solve fleet-wide.
+
+use ccmx_comm::truth::TruthMatrix;
+use ccmx_comm::BitString;
+use ccmx_net::api::{Request, Response};
+use ccmx_search::{combine_root, root_moves, Canon, MAX_SEARCH_DIM};
+use std::collections::HashMap;
+
+use crate::coordinator::Coordinator;
+
+/// Outcome of a root fan-out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CcFanResult {
+    /// The communication complexity (a certified lower bound when
+    /// `exact` is false).
+    pub cc: u32,
+    /// Whether `cc` is exact. Inexact answers happen when the child
+    /// budget (`depth_limit - 1`) ran out under the winning move.
+    pub exact: bool,
+    /// Root moves the frontier enumerated.
+    pub moves: usize,
+    /// Distinct child rectangles actually shipped to shards.
+    pub unique_children: usize,
+    /// Total search nodes expanded across the fleet (cache hits are 0).
+    pub nodes: u64,
+}
+
+fn child_key(t: &TruthMatrix) -> (usize, usize, Vec<bool>) {
+    let bits: Vec<bool> = (0..t.rows())
+        .flat_map(|x| (0..t.cols()).map(move |y| t.get(x, y)))
+        .collect();
+    (t.rows(), t.cols(), bits)
+}
+
+/// Solve `CC(t)` by fanning the root frontier out across the fleet.
+///
+/// Each distinct child is shipped once with budget `depth_limit - 1`;
+/// the recombination is exact unless the winning move's children blew
+/// that budget. Errors (unreachable fleet, oversized instance) come
+/// back as `Err` — never a wrong number.
+pub fn cc_via_fanout(
+    coordinator: &Coordinator,
+    t: &TruthMatrix,
+    depth_limit: u32,
+) -> Result<CcFanResult, String> {
+    if t.rows() == 0 || t.cols() == 0 || t.rows() > MAX_SEARCH_DIM || t.cols() > MAX_SEARCH_DIM {
+        return Err(format!(
+            "cc fan-out needs dims in 1..={MAX_SEARCH_DIM}, got {}x{}",
+            t.rows(),
+            t.cols()
+        ));
+    }
+    let canon = Canon::from_truth(t);
+    if canon.nrows() > 12 || canon.ncols() > 12 {
+        return Err(format!(
+            "root frontier of a {}x{}-class matrix is too wide to ship",
+            canon.nrows(),
+            canon.ncols()
+        ));
+    }
+    let frontier = root_moves(t);
+    if frontier.is_empty() {
+        return Ok(CcFanResult {
+            cc: 0,
+            exact: true,
+            moves: 0,
+            unique_children: 0,
+            nodes: 0,
+        });
+    }
+    ccmx_obs::counter!("ccmx_cluster_cc_fanout_total").inc();
+
+    // Dedup children: the frontier reuses rectangles across moves, and
+    // each distinct one needs exactly one shard solve.
+    let mut order: Vec<(usize, usize, Vec<bool>)> = Vec::new();
+    let mut index: HashMap<(usize, usize, Vec<bool>), usize> = HashMap::new();
+    let mut move_children: Vec<(usize, usize)> = Vec::with_capacity(frontier.len());
+    for (zero, one) in &frontier {
+        let mut id_of = |c: &TruthMatrix| {
+            let key = child_key(c);
+            *index.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                order.len() - 1
+            })
+        };
+        move_children.push((id_of(zero), id_of(one)));
+    }
+    let child_budget = depth_limit.saturating_sub(1);
+    let batch: Vec<Request> = order
+        .iter()
+        .map(|(rows, cols, bits)| Request::CcSearch {
+            rows: *rows,
+            cols: *cols,
+            bits: BitString::from_bits(bits.clone()),
+            depth_limit: child_budget,
+        })
+        .collect();
+    let unique_children = batch.len();
+    let Response::Batch(resps) = coordinator.dispatch(&Request::Batch(batch)) else {
+        return Err("coordinator returned a non-batch response".into());
+    };
+    let mut verdicts: Vec<(u32, bool)> = Vec::with_capacity(resps.len());
+    let mut nodes = 0u64;
+    for (i, resp) in resps.into_iter().enumerate() {
+        match resp {
+            Response::CcSearch {
+                cc,
+                exact,
+                nodes: n,
+                ..
+            } => {
+                nodes += n;
+                verdicts.push((cc, exact));
+            }
+            Response::Error(msg) => return Err(format!("child {i} failed on its shard: {msg}")),
+            other => return Err(format!("child {i} got an unexpected response: {other:?}")),
+        }
+    }
+
+    // Recombine. An inexact child verdict is a *lower bound*, so a
+    // move touching one contributes a lower bound on its true value:
+    // the fold is exact iff the winning move is fully exact and no
+    // lower-bound-only move undercuts it.
+    let values: Vec<(u32, u32)> = move_children
+        .iter()
+        .map(|&(z, o)| (verdicts[z].0, verdicts[o].0))
+        .collect();
+    let cc = combine_root(&values).expect("non-empty frontier always recombines");
+    let exact = move_children.iter().any(|&(z, o)| {
+        verdicts[z].1 && verdicts[o].1 && 1 + verdicts[z].0.max(verdicts[o].0) == cc
+    });
+    Ok(CcFanResult {
+        cc,
+        exact,
+        moves: frontier.len(),
+        unique_children,
+        nodes,
+    })
+}

@@ -39,11 +39,13 @@
 
 #![deny(missing_docs)]
 
+pub mod ccfan;
 pub mod chaos;
 pub mod coordinator;
 pub mod ring;
 pub mod shard;
 
+pub use ccfan::{cc_via_fanout, CcFanResult};
 pub use chaos::{cluster_soak, ChaosDialer, ClusterSoakReport, SoakConfig};
 pub use coordinator::{
     request_route_key, serve_coordinator, ClusterConfig, Coordinator, CoordinatorHandler,

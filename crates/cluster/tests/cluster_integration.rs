@@ -159,6 +159,71 @@ fn resharding_under_chaos_keeps_bits_exact() {
     );
 }
 
+/// The CC(f) root frontier fans out across live shards and recombines
+/// to exactly the local solver's answer, and a raw `CcSearch` request
+/// routes through the coordinator like any other computational kind.
+#[test]
+fn cc_search_fans_out_and_recombines_exactly() {
+    use ccmx_comm::truth::TruthMatrix;
+
+    let (shards, specs) = boot_shards("iccfan", 2);
+    let coordinator = Coordinator::over_tcp(ClusterConfig::default(), specs);
+
+    // A raw CcSearch request routes to a shard like any other kind.
+    let eq2 = TruthMatrix::from_fn(4, 4, |x, y| x == y);
+    let bits = BitString::from_bits(
+        (0..16)
+            .map(|i: usize| eq2.get(i / 4, i % 4))
+            .collect::<Vec<bool>>(),
+    );
+    let direct = coordinator.dispatch(&Request::CcSearch {
+        rows: 4,
+        cols: 4,
+        bits,
+        depth_limit: 32,
+    });
+    assert!(
+        matches!(
+            direct,
+            Response::CcSearch {
+                cc: 3,
+                exact: true,
+                ..
+            }
+        ),
+        "direct routed cc-search answered {direct:?}"
+    );
+
+    // Root fan-out across the fleet equals the local solver, witnesses
+    // included, on a spread of shapes.
+    for (t, label) in [
+        (eq2, "4x4 identity"),
+        (TruthMatrix::from_fn(4, 4, |x, y| (x & y) != 0), "4x4 and"),
+        (TruthMatrix::from_fn(5, 5, |x, y| x >= y), "5x5 gt"),
+        (TruthMatrix::from_fn(3, 3, |_, _| true), "3x3 ones"),
+    ] {
+        let local = ccmx_search::solve(
+            &t,
+            &ccmx_search::SearchConfig {
+                threads: 1,
+                ..ccmx_search::SearchConfig::default()
+            },
+        )
+        .expect("local solve");
+        let fanned =
+            ccmx_cluster::cc_via_fanout(&coordinator, &t, 32).expect("fan-out must answer");
+        assert!(fanned.exact, "{label}: fan-out came back inexact");
+        assert_eq!(fanned.cc, local.cc, "{label}: fan-out diverged from local");
+        if local.cc > 0 {
+            assert!(fanned.moves > 0 && fanned.unique_children > 0, "{label}");
+        }
+    }
+
+    for s in shards {
+        s.shutdown();
+    }
+}
+
 /// When the entire fleet is dark, bounds the coordinator has seen
 /// before are served from its degraded-mode cache; unseen bounds are
 /// refused rather than invented.

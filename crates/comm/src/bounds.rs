@@ -55,10 +55,12 @@ pub fn rank_gf2(t: &TruthMatrix) -> usize {
 /// valid `d(f)` certificate; a large prime often certifies more than
 /// GF(2).
 pub fn rank_mod_p(t: &TruthMatrix, p: u64) -> usize {
-    use ccmx_linalg::ring::PrimeField;
-    let field = PrimeField::new(p);
-    let m = ccmx_linalg::Matrix::from_fn(t.rows(), t.cols(), |x, y| u64::from(t.get(x, y)));
-    ccmx_linalg::gauss::rank(&field, &m)
+    let m = ccmx_linalg::Matrix::from_fn(t.rows(), t.cols(), |x, y| {
+        ccmx_bigint::Integer::from(u64::from(t.get(x, y)))
+    });
+    // Dispatches to the Montgomery delayed-reduction kernels for odd
+    // p < 2^62 and falls back to generic prime-field Gauss otherwise.
+    ccmx_linalg::modular::rank_mod(&m, p)
 }
 
 /// A fooling set: `1`-entries `(x_i, y_i)` such that for every pair
@@ -66,6 +68,70 @@ pub fn rank_mod_p(t: &TruthMatrix, p: u64) -> usize {
 /// greedily (so the returned size is a certified *lower* bound on the
 /// largest fooling set).
 pub fn fooling_set_greedy(t: &TruthMatrix) -> Vec<(usize, usize)> {
+    // Bitset fast path. Member `m = (pxₘ, pyₘ)` conflicts with a
+    // candidate `(x, y)` iff `t(x, pyₘ) && t(pxₘ, y)`, so we keep two
+    // incremental indexes over *member bits*: `row_hits[x']` has bit
+    // `m` set iff `t(x', pyₘ) = 1`, `col_hits[y']` has bit `m` set iff
+    // `t(pxₘ, y') = 1`. A candidate is compatible iff
+    // `row_hits[x] & col_hits[y] == 0` — one word-AND sweep instead of
+    // rescanning the whole set with per-entry bit probes. Accepting a
+    // member costs one column walk + one row walk, exactly like the
+    // scalar greedy's verification of the accepted pair.
+    //
+    // Candidate order and accept criterion are identical to
+    // [`fooling_set_greedy_scalar`], which is kept as the oracle; a
+    // proptest pins the two to the same output.
+    let rows = t.rows();
+    let cols = t.cols();
+    let mut set: Vec<(usize, usize)> = Vec::new();
+    let mut row_hits: Vec<Vec<u64>> = vec![Vec::new(); rows];
+    let mut col_hits: Vec<Vec<u64>> = vec![Vec::new(); cols];
+    for x in 0..rows {
+        for y in 0..cols {
+            if !t.get(x, y) {
+                continue;
+            }
+            let conflict = row_hits[x]
+                .iter()
+                .zip(&col_hits[y])
+                .any(|(a, b)| a & b != 0);
+            if conflict {
+                continue;
+            }
+            let m = set.len();
+            let (word, bit) = (m / 64, 1u64 << (m % 64));
+            for (xp, hits) in row_hits.iter_mut().enumerate() {
+                if t.get(xp, y) {
+                    if hits.len() <= word {
+                        hits.resize(word + 1, 0);
+                    }
+                    hits[word] |= bit;
+                }
+            }
+            for (yp, hits) in col_hits.iter_mut().enumerate() {
+                if t.get(x, yp) {
+                    if hits.len() <= word {
+                        hits.resize(word + 1, 0);
+                    }
+                    hits[word] |= bit;
+                }
+            }
+            set.push((x, y));
+        }
+    }
+    // Verify the invariant before certifying (defense in depth: the bound
+    // below is only valid if this really is a fooling set).
+    debug_assert!(verify_fooling_set(t, &set));
+    set
+}
+
+/// The original scalar greedy: rescans the whole set per candidate
+/// with two `t.get` probes per member. Kept as the oracle for the
+/// bitset fast path in [`fooling_set_greedy`] — both walk candidates
+/// in the same order with the same accept criterion, so they must
+/// return the *identical* set (property-tested in
+/// `tests/proptest_comm.rs`).
+pub fn fooling_set_greedy_scalar(t: &TruthMatrix) -> Vec<(usize, usize)> {
     let mut set: Vec<(usize, usize)> = Vec::new();
     for x in 0..t.rows() {
         for y in 0..t.cols() {
@@ -78,8 +144,6 @@ pub fn fooling_set_greedy(t: &TruthMatrix) -> Vec<(usize, usize)> {
             }
         }
     }
-    // Verify the invariant before certifying (defense in depth: the bound
-    // below is only valid if this really is a fooling set).
     debug_assert!(verify_fooling_set(t, &set));
     set
 }
@@ -180,16 +244,30 @@ pub struct LowerBoundReport {
     pub rank_big_prime: usize,
     /// Size of the greedy fooling set.
     pub fooling_set: usize,
+    /// Rows after duplicate-row removal: the certificates above are
+    /// computed on the deduplicated matrix (a CC-preserving reduction
+    /// that leaves every certificate value unchanged).
+    pub distinct_rows: usize,
+    /// Columns after duplicate-column removal.
+    pub distinct_cols: usize,
     /// `log₂ max(rank, fooling) − 2`... reported as Yao's bound
     /// `ceil(log₂ d_lb) − 2` clamped at 0, in bits.
     pub comm_lower_bound_bits: f64,
 }
 
 /// Compute all certificates for a truth matrix.
+///
+/// The matrix is first normalized with [`TruthMatrix::dedup`]:
+/// duplicate rows/columns cannot change `d(f)` (merging identical
+/// lines merges their rectangles), but they inflate every elimination
+/// and greedy scan below — on enumerated truth matrices with heavy
+/// input redundancy the certificates now run on the
+/// `distinct_rows × distinct_cols` core.
 pub fn lower_bounds(t: &TruthMatrix) -> LowerBoundReport {
-    let r2 = rank_gf2(t);
-    let rp = rank_mod_p(t, 4_611_686_018_427_388_039); // prime just above 2^62
-    let fs = fooling_set_greedy(t).len();
+    let d = t.dedup();
+    let r2 = rank_gf2(&d);
+    let rp = rank_mod_p(&d, 2_305_843_009_213_693_951); // Mersenne prime 2^61 − 1, Montgomery window
+    let fs = fooling_set_greedy(&d).len();
     // d(f) >= max(rank over any field, |fooling set|); Yao: CC >= log2 d(f) - 2.
     let d_lb = r2.max(rp).max(fs).max(1);
     let bound = (d_lb as f64).log2() - 2.0;
@@ -197,6 +275,8 @@ pub fn lower_bounds(t: &TruthMatrix) -> LowerBoundReport {
         rank_gf2: r2,
         rank_big_prime: rp,
         fooling_set: fs,
+        distinct_rows: d.rows(),
+        distinct_cols: d.cols(),
         comm_lower_bound_bits: bound.max(0.0),
     }
 }
@@ -265,6 +345,36 @@ mod tests {
         let (rs, cs) = largest_one_rectangle_greedy(&t);
         assert!(is_one_rectangle(&t, &rs, &cs));
         assert_eq!(rs.len() * cs.len(), 15);
+    }
+
+    #[test]
+    fn lower_bounds_normalize_duplicates() {
+        // Identity 8x8 with every row and column tripled: certificates
+        // must match the plain identity's, and the report must expose
+        // the deduplicated core dimensions.
+        let id = identity(8);
+        let fat = TruthMatrix::from_fn(24, 24, |x, y| x / 3 == y / 3);
+        let a = lower_bounds(&id);
+        let b = lower_bounds(&fat);
+        assert_eq!(b.rank_gf2, a.rank_gf2);
+        assert_eq!(b.rank_big_prime, a.rank_big_prime);
+        assert_eq!(b.fooling_set, a.fooling_set);
+        assert_eq!(b.comm_lower_bound_bits, a.comm_lower_bound_bits);
+        assert_eq!((b.distinct_rows, b.distinct_cols), (8, 8));
+        assert_eq!((a.distinct_rows, a.distinct_cols), (8, 8));
+    }
+
+    #[test]
+    fn bitset_fooling_matches_scalar_on_structured_cases() {
+        for t in [
+            identity(17),
+            TruthMatrix::from_fn(16, 16, |x, y| x >= y),
+            TruthMatrix::from_fn(9, 13, |x, y| (x * 5 + y * 3) % 4 == 0),
+            TruthMatrix::from_fn(8, 8, |_, _| true),
+            TruthMatrix::from_fn(8, 8, |_, _| false),
+        ] {
+            assert_eq!(fooling_set_greedy(&t), fooling_set_greedy_scalar(&t));
+        }
     }
 
     #[test]

@@ -223,6 +223,32 @@ impl TruthMatrix {
     pub fn transpose(&self) -> TruthMatrix {
         TruthMatrix::from_fn(self.cols, self.rows, |x, y| self.get(y, x))
     }
+
+    /// Remove duplicate rows, then duplicate columns (first occurrence
+    /// kept, relative order preserved). A CC-preserving reduction: a
+    /// protocol never needs to distinguish two inputs with identical
+    /// truth-matrix lines, and rank / fooling-set certificates are
+    /// invariant under it — so downstream bound computations shrink to
+    /// `distinct_rows × distinct_cols` for free. (Removing duplicate
+    /// rows cannot merge two distinct columns — they still differ at
+    /// the kept representative — so the result is exactly
+    /// [`TruthMatrix::distinct_rows`] × [`TruthMatrix::distinct_cols`].)
+    pub fn dedup(&self) -> TruthMatrix {
+        let mut seen_rows = std::collections::HashSet::new();
+        let keep_rows: Vec<usize> = (0..self.rows)
+            .filter(|&x| seen_rows.insert(self.data[x].clone()))
+            .collect();
+        let mut seen_cols = std::collections::HashSet::new();
+        let keep_cols: Vec<usize> = (0..self.cols)
+            .filter(|&y| {
+                let col: Vec<bool> = keep_rows.iter().map(|&x| self.get(x, y)).collect();
+                seen_cols.insert(col)
+            })
+            .collect();
+        TruthMatrix::from_fn(keep_rows.len(), keep_cols.len(), |i, j| {
+            self.get(keep_rows[i], keep_cols[j])
+        })
+    }
 }
 
 impl std::fmt::Debug for TruthMatrix {
@@ -264,6 +290,30 @@ mod tests {
         assert_eq!(t.count_ones(), 16);
         assert_eq!(t.distinct_rows(), 16);
         assert_eq!(t.distinct_cols(), 16);
+    }
+
+    #[test]
+    fn dedup_collapses_to_distinct_lines() {
+        // 6x6 built from a 3x3 core with every row and column doubled.
+        let core = [
+            [true, false, true],
+            [false, true, true],
+            [true, true, false],
+        ];
+        let t = TruthMatrix::from_fn(6, 6, |x, y| core[x / 2][y / 2]);
+        let d = t.dedup();
+        assert_eq!((d.rows(), d.cols()), (t.distinct_rows(), t.distinct_cols()));
+        assert_eq!((d.rows(), d.cols()), (3, 3));
+        for (x, row) in core.iter().enumerate() {
+            for (y, &want) in row.iter().enumerate() {
+                assert_eq!(d.get(x, y), want);
+            }
+        }
+        // Already-distinct matrices are untouched; constants collapse to 1x1.
+        let id = TruthMatrix::from_fn(4, 4, |x, y| x == y);
+        assert_eq!((id.dedup().rows(), id.dedup().cols()), (4, 4));
+        let ones = TruthMatrix::from_fn(5, 7, |_, _| true);
+        assert_eq!((ones.dedup().rows(), ones.dedup().cols()), (1, 1));
     }
 
     #[test]

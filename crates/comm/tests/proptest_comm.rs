@@ -2,7 +2,9 @@
 //! encoding geometry, protocol invariants, and truth-matrix/bound laws.
 
 use ccmx_comm::bits::BitString;
-use ccmx_comm::bounds::{fooling_set_greedy, lower_bounds, rank_gf2, verify_fooling_set};
+use ccmx_comm::bounds::{
+    fooling_set_greedy, fooling_set_greedy_scalar, lower_bounds, rank_gf2, verify_fooling_set,
+};
 use ccmx_comm::functions::{BooleanFunction, Equality, Singularity};
 use ccmx_comm::partition::{Owner, Partition};
 use ccmx_comm::protocols::{BisectEquality, FingerprintEquality, ModPrimeSingularity, SendAll};
@@ -163,6 +165,36 @@ proptest! {
         prop_assert!(fs.len() <= (t.count_ones() as usize).max(1));
         let rep = lower_bounds(&t);
         prop_assert!(rep.comm_lower_bound_bits <= (rows.min(cols) as f64).log2() + 1.0);
+        prop_assert_eq!(rep.distinct_rows, t.distinct_rows());
+        prop_assert_eq!(rep.distinct_cols, t.distinct_cols());
+    }
+
+    #[test]
+    fn fooling_bitset_matches_scalar_oracle(rows in 1usize..28, cols in 1usize..28, seed in any::<u64>(), density in 0u32..4) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Sweep densities: sparse matrices grow large fooling sets
+        // (many member words), dense ones stress the conflict check.
+        let t = TruthMatrix::from_fn(rows, cols, |_, _| rng.gen::<u32>() % 4 > density);
+        let fast = fooling_set_greedy(&t);
+        let slow = fooling_set_greedy_scalar(&t);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn dedup_preserves_certificates(rows in 1usize..12, cols in 1usize..12, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let core = TruthMatrix::from_fn(rows, cols, |_, _| rng.gen());
+        // Duplicate every row and column; the deduped core must carry
+        // identical rank certificates and the recorded distinct dims.
+        let fat = TruthMatrix::from_fn(rows * 2, cols * 2, |x, y| core.get(x / 2, y / 2));
+        let d = fat.dedup();
+        prop_assert_eq!((d.rows(), d.cols()), (fat.distinct_rows(), fat.distinct_cols()));
+        prop_assert_eq!(rank_gf2(&d), rank_gf2(&core));
+        let (a, b) = (lower_bounds(&fat), lower_bounds(&core));
+        prop_assert_eq!(a.rank_gf2, b.rank_gf2);
+        prop_assert_eq!(a.rank_big_prime, b.rank_big_prime);
     }
 
     #[test]

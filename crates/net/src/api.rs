@@ -229,6 +229,21 @@ pub enum Request {
         /// Encoded matrix bits.
         input: BitString,
     },
+    /// Exact `CC(f)` of an explicit truth matrix via the branch-and-
+    /// bound engine in `ccmx-search`. `bits` is the matrix in row-major
+    /// order (`rows * cols` entries). The server answers from a cache
+    /// keyed on the *full* tuple including `depth_limit`, so a shallow
+    /// (inexact) verdict can never be replayed for a deep query.
+    CcSearch {
+        /// Number of matrix rows (`1..=64`).
+        rows: usize,
+        /// Number of matrix columns (`1..=64`).
+        cols: usize,
+        /// Row-major truth entries, `rows * cols` bits.
+        bits: BitString,
+        /// Search depth budget; answers above it come back inexact.
+        depth_limit: u32,
+    },
     /// Several requests in one frame; the server's batcher groups them
     /// by setup so protocol construction is amortized across the burst.
     Batch(Vec<Request>),
@@ -265,6 +280,18 @@ impl WireCodec for Request {
                 reqs.put(out);
             }
             Request::Metrics => out.push(5),
+            Request::CcSearch {
+                rows,
+                cols,
+                bits,
+                depth_limit,
+            } => {
+                out.push(6);
+                rows.put(out);
+                cols.put(out);
+                bits.put(out);
+                depth_limit.put(out);
+            }
         }
     }
 
@@ -288,6 +315,12 @@ impl WireCodec for Request {
             }),
             4 => Ok(Request::Batch(Vec::<Request>::take(d)?)),
             5 => Ok(Request::Metrics),
+            6 => Ok(Request::CcSearch {
+                rows: usize::take(d)?,
+                cols: usize::take(d)?,
+                bits: BitString::take(d)?,
+                depth_limit: u32::take(d)?,
+            }),
             v => Err(NetError::Frame(format!("unknown Request tag {v}"))),
         }
     }
@@ -307,6 +340,20 @@ pub enum Response {
     Singularity {
         /// Whether the matrix is singular.
         singular: bool,
+    },
+    /// Exact (or depth-limited) `CC(f)` verdict.
+    CcSearch {
+        /// The communication complexity; when `exact` is false this is
+        /// the certified lower bound `depth_limit + 1`.
+        cc: u32,
+        /// Whether `cc` is the exact value.
+        exact: bool,
+        /// Search nodes expanded server-side (0 on a cache hit).
+        nodes: u64,
+        /// Serialized [`ccmx_search::CcCertificate`] (empty when the
+        /// search was inexact or the witness was too wide to extract);
+        /// decode with `CcCertificate::from_bytes`.
+        certificate: Vec<u8>,
     },
     /// Batched responses in request order.
     Batch(Vec<Response>),
@@ -344,6 +391,18 @@ impl WireCodec for Response {
                 out.push(6);
                 text.put(out);
             }
+            Response::CcSearch {
+                cc,
+                exact,
+                nodes,
+                certificate,
+            } => {
+                out.push(7);
+                cc.put(out);
+                exact.put(out);
+                nodes.put(out);
+                certificate.put(out);
+            }
         }
     }
 
@@ -358,6 +417,12 @@ impl WireCodec for Response {
             4 => Ok(Response::Batch(Vec::<Response>::take(d)?)),
             5 => Ok(Response::Error(String::take(d)?)),
             6 => Ok(Response::Metrics(String::take(d)?)),
+            7 => Ok(Response::CcSearch {
+                cc: u32::take(d)?,
+                exact: bool::take(d)?,
+                nodes: u64::take(d)?,
+                certificate: Vec::<u8>::take(d)?,
+            }),
             v => Err(NetError::Frame(format!("unknown Response tag {v}"))),
         }
     }

@@ -84,6 +84,35 @@ impl Client {
         }
     }
 
+    /// Exact `CC(f)` of an explicit truth matrix (row-major `bits`),
+    /// solved server-side by the `ccmx-search` branch-and-bound engine.
+    /// Returns `(cc, exact, nodes, serialized certificate)`; the
+    /// certificate is empty when no witness was extracted and otherwise
+    /// decodes with `ccmx_search::CcCertificate::from_bytes` for local,
+    /// trust-free verification.
+    pub fn cc_search(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        bits: &BitString,
+        depth_limit: u32,
+    ) -> Result<(u32, bool, u64, Vec<u8>), NetError> {
+        match self.request(&Request::CcSearch {
+            rows,
+            cols,
+            bits: bits.clone(),
+            depth_limit,
+        })? {
+            Response::CcSearch {
+                cc,
+                exact,
+                nodes,
+                certificate,
+            } => Ok((cc, exact, nodes, certificate)),
+            other => Err(unexpected("CcSearch", &other)),
+        }
+    }
+
     /// Scrape the server's live metrics registry: Prometheus-style
     /// exposition text (`name{label="v"} value` lines) covering request
     /// counters and latency histograms, pool gauges, CRT fast-path and

@@ -210,10 +210,17 @@ pub struct ServerStats {
 /// engine can never serve an entry computed by the old one.
 type BoundsKey = (usize, u32, u32, &'static str);
 
+/// CC-search cache key: `(rows, cols, row-major entries, depth_limit)`.
+/// The depth limit is part of the key on purpose — a shallow search's
+/// inexact verdict for a matrix must never alias the exact answer a
+/// later deep query expects (and vice versa).
+type CcKey = (usize, usize, Vec<bool>, u32);
+
 pub(crate) struct ServerState {
     pub(crate) config: ServerConfig,
     pub(crate) counters: Counters,
     bounds_cache: Mutex<LruCache<BoundsKey, BoundsReport>>,
+    cc_cache: Mutex<LruCache<CcKey, Response>>,
 }
 
 /// Handle to a running server; dropping it (or calling
@@ -299,6 +306,7 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
             config.bounds_cache_capacity,
             "bounds",
         )),
+        cc_cache: Mutex::new(LruCache::with_metrics(config.bounds_cache_capacity, "cc")),
     });
     let stop = Arc::new(AtomicBool::new(false));
     let promoted: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -343,6 +351,7 @@ pub fn serve_with_handler(
             config.bounds_cache_capacity,
             "bounds",
         )),
+        cc_cache: Mutex::new(LruCache::with_metrics(config.bounds_cache_capacity, "cc")),
     });
     let stop = Arc::new(AtomicBool::new(false));
     let promoted: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -634,7 +643,52 @@ fn dispatch(state: &ServerState, req: &Request, deadline: Option<std::time::Inst
         }
         Request::Batch(reqs) => batch_response(state, reqs, deadline),
         Request::Metrics => Response::Metrics(ccmx_obs::registry().render()),
+        Request::CcSearch {
+            rows,
+            cols,
+            bits,
+            depth_limit,
+        } => cc_search_response(state, *rows, *cols, bits, *depth_limit),
     }
+}
+
+fn cc_search_response(
+    state: &ServerState,
+    rows: usize,
+    cols: usize,
+    bits: &ccmx_comm::BitString,
+    depth_limit: u32,
+) -> Response {
+    let max = ccmx_search::MAX_SEARCH_DIM;
+    if rows == 0 || cols == 0 || rows > max || cols > max {
+        return Response::Error(format!(
+            "cc-search needs dims in 1..={max}, got {rows}x{cols}"
+        ));
+    }
+    if bits.len() != rows * cols {
+        return Response::Error(format!(
+            "truth matrix is {} bits, {rows}x{cols} expects {}",
+            bits.len(),
+            rows * cols
+        ));
+    }
+    let key = (rows, cols, bits.as_slice().to_vec(), depth_limit);
+    state.cc_cache.lock().get_or_insert_with(key, || {
+        let t = ccmx_comm::truth::TruthMatrix::from_fn(rows, cols, |x, y| bits.get(x * cols + y));
+        let cfg = ccmx_search::SearchConfig {
+            depth_limit,
+            ..ccmx_search::SearchConfig::default()
+        };
+        match ccmx_search::solve(&t, &cfg) {
+            Ok(r) => Response::CcSearch {
+                cc: r.cc,
+                exact: r.exact,
+                nodes: r.stats.nodes,
+                certificate: r.certificate.map(|c| c.to_bytes()).unwrap_or_default(),
+            },
+            Err(e) => Response::Error(format!("cc-search failed: {e}")),
+        }
+    })
 }
 
 fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Response {
@@ -882,6 +936,107 @@ mod tests {
                 "metrics text lacks {series}:\n{text}"
             );
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn cc_search_answers_and_certifies() {
+        let server = small_server();
+        let mut t = connect(&server);
+        // Equality on 2 bits: the 4x4 identity, CC = 3.
+        let bits = BitString::from_bits((0..16).map(|i| i / 4 == i % 4).collect());
+        let req = Request::CcSearch {
+            rows: 4,
+            cols: 4,
+            bits: bits.clone(),
+            depth_limit: 32,
+        };
+        let Response::CcSearch {
+            cc,
+            exact,
+            certificate,
+            ..
+        } = roundtrip(&mut t, &req)
+        else {
+            panic!("expected a cc-search response")
+        };
+        assert_eq!((cc, exact), (3, true));
+        let cert = ccmx_search::CcCertificate::from_bytes(&certificate).unwrap();
+        cert.verify().unwrap();
+        assert_eq!(cert.cc, 3);
+        // Same query again: a cache hit with the identical verdict.
+        let again = roundtrip(&mut t, &req);
+        assert!(matches!(
+            again,
+            Response::CcSearch {
+                cc: 3,
+                exact: true,
+                ..
+            }
+        ));
+        // Malformed dims are an error, not a crash.
+        let bad = roundtrip(
+            &mut t,
+            &Request::CcSearch {
+                rows: 2,
+                cols: 3,
+                bits: BitString::from_u64(0, 4),
+                depth_limit: 32,
+            },
+        );
+        assert!(matches!(bad, Response::Error(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn cc_cache_key_includes_depth_limit() {
+        // Regression: a depth-0 query certifies only "CC >= 1" for any
+        // non-monochromatic matrix. If the cache key omitted the depth
+        // limit, that shallow verdict would be replayed for the deep
+        // query below and report cc=1, exact=false for a CC-3 matrix.
+        let server = small_server();
+        let mut t = connect(&server);
+        let bits = BitString::from_bits((0..16).map(|i| i / 4 == i % 4).collect());
+        let shallow = roundtrip(
+            &mut t,
+            &Request::CcSearch {
+                rows: 4,
+                cols: 4,
+                bits: bits.clone(),
+                depth_limit: 0,
+            },
+        );
+        let Response::CcSearch {
+            cc,
+            exact,
+            certificate,
+            ..
+        } = shallow
+        else {
+            panic!("expected a cc-search response")
+        };
+        assert_eq!((cc, exact), (1, false));
+        assert!(certificate.is_empty());
+        let deep = roundtrip(
+            &mut t,
+            &Request::CcSearch {
+                rows: 4,
+                cols: 4,
+                bits,
+                depth_limit: 32,
+            },
+        );
+        assert!(
+            matches!(
+                deep,
+                Response::CcSearch {
+                    cc: 3,
+                    exact: true,
+                    ..
+                }
+            ),
+            "deep query aliased the shallow cache entry: {deep:?}"
+        );
         server.shutdown();
     }
 

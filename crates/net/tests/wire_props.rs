@@ -4,6 +4,7 @@
 
 use ccmx_comm::protocol::{Message, RunResult, Transcript, Turn, WireMsg};
 use ccmx_comm::BitString;
+use ccmx_net::api::{Request, Response};
 use ccmx_net::wire::{
     encode_frame, read_frame, WireCodec, KIND_WIRE_MSG, MAGIC, MAX_PAYLOAD_BYTES,
 };
@@ -76,6 +77,33 @@ proptest! {
     ) {
         let r = RunResult { output, announced_by: by, transcript: t };
         prop_assert_eq!(RunResult::from_wire_bytes(&r.to_wire_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn cc_search_request_round_trips(
+        rows in 1usize..65,
+        cols in 1usize..65,
+        bits in bitstring_strategy(128),
+        depth_limit in any::<u32>(),
+    ) {
+        // The codec layer does not validate dims against bit count —
+        // the server does — so round-tripping must hold for any combo.
+        let req = Request::CcSearch { rows, cols, bits, depth_limit };
+        prop_assert_eq!(Request::from_wire_bytes(&req.to_wire_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn cc_search_response_round_trips(
+        cc in any::<u32>(),
+        exact in any::<bool>(),
+        nodes in any::<u64>(),
+        certificate in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let resp = Response::CcSearch { cc, exact, nodes, certificate };
+        prop_assert_eq!(Response::from_wire_bytes(&resp.to_wire_bytes()).unwrap(), resp);
+        // Batched alongside older variants it must still round-trip.
+        let batch = Response::Batch(vec![Response::Pong, Response::from_wire_bytes(&resp.to_wire_bytes()).unwrap()]);
+        prop_assert_eq!(Response::from_wire_bytes(&batch.to_wire_bytes()).unwrap(), batch);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! # ccmx-search — exact `CC(f)` by branch-and-bound
+//!
+//! The paper's certificates (rank, fooling sets) only *bracket* the
+//! deterministic communication complexity of a truth matrix; deciding
+//! the exact value is NP-hard (Hirahara–Ilango–Loff), which makes the
+//! interesting artifact the *search engine*: how fast can branch and
+//! bound close the bracket? This crate explores protocol trees over
+//! row/column bipartitions of sub-rectangles with three accelerators —
+//! a canonicalized sub-rectangle memo ([`rect::Canon`]), cheap-first
+//! pruning certificates seeded from `comm::bounds`, and parallel root
+//! search on the shared `linalg::pool` with an atomic incumbent — and
+//! emits serializable, independently verifiable optimal-protocol
+//! certificates ([`certificate::CcCertificate`]).
+//!
+//! ```
+//! use ccmx_comm::truth::TruthMatrix;
+//! use ccmx_search::{solve, SearchConfig};
+//!
+//! // Equality on 2 bits: the 4x4 identity has CC = 3
+//! // (χ = 4 one-leaves + ≥3 zero-leaves > 2^2 forces depth 3).
+//! let eq = TruthMatrix::from_fn(4, 4, |x, y| x == y);
+//! let r = solve(&eq, &SearchConfig::default()).unwrap();
+//! assert!(r.exact);
+//! assert_eq!(r.cc, 3);
+//! let cert = r.certificate.unwrap();
+//! cert.verify().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod certificate;
+pub mod rect;
+pub mod solver;
+
+pub use certificate::{CcCertificate, CcTree};
+pub use rect::{Canon, Move, Speaker, MAX_SEARCH_DIM};
+pub use solver::{solve, CcResult, SearchConfig, SearchError, SearchStats};
+
+use ccmx_comm::truth::TruthMatrix;
+
+/// The root frontier of the search, for distributing across shards:
+/// every nontrivial first move on the matrix's duplicate classes, as
+/// pairs of concrete child sub-matrices `(zero, one)`. By the Bellman
+/// recursion, for a non-monochromatic `t`,
+/// `CC(t) = min over these pairs of 1 + max(CC(zero), CC(one))`
+/// (see [`combine_root`]). Duplicate rows/columns are collapsed first,
+/// so the frontier and the children stay small on the wire.
+///
+/// Panics if a side has more than 12 duplicate classes (the frontier
+/// would not be worth shipping) — callers fan out small instances and
+/// solve big structured ones locally.
+pub fn root_moves(t: &TruthMatrix) -> Vec<(TruthMatrix, TruthMatrix)> {
+    assert!(
+        t.rows() <= MAX_SEARCH_DIM && t.cols() <= MAX_SEARCH_DIM,
+        "root_moves is capped at {MAX_SEARCH_DIM}x{MAX_SEARCH_DIM}"
+    );
+    let canon = Canon::from_truth(t);
+    if canon.mono_value().is_some() {
+        return Vec::new();
+    }
+    let (r, c) = (canon.nrows(), canon.ncols());
+    assert!(
+        r <= 12 && c <= 12,
+        "root frontier of a {r}x{c}-class matrix is too wide to ship"
+    );
+    let mut out = Vec::new();
+    for (speaker, side) in [(Speaker::Rows, r), (Speaker::Cols, c)] {
+        for s in 1..(1u64 << (side - 1)) {
+            let (zero, one) = canon.children(&Move {
+                speaker,
+                mask: s << 1,
+            });
+            out.push((zero.to_truth(), one.to_truth()));
+        }
+    }
+    out
+}
+
+/// Fold the root frontier back together: `min over moves of
+/// 1 + max(cc_zero, cc_one)`. Returns `None` on an empty frontier
+/// (monochromatic root, `CC = 0`).
+pub fn combine_root(children_cc: &[(u32, u32)]) -> Option<u32> {
+    children_cc.iter().map(|&(a, b)| 1 + a.max(b)).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference solver: plain exhaustive recursion on concrete
+    /// rectangles, no canonicalization, no memo, no certificates
+    /// beyond the monochromatic check. Deliberately independent of the
+    /// production code paths.
+    pub(crate) fn brute_cc(t: &TruthMatrix) -> u32 {
+        type Split<'a> = (Vec<(usize, &'a usize)>, Vec<(usize, &'a usize)>);
+        fn go(t: &TruthMatrix, rows: &[usize], cols: &[usize], fuel: u32) -> u32 {
+            let first = t.get(rows[0], cols[0]);
+            if rows
+                .iter()
+                .all(|&x| cols.iter().all(|&y| t.get(x, y) == first))
+            {
+                return 0;
+            }
+            assert!(fuel > 0, "brute force ran out of depth");
+            let mut best = u32::MAX;
+            for s in 1..(1u64 << (rows.len() - 1)) {
+                let mask = s << 1;
+                let (zero, one): Split = rows
+                    .iter()
+                    .enumerate()
+                    .partition(|&(i, _)| mask >> i & 1 == 0);
+                let zero: Vec<usize> = zero.into_iter().map(|(_, &x)| x).collect();
+                let one: Vec<usize> = one.into_iter().map(|(_, &x)| x).collect();
+                let v = 1 + go(t, &zero, cols, fuel - 1).max(go(t, &one, cols, fuel - 1));
+                best = best.min(v);
+            }
+            for s in 1..(1u64 << (cols.len() - 1)) {
+                let mask = s << 1;
+                let (zero, one): Split = cols
+                    .iter()
+                    .enumerate()
+                    .partition(|&(j, _)| mask >> j & 1 == 0);
+                let zero: Vec<usize> = zero.into_iter().map(|(_, &y)| y).collect();
+                let one: Vec<usize> = one.into_iter().map(|(_, &y)| y).collect();
+                let v = 1 + go(t, rows, &zero, fuel - 1).max(go(t, rows, &one, fuel - 1));
+                best = best.min(v);
+            }
+            best
+        }
+        let rows: Vec<usize> = (0..t.rows()).collect();
+        let cols: Vec<usize> = (0..t.cols()).collect();
+        go(t, &rows, &cols, 8)
+    }
+
+    fn serial() -> SearchConfig {
+        SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn known_small_values() {
+        // Constant matrices: CC = 0.
+        let ones = TruthMatrix::from_fn(3, 5, |_, _| true);
+        assert_eq!(solve(&ones, &serial()).unwrap().cc, 0);
+        // One distinguishing bit: CC = 1.
+        let stripe = TruthMatrix::from_fn(2, 4, |_, y| y == 0);
+        let r = solve(&stripe, &serial()).unwrap();
+        assert_eq!((r.cc, r.exact), (1, true));
+        // 2x2 identity: CC = 2.
+        let eq1 = TruthMatrix::from_fn(2, 2, |x, y| x == y);
+        assert_eq!(solve(&eq1, &serial()).unwrap().cc, 2);
+        // 4x4 identity (equality on 2 bits): CC = 3.
+        let eq2 = TruthMatrix::from_fn(4, 4, |x, y| x == y);
+        assert_eq!(solve(&eq2, &serial()).unwrap().cc, 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_mixed_shapes() {
+        let mut seed = 0x5eed_cafe_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for (r, c) in [(2, 2), (3, 3), (3, 4), (4, 4), (4, 3), (2, 5)] {
+            for _ in 0..6 {
+                let bits = next();
+                let t = TruthMatrix::from_fn(r, c, |x, y| bits >> (x * c + y) & 1 == 1);
+                let got = solve(&t, &serial()).unwrap();
+                assert!(got.exact);
+                assert_eq!(got.cc, brute_cc(&t), "matrix {bits:#x} at {r}x{c}");
+                if let Some(cert) = got.certificate {
+                    cert.verify().unwrap();
+                    assert_eq!(cert.cc, got.cc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_serial() {
+        let mut seed = 0xdead_beef_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed
+        };
+        let par = SearchConfig {
+            threads: 4,
+            ..SearchConfig::default()
+        };
+        for _ in 0..8 {
+            let bits = next();
+            let t = TruthMatrix::from_fn(5, 5, |x, y| bits >> (x * 5 + y) & 1 == 1);
+            let a = solve(&t, &serial()).unwrap();
+            let b = solve(&t, &par).unwrap();
+            assert_eq!(a.cc, b.cc);
+            assert!(a.exact && b.exact);
+        }
+    }
+
+    #[test]
+    fn memoless_agrees_with_memoized() {
+        let t = TruthMatrix::from_fn(5, 5, |x, y| (x * 3 + y * 5) % 7 < 3);
+        let with = solve(&t, &serial()).unwrap();
+        let without = solve(
+            &t,
+            &SearchConfig {
+                threads: 1,
+                use_memo: false,
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.cc, without.cc);
+        assert_eq!(without.stats.memo_hits, 0);
+        assert!(with.stats.memo_entries > 0);
+        assert_eq!(without.stats.memo_entries, 0);
+    }
+
+    #[test]
+    fn depth_limit_reports_inexact_lower_bound() {
+        let eq2 = TruthMatrix::from_fn(4, 4, |x, y| x == y); // CC = 3
+        let r = solve(
+            &eq2,
+            &SearchConfig {
+                threads: 1,
+                depth_limit: 1,
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.exact);
+        assert_eq!(r.cc, 2); // certified CC ≥ 2, nothing more
+        assert!(r.certificate.is_none());
+    }
+
+    #[test]
+    fn root_frontier_recombines_to_cc() {
+        let t = TruthMatrix::from_fn(4, 4, |x, y| (x & y) != 0);
+        let whole = solve(&t, &serial()).unwrap();
+        let frontier = root_moves(&t);
+        assert!(!frontier.is_empty());
+        let ccs: Vec<(u32, u32)> = frontier
+            .iter()
+            .map(|(z, o)| {
+                (
+                    solve(z, &serial()).unwrap().cc,
+                    solve(o, &serial()).unwrap().cc,
+                )
+            })
+            .collect();
+        assert_eq!(combine_root(&ccs), Some(whole.cc));
+        // Monochromatic root: empty frontier.
+        assert!(root_moves(&TruthMatrix::from_fn(3, 3, |_, _| true)).is_empty());
+        assert_eq!(combine_root(&[]), None);
+    }
+
+    #[test]
+    fn paper_hard_instances_close() {
+        // Equality on 3 bits: 8x8 identity, CC = 4 (χ ≥ 8 + 7 > 2^3).
+        let eq3 = TruthMatrix::from_fn(8, 8, |x, y| x == y);
+        let r = solve(&eq3, &serial()).unwrap();
+        assert_eq!((r.cc, r.exact), (4, true));
+        // Greater-than on 3 bits: CC = 4.
+        let gt3 = TruthMatrix::from_fn(8, 8, |x, y| x >= y);
+        let r = solve(&gt3, &serial()).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.cc, 4);
+    }
+}

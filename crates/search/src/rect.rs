@@ -1,0 +1,309 @@
+//! Canonicalized sub-rectangles.
+//!
+//! The branch-and-bound solver revisits the same sub-rectangle
+//! exponentially often: a rectangle reached by splitting rows then
+//! columns is also reached by splitting columns then rows, and two
+//! syntactically different rectangles with the same multiset of
+//! distinct rows/columns have the same communication complexity.
+//! Every rectangle is therefore reduced to a *canonical form* before
+//! it is searched or memoized:
+//!
+//! 1. duplicate rows and duplicate columns are removed (a
+//!    CC-preserving reduction: a protocol never needs to distinguish
+//!    identical inputs),
+//! 2. rows and columns are sorted by their bit patterns, alternating
+//!    until a fixpoint (row order permutes column patterns and vice
+//!    versa, so one pass is not enough),
+//! 3. the lexicographically smaller of the matrix and its transpose is
+//!    kept (CC is symmetric in the speakers).
+//!
+//! Step 2's fixpoint iteration is capped: sorting is deterministic, so
+//! the map stays *sound* (equal keys ⟹ equal CC) even if two
+//! equivalent rectangles occasionally canonicalize differently — that
+//! only costs a duplicated memo entry, never a wrong bound.
+//!
+//! Rectangles are capped at 64×64 so that a row is exactly one `u64`
+//! column-bitmask and a whole rectangle is at most 64 words.
+
+/// Largest side the exact solver accepts: one `u64` per row/column.
+pub const MAX_SEARCH_DIM: usize = 64;
+
+/// Which party speaks at a protocol-tree node: `Rows` is player A
+/// (who holds the row index), `Cols` is player B.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Speaker {
+    /// Player A bipartitions the rectangle's rows.
+    Rows,
+    /// Player B bipartitions the rectangle's columns.
+    Cols,
+}
+
+/// One branch-and-bound move: the speaker announces one bit splitting
+/// their side by `mask` (set bits go to the `one` child). The mask is
+/// over the *canonical* rectangle's row (or column) indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// Whose side is split.
+    pub speaker: Speaker,
+    /// Subset of the speaker's indices sent to the `one` child.
+    /// Always excludes index 0 (fixing one side kills the mirror-image
+    /// duplicate of every bipartition).
+    pub mask: u64,
+}
+
+/// A canonical sub-rectangle: `rows[i]` is row `i`'s column-bitmask
+/// over `ncols` columns, rows and columns deduplicated and sorted.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Canon {
+    rows: Vec<u64>,
+    ncols: u32,
+}
+
+fn dedup_sorted(mut rows: Vec<u64>) -> Vec<u64> {
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+/// Transpose a row-mask matrix: `rows.len() ≤ 64` columns out.
+pub(crate) fn transpose_masks(rows: &[u64], ncols: usize) -> Vec<u64> {
+    debug_assert!(rows.len() <= 64);
+    let mut cols = vec![0u64; ncols];
+    for (i, &r) in rows.iter().enumerate() {
+        let mut bits = r;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            cols[j] |= 1u64 << i;
+            bits &= bits - 1;
+        }
+    }
+    cols
+}
+
+/// Compact the bits of `word` selected by `mask` into the low bits
+/// (software PEXT).
+pub(crate) fn extract_bits(word: u64, mut mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut k = 0u32;
+    while mask != 0 {
+        let j = mask.trailing_zeros();
+        out |= ((word >> j) & 1) << k;
+        k += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// Alternate row-sort / column-sort (with dedup) to a fixpoint, capped
+/// at a handful of passes (see the module docs: the cap affects only
+/// dedup quality, never soundness).
+fn canon_orient(mut rows: Vec<u64>, mut ncols: usize) -> (Vec<u64>, usize) {
+    for _ in 0..8 {
+        let before_rows = rows.clone();
+        let before_ncols = ncols;
+        rows = dedup_sorted(rows);
+        let cols = dedup_sorted(transpose_masks(&rows, ncols));
+        ncols = cols.len();
+        rows = transpose_masks(&cols, rows.len());
+        if rows == before_rows && ncols == before_ncols {
+            break;
+        }
+    }
+    (rows, ncols)
+}
+
+impl Canon {
+    /// Canonicalize a raw rectangle given as row masks over `ncols`
+    /// columns. Panics on empty rectangles or sides above
+    /// [`MAX_SEARCH_DIM`] — the solver never constructs either.
+    pub fn new(rows: Vec<u64>, ncols: usize) -> Canon {
+        assert!(
+            !rows.is_empty() && ncols > 0,
+            "empty rectangles have no canonical form"
+        );
+        assert!(
+            rows.len() <= MAX_SEARCH_DIM && ncols <= MAX_SEARCH_DIM,
+            "rectangle exceeds the {MAX_SEARCH_DIM}x{MAX_SEARCH_DIM} search cap"
+        );
+        let (ar, ac) = canon_orient(rows.clone(), ncols);
+        let (br, bc) = canon_orient(transpose_masks(&rows, ncols), rows.len());
+        // Prefer the orientation with fewer rows, then fewer columns,
+        // then the lexicographically smaller row list.
+        let a_key = (ar.len(), ac);
+        let b_key = (br.len(), bc);
+        let (rows, ncols) = if (a_key, &ar) <= (b_key, &br) {
+            (ar, ac)
+        } else {
+            (br, bc)
+        };
+        Canon {
+            rows,
+            ncols: ncols as u32,
+        }
+    }
+
+    /// Canonicalize a full truth matrix.
+    pub fn from_truth(t: &ccmx_comm::truth::TruthMatrix) -> Canon {
+        assert!(
+            t.rows() <= MAX_SEARCH_DIM && t.cols() <= MAX_SEARCH_DIM,
+            "truth matrix exceeds the {MAX_SEARCH_DIM}x{MAX_SEARCH_DIM} search cap"
+        );
+        let rows: Vec<u64> = (0..t.rows())
+            .map(|x| {
+                (0..t.cols())
+                    .filter(|&y| t.get(x, y))
+                    .fold(0u64, |m, y| m | 1 << y)
+            })
+            .collect();
+        Canon::new(rows, t.cols())
+    }
+
+    /// Number of (distinct) rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of (distinct) columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols as usize
+    }
+
+    /// Row masks (each over [`Canon::ncols`] bits).
+    pub fn row_masks(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// `Some(value)` iff the rectangle is monochromatic. Canonical
+    /// monochromatic rectangles are exactly the two 1×1 forms.
+    pub fn mono_value(&self) -> Option<bool> {
+        if self.rows.len() == 1 && self.ncols == 1 {
+            Some(self.rows[0] & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical complement rectangle (0 ↔ 1 flipped): its rank
+    /// certificates bound the number of 0-monochromatic leaves.
+    pub fn complement(&self) -> Canon {
+        let full = if self.ncols == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ncols) - 1
+        };
+        Canon::new(self.rows.iter().map(|r| !r & full).collect(), self.ncols())
+    }
+
+    /// Materialize as a [`ccmx_comm::truth::TruthMatrix`] so the
+    /// `comm::bounds` certificates apply directly.
+    pub fn to_truth(&self) -> ccmx_comm::truth::TruthMatrix {
+        ccmx_comm::truth::TruthMatrix::from_fn(self.nrows(), self.ncols(), |x, y| {
+            self.rows[x] >> y & 1 == 1
+        })
+    }
+
+    /// Apply a move: both children, canonicalized. The mask must be a
+    /// nontrivial subset of the speaker's indices.
+    pub fn children(&self, mv: &Move) -> (Canon, Canon) {
+        match mv.speaker {
+            Speaker::Rows => {
+                let side = self.rows.len();
+                let full = if side == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << side) - 1
+                };
+                debug_assert!(mv.mask != 0 && mv.mask & !full == 0 && mv.mask != full);
+                let pick = |bits: u64| -> Vec<u64> {
+                    let mut out = Vec::with_capacity(bits.count_ones() as usize);
+                    let mut b = bits;
+                    while b != 0 {
+                        out.push(self.rows[b.trailing_zeros() as usize]);
+                        b &= b - 1;
+                    }
+                    out
+                };
+                (
+                    Canon::new(pick(full & !mv.mask), self.ncols()),
+                    Canon::new(pick(mv.mask), self.ncols()),
+                )
+            }
+            Speaker::Cols => {
+                let side = self.ncols();
+                let full = if side == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << side) - 1
+                };
+                debug_assert!(mv.mask != 0 && mv.mask & !full == 0 && mv.mask != full);
+                let keep = full & !mv.mask;
+                let zero: Vec<u64> = self.rows.iter().map(|&r| extract_bits(r, keep)).collect();
+                let one: Vec<u64> = self
+                    .rows
+                    .iter()
+                    .map(|&r| extract_bits(r, mv.mask))
+                    .collect();
+                (
+                    Canon::new(zero, keep.count_ones() as usize),
+                    Canon::new(one, mv.mask.count_ones() as usize),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccmx_comm::truth::TruthMatrix;
+
+    #[test]
+    fn mono_collapses_to_1x1() {
+        let ones = Canon::new(vec![0b111, 0b111], 3);
+        assert_eq!(ones.mono_value(), Some(true));
+        let zeros = Canon::new(vec![0, 0, 0], 5);
+        assert_eq!(zeros.mono_value(), Some(false));
+    }
+
+    #[test]
+    fn permutations_and_duplicates_share_a_key() {
+        // [[1,0],[0,1]] with a duplicated row and swapped columns.
+        let a = Canon::new(vec![0b01, 0b10], 2);
+        let b = Canon::new(vec![0b10, 0b01, 0b10], 2);
+        assert_eq!(a, b);
+        // Transpose maps to the same canonical form too.
+        let t = TruthMatrix::from_fn(2, 3, |x, y| (x + y) % 2 == 0);
+        assert_eq!(Canon::from_truth(&t), Canon::from_truth(&t.transpose()));
+    }
+
+    #[test]
+    fn children_split_rows_and_cols() {
+        // Identity 3x3; split row 1|{0,2}.
+        let c = Canon::from_truth(&TruthMatrix::from_fn(3, 3, |x, y| x == y));
+        assert_eq!((c.nrows(), c.ncols()), (3, 3));
+        let (z, o) = c.children(&Move {
+            speaker: Speaker::Rows,
+            mask: 0b010,
+        });
+        // One row vs two rows; the singleton becomes [0 1] (one 1-col,
+        // the dead columns merge), the pair stays a 2x3 partial identity.
+        assert_eq!(o.nrows(), 1);
+        assert!(z.nrows() == 2);
+        let (z2, o2) = c.children(&Move {
+            speaker: Speaker::Cols,
+            mask: 0b100,
+        });
+        // The singleton-column child is a 2x1 / 1x2 half-identity (the
+        // orientation rule may transpose it); the other keeps 2 columns.
+        assert_eq!(o2.nrows() * o2.ncols(), 2);
+        assert!(z2.ncols() <= 3 && z2.nrows() <= 3);
+    }
+
+    #[test]
+    fn extract_bits_is_pext() {
+        assert_eq!(extract_bits(0b1011, 0b1010), 0b11);
+        assert_eq!(extract_bits(0b1011, 0b0101), 0b01);
+        assert_eq!(extract_bits(0b1000, 0b1111), 0b1000);
+        assert_eq!(extract_bits(u64::MAX, u64::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property and exhaustiveness tests for the exact CC(f) solver.
+//!
+//! The reference implementation here (`brute_cc`) is written from the
+//! Bellman recursion with no canonicalization, no memo and no bound
+//! certificates, so it shares no code with the production solver.
+
+use ccmx_comm::bounds::lower_bounds;
+use ccmx_comm::functions::Singularity;
+use ccmx_comm::partition::Partition;
+use ccmx_comm::truth::TruthMatrix;
+use ccmx_search::{solve, SearchConfig};
+use proptest::prelude::*;
+
+/// Exhaustive reference solver (independent of `ccmx_search`).
+fn brute_cc(t: &TruthMatrix) -> u32 {
+    fn go(t: &TruthMatrix, rows: &[usize], cols: &[usize]) -> u32 {
+        let first = t.get(rows[0], cols[0]);
+        if rows
+            .iter()
+            .all(|&x| cols.iter().all(|&y| t.get(x, y) == first))
+        {
+            return 0;
+        }
+        let mut best = u32::MAX;
+        for s in 1..(1u64 << (rows.len() - 1)) {
+            let mask = s << 1;
+            let zero: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 0)
+                .map(|(_, &x)| x)
+                .collect();
+            let one: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &x)| x)
+                .collect();
+            best = best.min(1 + go(t, &zero, cols).max(go(t, &one, cols)));
+        }
+        for s in 1..(1u64 << (cols.len() - 1)) {
+            let mask = s << 1;
+            let zero: Vec<usize> = cols
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| mask >> j & 1 == 0)
+                .map(|(_, &y)| y)
+                .collect();
+            let one: Vec<usize> = cols
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| mask >> j & 1 == 1)
+                .map(|(_, &y)| y)
+                .collect();
+            best = best.min(1 + go(t, rows, &zero).max(go(t, rows, &one)));
+        }
+        best
+    }
+    let rows: Vec<usize> = (0..t.rows()).collect();
+    let cols: Vec<usize> = (0..t.cols()).collect();
+    go(t, &rows, &cols)
+}
+
+fn serial() -> SearchConfig {
+    SearchConfig {
+        threads: 1,
+        ..SearchConfig::default()
+    }
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    (usize::BITS - n.saturating_sub(1).leading_zeros()) * u32::from(n > 1)
+}
+
+#[test]
+fn exhaustive_3x3_matches_brute_force() {
+    // All 2^9 truth matrices on a 3x3 rectangle, one shared solver per
+    // run is deliberately NOT used: every matrix gets a fresh solve so
+    // a memo bug cannot leak between cases.
+    for bits in 0u16..512 {
+        let t = TruthMatrix::from_fn(3, 3, |x, y| bits >> (x * 3 + y) & 1 == 1);
+        let expect = brute_cc(&t);
+        let got = solve(&t, &serial()).unwrap();
+        assert!(got.exact, "matrix {bits:#b} not solved exactly");
+        assert_eq!(got.cc, expect, "matrix {bits:#b}");
+        let cert = got
+            .certificate
+            .unwrap_or_else(|| panic!("matrix {bits:#b} has no certificate"));
+        cert.verify()
+            .unwrap_or_else(|e| panic!("matrix {bits:#b}: {e}"));
+        assert_eq!(cert.cc, expect);
+    }
+}
+
+#[test]
+fn paper_small_hard_instances() {
+    // Equality on n bits is the 2^n identity: CC = n + 1 (n bits to
+    // name the row, one for the verdict; χ > 2^n rules out depth n).
+    for n in [1usize, 2, 3] {
+        let t = TruthMatrix::from_fn(1 << n, 1 << n, |x, y| x == y);
+        let r = solve(&t, &serial()).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.cc, n as u32 + 1, "equality on {n} bits");
+    }
+    // The paper's singularity function at its smallest partition:
+    // 2x2 matrices of 1-bit entries under π₀ (A holds column 1).
+    let f = Singularity::new(2, 1);
+    let pi0 = Partition::pi_zero(&f.enc);
+    let t = TruthMatrix::enumerate(&f, &pi0, 1);
+    assert_eq!((t.rows(), t.cols()), (4, 4));
+    let r = solve(&t, &serial()).unwrap();
+    assert!(r.exact);
+    assert_eq!(r.cc, brute_cc(&t), "singularity dim 2 k 1 under pi0");
+    let cert = r.certificate.expect("4x4 instance must yield a witness");
+    cert.verify().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Satellite: for random matrices up to 5x5 the exact CC sits in
+    // [lower_bounds, ceil(log2 distinct_rows) + 1] and every emitted
+    // certificate passes the independent verifier.
+    #[test]
+    fn cc_within_certified_bracket(rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = TruthMatrix::from_fn(rows, cols, |_, _| rng.gen());
+        let r = solve(&t, &serial()).unwrap();
+        prop_assert!(r.exact);
+        let rep = lower_bounds(&t);
+        prop_assert!(
+            f64::from(r.cc) >= rep.comm_lower_bound_bits,
+            "cc {} below certified lower bound {}",
+            r.cc,
+            rep.comm_lower_bound_bits
+        );
+        let trivial_upper = ceil_log2(rep.distinct_rows) + u32::from(rep.distinct_rows > 1 || rep.distinct_cols > 1);
+        prop_assert!(
+            r.cc <= trivial_upper,
+            "cc {} above the row-announce bound {}",
+            r.cc,
+            trivial_upper
+        );
+        let cert = r.certificate.expect("small instances always yield witnesses");
+        prop_assert!(cert.verify().is_ok());
+        prop_assert_eq!(cert.cc, r.cc);
+    }
+
+    // Parallel and serial search must agree exactly (the incumbent /
+    // cancellation machinery may change *work*, never the answer).
+    #[test]
+    fn parallel_serial_and_memoless_agree(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = TruthMatrix::from_fn(5, 5, |_, _| rng.gen());
+        let a = solve(&t, &serial()).unwrap();
+        let b = solve(&t, &SearchConfig { threads: 4, ..SearchConfig::default() }).unwrap();
+        let c = solve(&t, &SearchConfig { threads: 1, use_memo: false, ..SearchConfig::default() }).unwrap();
+        prop_assert_eq!(a.cc, b.cc);
+        prop_assert_eq!(a.cc, c.cc);
+    }
+
+    // Certificates survive the disk round-trip byte-for-byte.
+    #[test]
+    fn certificate_serialization_round_trips(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        use ccmx_search::CcCertificate;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = TruthMatrix::from_fn(4, 4, |_, _| rng.gen());
+        let r = solve(&t, &serial()).unwrap();
+        let cert = r.certificate.expect("4x4 always yields a witness");
+        let back = CcCertificate::from_bytes(&cert.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &cert);
+        let text = CcCertificate::from_hex(&cert.to_hex()).unwrap();
+        prop_assert_eq!(&text, &cert);
+    }
+}

@@ -14,9 +14,12 @@
 # (blocked vs scalar Montgomery elimination over full CRT prime plans,
 # with the Hong–Kung words-moved meter read back and gated: the blocked
 # path must be taken, and the blocked CRT det at n=32 must beat the
-# scalar path by >= 1.3x), writing BENCH_e14.json ... BENCH_e19.json
-# at the repo root. Commit all six so the perf trajectory is tracked
-# in-tree.
+# scalar path by >= 1.3x) and the E20 CC(f) search rows (branch-and-
+# bound with the canonical-rectangle memo on/off, serial vs the root
+# worker pool, gated: memoized parallel search must beat the serial
+# un-memoized baseline by >= 1.5x at the largest benched dimension),
+# writing BENCH_e14.json ... BENCH_e20.json at the repo root. Commit
+# all seven so the perf trajectory is tracked in-tree.
 #
 # Usage: scripts/bench_snapshot.sh [--quick]
 #   --quick   single rep per measurement (CI sanity; noisier numbers)
@@ -90,5 +93,21 @@ fi
 SPEEDUP19=$(grep -o '"det_crt_blocked_speedup_n32": [0-9.]*' "$OUT19" | awk '{print $2}')
 if ! awk -v s="$SPEEDUP19" 'BEGIN { exit !(s >= 1.3) }'; then
     echo "FAIL: blocked CRT det speedup $SPEEDUP19 at n=32 below the 1.3x gate" >&2
+    exit 1
+fi
+
+OUT20=BENCH_e20.json
+echo "==> cargo run --release --bin bench_snapshot -- --e20 ${ARGS[*]:-}"
+cargo run --release -p ccmx-bench --bin bench_snapshot -- --e20 ${ARGS[@]+"${ARGS[@]}"} > "$OUT20.tmp"
+mv "$OUT20.tmp" "$OUT20"
+echo "==> wrote $OUT20"
+grep -E "speedup|search_ok" "$OUT20"
+if ! grep -q '"search_ok": true' "$OUT20"; then
+    echo "FAIL: CC(f) search produced inexact or disagreeing answers, or the memo never hit" >&2
+    exit 1
+fi
+SPEEDUP20=$(grep -o '"parallel_memo_speedup_largest": [0-9.]*' "$OUT20" | awk '{print $2}')
+if ! awk -v s="$SPEEDUP20" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "FAIL: memoized parallel CC search speedup $SPEEDUP20 at the largest dim below the 1.5x gate" >&2
     exit 1
 fi

@@ -9,7 +9,12 @@
 #                  with no timing, so benches can't silently rot; check
 #                  the E19 blocked-kernel verdict (the communication-
 #                  avoiding dispatch must actually take the blocked path
-#                  and its Hong-Kung I/O meter must report words); then
+#                  and its Hong-Kung I/O meter must report words); check
+#                  the E20 search verdict (every benched CC(f) answer
+#                  exact and config-independent, the canonical-rectangle
+#                  memo actually hitting) and replay the committed
+#                  protocol-tree certificate through the independent
+#                  `ccmx cc --verify` checker; then
 #                  boot a real `ccmx serve`, warm it up over the wire,
 #                  and fail unless its metrics scrape shows live request,
 #                  pool and CRT counters; then run a seeded chaos soak
@@ -75,8 +80,27 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
     fi
     grep '"blocked_ok"' <<< "$E19_OUT"
 
-    echo "==> live server metrics gate"
+    echo "==> bench_snapshot --e20 --quick (CC search exactness + memo gate)"
+    E20_OUT=$(cargo run --release -p ccmx-bench --bin bench_snapshot -- --e20 --quick)
+    if ! grep -q '"search_ok": true' <<< "$E20_OUT"; then
+        echo "FAIL: CC(f) search answered inexactly, disagreed across configs," >&2
+        echo "      or the canonical-rectangle memo never hit under the E20 workload" >&2
+        grep -E "search_ok|workload|memo" <<< "$E20_OUT" >&2
+        exit 1
+    fi
+    grep '"search_ok"' <<< "$E20_OUT"
+    if ! grep -Eq '"ccmx_search_memo_hits_total [0-9]*[1-9][0-9]*"' <<< "$E20_OUT"; then
+        echo "FAIL: E20 metrics show zero ccmx_search_memo_hits_total" >&2
+        grep -E "ccmx_search_memo" <<< "$E20_OUT" >&2 || true
+        exit 1
+    fi
+    grep -E "ccmx_search_memo_hits_total" <<< "$E20_OUT"
+
+    echo "==> certificate replay gate (committed protocol tree, independent checker)"
     cargo build --release --bin ccmx
+    ./target/release/ccmx cc --verify tests/data/equality8.cert
+
+    echo "==> live server metrics gate"
     SRV_LOG=$(mktemp)
     ./target/release/ccmx serve 127.0.0.1:0 > "$SRV_LOG" &
     SRV_PID=$!

@@ -6,6 +6,10 @@
 //! ccmx bounds <n> <k>             print the Theorem 1.1 / VLSI bound breakdown
 //! ccmx construct <n> <k> [--complete]  generate a restricted instance (Fig. 1/3)
 //! ccmx truth <2n> <k>             enumerate the π₀ truth matrix + certificates
+//! ccmx cc <matrix: 0110;1001> [--threads T] [--no-memo] [--depth D] [--cert FILE]
+//!                                 exact CC(f) by branch-and-bound, with an optional
+//!                                 serialized optimal-protocol certificate
+//! ccmx cc --verify FILE           re-verify a saved certificate, trust-free
 //! ccmx serve <addr> [workers]     run the protocol-lab server (e.g. 127.0.0.1:7878)
 //! ccmx shard <addr> [--name N] [--cache-cap C] [--workers W] [--idle-secs S]
 //!                                 run one cluster shard (a named lab server)
@@ -36,9 +40,31 @@ fn net_fail(what: &str, err: ccmx::net::NetError) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx serve <addr> [workers]\n  ccmx shard <addr> [--name N] [--cache-cap C] [--workers W]\n  ccmx coordinator <addr> --shard name=addr [--shard ...] [--replicas R] [--vnodes V]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats\n  ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]"
+        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx cc <matrix: 0110;1001> [--threads T] [--no-memo] [--depth D] [--cert FILE]\n  ccmx cc --verify FILE\n  ccmx serve <addr> [workers]\n  ccmx shard <addr> [--name N] [--cache-cap C] [--workers W]\n  ccmx coordinator <addr> --shard name=addr [--shard ...] [--replicas R] [--vnodes V]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> cc <matrix: 0110;1001> [--depth D]\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats\n  ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]"
     );
     std::process::exit(2)
+}
+
+/// Parse a truth matrix written as rows of 0/1 digits, e.g. "0110;1001".
+fn parse_truth(s: &str) -> ccmx::comm::truth::TruthMatrix {
+    let rows: Vec<Vec<bool>> = s
+        .split(';')
+        .map(|row| {
+            row.trim()
+                .chars()
+                .map(|ch| match ch {
+                    '0' => false,
+                    '1' => true,
+                    other => panic!("bad truth entry {other:?} (want 0/1)"),
+                })
+                .collect()
+        })
+        .collect();
+    let r = rows.len();
+    let c = rows.first().map_or(0, |x| x.len());
+    assert!(r > 0 && c > 0, "empty truth matrix");
+    assert!(rows.iter().all(|x| x.len() == c), "ragged truth matrix");
+    ccmx::comm::truth::TruthMatrix::from_fn(r, c, |x, y| rows[x][y])
 }
 
 fn parse_matrix(s: &str) -> Matrix<Integer> {
@@ -183,6 +209,106 @@ fn main() {
                 "one-way bound   = {:.2} bits",
                 ccmx::comm::bounds::one_way_lower_bound_bits(&t)
             );
+        }
+        Some("cc") => {
+            // Trust-free certificate replay: decode, verify, report.
+            if args.get(1).map(String::as_str) == Some("--verify") {
+                let path = args.get(2).unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                let cert = ccmx::search::CcCertificate::from_hex(&text)
+                    .unwrap_or_else(|e| panic!("bad certificate in {path}: {e}"));
+                match cert.verify() {
+                    Ok(()) => {
+                        println!(
+                            "certificate OK: {}x{} matrix, CC = {} ({} tree node(s))",
+                            cert.rows,
+                            cert.cols,
+                            cert.cc,
+                            cert.tree.node_count()
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("certificate REJECTED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
+            let t = parse_truth(args.get(1).unwrap_or_else(|| usage()));
+            let mut cfg = ccmx::search::SearchConfig::default();
+            let mut cert_path: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--threads" => {
+                        i += 1;
+                        cfg.threads = args.get(i).unwrap_or_else(|| usage()).parse().expect("T");
+                    }
+                    "--no-memo" => cfg.use_memo = false,
+                    "--depth" => {
+                        i += 1;
+                        cfg.depth_limit =
+                            args.get(i).unwrap_or_else(|| usage()).parse().expect("D");
+                    }
+                    "--cert" => {
+                        i += 1;
+                        cert_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            let start = std::time::Instant::now();
+            let r = ccmx::search::solve(&t, &cfg).unwrap_or_else(|e| panic!("cc search: {e}"));
+            let elapsed = start.elapsed();
+            println!("matrix          = {} × {}", t.rows(), t.cols());
+            if r.exact {
+                println!("CC(f)           = {} (exact)", r.cc);
+            } else {
+                println!(
+                    "CC(f)           >= {} (depth budget {} hit)",
+                    r.cc, cfg.depth_limit
+                );
+            }
+            println!("nodes           = {}", r.stats.nodes);
+            println!(
+                "memo            = {} hit(s), {} miss(es), {} entr(ies)",
+                r.stats.memo_hits, r.stats.memo_misses, r.stats.memo_entries
+            );
+            for (kind, count) in r.stats.prunes_by_certificate() {
+                println!("prunes[{kind:<9}] = {count}");
+            }
+            println!("wall time       = {elapsed:.2?}");
+            match (&cert_path, r.certificate) {
+                (Some(path), Some(cert)) => {
+                    cert.verify()
+                        .expect("solver emitted an invalid certificate");
+                    std::fs::write(path, cert.to_hex())
+                        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                    println!("certificate     -> {path} (verified)");
+                }
+                (Some(_), None) => {
+                    println!("certificate     = none (inexact result or witness too wide)");
+                }
+                (None, Some(cert)) => {
+                    cert.verify()
+                        .expect("solver emitted an invalid certificate");
+                    println!(
+                        "certificate     = {} tree node(s), verified (use --cert FILE to save)",
+                        cert.tree.node_count()
+                    );
+                }
+                (None, None) => {}
+            }
+            println!("-- search metrics --");
+            for line in ccmx::obs::registry()
+                .render()
+                .lines()
+                .filter(|l| l.starts_with("ccmx_search_"))
+            {
+                println!("{line}");
+            }
         }
         Some("serve") => {
             let addr = args.get(1).unwrap_or_else(|| usage());
@@ -375,6 +501,51 @@ fn main() {
                         .unwrap_or_else(|e| net_fail("singularity request failed", e));
                     println!("matrix:\n{m}");
                     println!("singular  = {singular} (decided remotely, k = {k})");
+                }
+                Some("cc") => {
+                    let t = parse_truth(args.get(3).unwrap_or_else(|| usage()));
+                    let mut depth = 32u32;
+                    let mut i = 4;
+                    while i < args.len() {
+                        match args[i].as_str() {
+                            "--depth" => {
+                                i += 1;
+                                depth = args.get(i).unwrap_or_else(|| usage()).parse().expect("D");
+                            }
+                            _ => usage(),
+                        }
+                        i += 1;
+                    }
+                    let tr = &t;
+                    let bits = ccmx::comm::BitString::from_bits(
+                        (0..tr.rows())
+                            .flat_map(|x| (0..tr.cols()).map(move |y| tr.get(x, y)))
+                            .collect(),
+                    );
+                    let (cc, exact, nodes, certificate) = client
+                        .cc_search(t.rows(), t.cols(), &bits, depth)
+                        .unwrap_or_else(|e| net_fail("cc-search request failed", e));
+                    if exact {
+                        println!("CC(f)     = {cc} (exact, decided remotely)");
+                    } else {
+                        println!("CC(f)     >= {cc} (remote depth budget {depth} hit)");
+                    }
+                    println!("nodes     = {nodes} (0 = server cache hit)");
+                    if certificate.is_empty() {
+                        println!("witness   = none");
+                    } else {
+                        // Verify locally: the whole point of the
+                        // certificate is not having to trust the server.
+                        let cert = ccmx::search::CcCertificate::from_bytes(&certificate)
+                            .expect("server sent an undecodable certificate");
+                        cert.verify()
+                            .expect("server certificate failed verification");
+                        assert_eq!(cert.cc, cc, "certificate claims a different CC");
+                        println!(
+                            "witness   = {} tree node(s), verified locally",
+                            cert.tree.node_count()
+                        );
+                    }
                 }
                 Some("batch") => {
                     let dim: usize = args.get(3).unwrap_or_else(|| usage()).parse().expect("2n");

@@ -23,6 +23,10 @@
 //! * [`obs`] — the shared observability registry: lock-free counters,
 //!   gauges and histograms, scoped span tracing, and Prometheus-style
 //!   exposition (`ccmx client <addr> stats`),
+//! * [`search`] — the exact `CC(f)` decision engine: branch-and-bound
+//!   over protocol trees with a canonicalized rectangle memo,
+//!   certificate-seeded pruning and verifiable optimal-protocol
+//!   certificates (`ccmx cc`),
 //! * [`vlsi`] — Thompson-model AT² bounds and the systolic simulator.
 //!
 //! ## Quickstart
@@ -57,6 +61,7 @@ pub use ccmx_core as core;
 pub use ccmx_linalg as linalg;
 pub use ccmx_net as net;
 pub use ccmx_obs as obs;
+pub use ccmx_search as search;
 pub use ccmx_vlsi as vlsi;
 
 /// The most commonly used items, in one import.
