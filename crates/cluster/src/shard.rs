@@ -22,6 +22,12 @@ pub struct ShardConfig {
     pub cache_capacity: usize,
     /// Compute-pool size for the evented engine.
     pub workers: usize,
+    /// Data-directory *root* for the persistent certified-result
+    /// store. Each shard keeps its own log under
+    /// `<root>/<shard-name>`, so a whole cluster can share one root
+    /// without write collisions, and a restarted shard warm-starts
+    /// from exactly the verdicts it certified. `None` = in-memory.
+    pub store_root: Option<std::path::PathBuf>,
     /// Remaining server knobs.
     pub server: ServerConfig,
 }
@@ -33,6 +39,7 @@ impl ShardConfig {
             name: name.to_string(),
             cache_capacity: ServerConfig::default().bounds_cache_capacity,
             workers: ServerConfig::default().workers,
+            store_root: None,
             server: ServerConfig::default(),
         }
     }
@@ -86,6 +93,11 @@ pub fn serve_shard(addr: &str, config: ShardConfig) -> std::io::Result<ShardHand
     let server = ServerConfig {
         bounds_cache_capacity: config.cache_capacity.max(1),
         workers: config.workers.max(1),
+        store_dir: config
+            .store_root
+            .as_ref()
+            .map(|root| root.join(&config.name))
+            .or(config.server.store_dir.clone()),
         ..config.server
     };
     let inner = serve(addr, server)?;

@@ -90,6 +90,28 @@ pub fn fast_path_stats() -> (u64, u64) {
     (certified_counter().get(), fallback_counter().get())
 }
 
+/// Content fingerprint of an integer matrix: FNV-1a 64 over the shape
+/// and the canonical decimal rendering of every entry in row-major
+/// order. Stable across processes and backends, so it can key persisted
+/// certified verdicts (the store's CRT keyspace) — two matrices with
+/// the same fingerprint are, for cache purposes, the same matrix.
+pub fn matrix_fingerprint(m: &Matrix<Integer>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(m.rows() as u64).to_le_bytes());
+    eat(&(m.cols() as u64).to_le_bytes());
+    for e in m.data() {
+        eat(e.to_string().as_bytes());
+        eat(b";");
+    }
+    h
+}
+
 // ----------------------------------------------------------------------
 // Prime pool
 // ----------------------------------------------------------------------

@@ -71,6 +71,7 @@ pub mod client;
 pub mod error;
 pub mod evloop;
 pub mod fault;
+pub(crate) mod persist;
 pub mod retry;
 pub mod runner;
 pub mod server;

@@ -112,6 +112,10 @@ pub struct RetryClient {
     bounds_cache: HashMap<(usize, u32, u32), BoundsReport>,
     committed: TransportStats,
     discarded_bits: u64,
+    /// Persistent backing for the idempotency cache, when attached:
+    /// committed runs are appended as they complete, so replays
+    /// survive process death.
+    store: Option<ccmx_store::Store>,
 }
 
 impl RetryClient {
@@ -134,7 +138,34 @@ impl RetryClient {
             bounds_cache: HashMap::new(),
             committed: TransportStats::default(),
             discarded_bits: 0,
+            store: None,
         }
+    }
+
+    /// Attach a persistent store under `dir`: every committed run
+    /// already on disk is re-seeded into the idempotency cache right
+    /// away (so replays survive process death), and every future
+    /// committed run is appended. Returns how many runs were loaded.
+    ///
+    /// Fails only if the directory cannot be opened as a store at all;
+    /// individual undecodable records are skipped (and counted on
+    /// `ccmx_store_warm_skipped_total`), never trusted.
+    pub fn attach_store(&mut self, dir: &std::path::Path) -> Result<usize, NetError> {
+        let store = ccmx_store::Store::open(ccmx_store::StoreConfig::new(dir).label("client"))
+            .map_err(|e| NetError::Protocol(format!("cannot open run store: {e}")))?;
+        let mut loaded = 0usize;
+        store.for_each(ccmx_store::Keyspace::RUN, |key, value| {
+            match (<[u8; 8]>::try_from(key), crate::persist::decode_run(value)) {
+                (Ok(key), Some(run)) => {
+                    self.completed_runs.insert(u64::from_le_bytes(key), run);
+                    loaded += 1;
+                }
+                _ => crate::persist::skipped_counter().inc(),
+            }
+        });
+        crate::persist::seeded_counter("runs").add(loaded as u64);
+        self.store = Some(store);
+        Ok(loaded)
     }
 
     /// Current breaker state (ticks the open→half-open clock).
@@ -287,6 +318,19 @@ impl RetryClient {
             attempts,
         };
         self.completed_runs.insert(key, run.clone());
+        if let Some(store) = &mut self.store {
+            let put = store
+                .put(
+                    ccmx_store::Keyspace::RUN,
+                    &key.to_le_bytes(),
+                    &crate::persist::encode_run(&run),
+                )
+                .and_then(|()| store.sync());
+            if let Err(e) = put {
+                ccmx_obs::counter!("ccmx_store_write_errors_total").inc();
+                eprintln!("ccmx-store[client]: write failed: {e}");
+            }
+        }
         Ok(run)
     }
 
@@ -387,6 +431,46 @@ mod tests {
         );
         assert_eq!(rc.discarded_bits(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn idempotent_replays_survive_process_death() {
+        let dir = std::env::temp_dir().join(format!("ccmx-retry-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        let spec = ProtoSpec::FingerprintEquality {
+            half_bits: 16,
+            security: 16,
+        };
+        let input = BitString::from_u64(0xfeed_f00d, 32);
+
+        // First client lifetime: run once, persist, drop (the "death").
+        let first = {
+            let mut rc =
+                RetryClient::new(&addr, TransportConfig::default(), policy(), breaker_cfg());
+            assert_eq!(rc.attach_store(&dir).unwrap(), 0);
+            rc.run_idempotent(spec, &input, 9).unwrap()
+        };
+        assert!(!first.replayed);
+
+        // Second lifetime: a brand-new client with the same store
+        // replays the run without touching the wire.
+        let mut rc = RetryClient::new(&addr, TransportConfig::default(), policy(), breaker_cfg());
+        assert_eq!(rc.attach_store(&dir).unwrap(), 1, "one run re-seeded");
+        server.shutdown(); // nobody to talk to: a replay is the only way
+        let replay = rc.run_idempotent(spec, &input, 9).unwrap();
+        assert!(replay.replayed, "a persisted run must replay from disk");
+        assert_eq!(replay.attempts, 0);
+        assert_eq!(replay.result_a, first.result_a);
+        assert_eq!(replay.result_b, first.result_b);
+        assert_eq!(replay.stats, first.stats);
+        assert_eq!(
+            rc.committed_stats(),
+            TransportStats::default(),
+            "a disk replay moves no new bits"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

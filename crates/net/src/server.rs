@@ -48,6 +48,7 @@ use crate::batch;
 use crate::cache::{CacheStats, LruCache};
 use crate::error::NetError;
 use crate::evloop::{self, EventHandler, PromotedConn};
+use crate::persist;
 use crate::transport::{AsChannel, TcpTransport, TransportConfig};
 use crate::wire::{WireCodec, KIND_INTERACTIVE, KIND_REQUEST, KIND_RESPONSE};
 
@@ -63,7 +64,7 @@ pub enum ServerEngine {
 }
 
 /// Server tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Connection engine; [`ServerEngine::Evented`] unless overridden.
     pub engine: ServerEngine,
@@ -98,6 +99,13 @@ pub struct ServerConfig {
     /// Evented engine: how long a shutdown waits for in-flight requests
     /// to finish and their responses to flush before giving up.
     pub drain_timeout: Duration,
+    /// Data directory for the persistent certified-result store
+    /// (`ccmx-store`). `Some(dir)` warm-starts the bounds, cc-search
+    /// and singularity caches from disk on boot and persists every
+    /// fresh verdict; `None` (the default) serves purely in-memory.
+    /// An unopenable store degrades to cold serving, never a refusal
+    /// to start.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +123,7 @@ impl Default for ServerConfig {
             eviction_strikes: 1,
             max_pending_requests: 16 * 1024,
             drain_timeout: Duration::from_secs(5),
+            store_dir: None,
         }
     }
 }
@@ -216,11 +225,120 @@ type BoundsKey = (usize, u32, u32, &'static str);
 /// later deep query expects (and vice versa).
 type CcKey = (usize, usize, Vec<bool>, u32);
 
+/// Singularity-verdict cache key: `(dim, k, content fingerprint,
+/// linalg backend id)`. The fingerprint
+/// ([`ccmx_linalg::crt::matrix_fingerprint`]) stands in for the matrix
+/// itself, so a warm hit answers without re-decoding entries or running
+/// any elimination; the backend component carries the same
+/// upgrade-safety guarantee as [`BoundsKey`].
+type SingKey = (usize, u32, u64, &'static str);
+
 pub(crate) struct ServerState {
     pub(crate) config: ServerConfig,
     pub(crate) counters: Counters,
     bounds_cache: Mutex<LruCache<BoundsKey, BoundsReport>>,
     cc_cache: Mutex<LruCache<CcKey, Response>>,
+    sing_cache: Mutex<LruCache<SingKey, bool>>,
+    /// Persistent certified-result tier, when the config names a data
+    /// directory. Lock order is always cache lock before store lock
+    /// (and never both across a compute) — persistence happens after
+    /// the cache lock is released.
+    store: Option<Mutex<ccmx_store::Store>>,
+}
+
+impl ServerState {
+    /// Build the shared state for any engine: caches, counters, and —
+    /// when configured — the persistent store, opened (with crash
+    /// recovery) and drained into the caches so the server boots warm.
+    fn new(config: ServerConfig) -> ServerState {
+        let cap = config.bounds_cache_capacity;
+        let store = config
+            .store_dir
+            .as_deref()
+            .and_then(|dir| persist::open_store(dir, "server"));
+        let state = ServerState {
+            config,
+            counters: Counters::default(),
+            bounds_cache: Mutex::new(LruCache::with_metrics(cap, "bounds")),
+            cc_cache: Mutex::new(LruCache::with_metrics(cap, "cc")),
+            sing_cache: Mutex::new(LruCache::with_metrics(cap, "sing")),
+            store: store.map(Mutex::new),
+        };
+        state.warm_start();
+        state
+    }
+
+    /// Re-seed the in-memory caches from every decodable record on
+    /// disk. Entries certified by a different linalg backend stay on
+    /// disk untouched (they are valid, just not ours to trust);
+    /// undecodable records are skipped and counted, never trusted.
+    fn warm_start(&self) {
+        let Some(store) = &self.store else { return };
+        let store = store.lock();
+        let active = ccmx_linalg::crt::active_backend().id();
+
+        let mut bounds = 0u64;
+        store.for_each(ccmx_store::Keyspace::BOUNDS, |key, value| {
+            match (
+                persist::decode_bounds_key(key),
+                BoundsReport::from_wire_bytes(value),
+            ) {
+                (Some((n, k, security, backend)), Ok(report)) if backend == active => {
+                    self.bounds_cache
+                        .lock()
+                        .put((n, k, security, active), report);
+                    bounds += 1;
+                }
+                (Some(_), Ok(_)) => {}
+                _ => persist::skipped_counter().inc(),
+            }
+        });
+        persist::seeded_counter("bounds").add(bounds);
+
+        let mut cc = 0u64;
+        store.for_each(ccmx_store::Keyspace::CC, |key, value| {
+            match (
+                persist::decode_cc_key(key),
+                Response::from_wire_bytes(value),
+            ) {
+                (Some((rows, cols, bits, depth_limit)), Ok(resp))
+                    if matches!(resp, Response::CcSearch { .. }) =>
+                {
+                    self.cc_cache
+                        .lock()
+                        .put((rows, cols, bits, depth_limit), resp);
+                    cc += 1;
+                }
+                _ => persist::skipped_counter().inc(),
+            }
+        });
+        persist::seeded_counter("cc").add(cc);
+
+        let mut sing = 0u64;
+        store.for_each(ccmx_store::Keyspace::CRT, |key, value| {
+            match (persist::decode_sing_key(key), value) {
+                (Some((dim, k, fp, backend)), [flag @ (0 | 1)]) if backend == active => {
+                    self.sing_cache.lock().put((dim, k, fp, active), *flag == 1);
+                    sing += 1;
+                }
+                (Some(_), [0 | 1]) => {}
+                _ => persist::skipped_counter().inc(),
+            }
+        });
+        persist::seeded_counter("sing").add(sing);
+    }
+
+    /// Append one certified result to the store, if there is one.
+    /// Write failures cost a counter and a stderr line, never an
+    /// answer — the store is an accelerator, not a dependency.
+    fn persist(&self, keyspace: ccmx_store::Keyspace, key: &[u8], value: &[u8]) {
+        let Some(store) = &self.store else { return };
+        let mut store = store.lock();
+        if let Err(e) = store.put(keyspace, key, value).and_then(|()| store.sync()) {
+            ccmx_obs::counter!("ccmx_store_write_errors_total").inc();
+            eprintln!("ccmx-store[server]: write failed: {e}");
+        }
+    }
 }
 
 /// Handle to a running server; dropping it (or calling
@@ -258,6 +376,18 @@ impl ServerHandle {
     /// Bounds-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.state.bounds_cache.lock().stats()
+    }
+
+    /// Singularity-verdict cache counters.
+    pub fn sing_cache_stats(&self) -> CacheStats {
+        self.state.sing_cache.lock().stats()
+    }
+
+    /// Snapshot of the persistent store, or `None` when the server
+    /// runs without one (no [`ServerConfig::store_dir`], or the open
+    /// failed and the server degraded to cold serving).
+    pub fn store_stat(&self) -> Option<ccmx_store::StoreStat> {
+        self.state.store.as_ref().map(|s| s.lock().stat())
     }
 
     /// Stop accepting, let workers finish in-flight connections, and
@@ -299,19 +429,12 @@ pub fn serve(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
     ccmx_obs::counter!("ccmx_server_evicted_total").add(0);
     ccmx_obs::counter!("ccmx_server_deadline_exceeded_total").add(0);
     ccmx_obs::counter!("ccmx_server_shed_total").add(0);
-    let state = Arc::new(ServerState {
-        config,
-        counters: Counters::default(),
-        bounds_cache: Mutex::new(LruCache::with_metrics(
-            config.bounds_cache_capacity,
-            "bounds",
-        )),
-        cc_cache: Mutex::new(LruCache::with_metrics(config.bounds_cache_capacity, "cc")),
-    });
+    let engine = config.engine;
+    let state = Arc::new(ServerState::new(config));
     let stop = Arc::new(AtomicBool::new(false));
     let promoted: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let threads = match config.engine {
+    let threads = match engine {
         ServerEngine::Evented => {
             let handler = Arc::new(LabHandler {
                 state: Arc::clone(&state),
@@ -344,15 +467,7 @@ pub fn serve_with_handler(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let state = Arc::new(ServerState {
-        config,
-        counters: Counters::default(),
-        bounds_cache: Mutex::new(LruCache::with_metrics(
-            config.bounds_cache_capacity,
-            "bounds",
-        )),
-        cc_cache: Mutex::new(LruCache::with_metrics(config.bounds_cache_capacity, "cc")),
-    });
+    let state = Arc::new(ServerState::new(config));
     let stop = Arc::new(AtomicBool::new(false));
     let promoted: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let threads = evloop::spawn_engine(listener, Arc::clone(&state), handler, Arc::clone(&stop))?;
@@ -371,10 +486,11 @@ fn spawn_threaded(
     state: Arc<ServerState>,
     stop: Arc<AtomicBool>,
 ) -> Vec<JoinHandle<()>> {
-    let config = state.config;
-    let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.queue_depth.max(1));
+    let queue_depth = state.config.queue_depth.max(1);
+    let workers = state.config.workers.max(1);
+    let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(queue_depth);
 
-    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+    let mut threads = Vec::with_capacity(workers + 1);
     threads.push({
         let state = Arc::clone(&state);
         std::thread::spawn(move || {
@@ -393,7 +509,7 @@ fn spawn_threaded(
             // conn_tx drops here; workers drain and exit.
         })
     });
-    for _ in 0..config.workers.max(1) {
+    for _ in 0..workers {
         let rx = conn_rx.clone();
         let state = Arc::clone(&state);
         threads.push(std::thread::spawn(move || {
@@ -636,10 +752,31 @@ fn dispatch(state: &ServerState, req: &Request, deadline: Option<std::time::Inst
             // `f.eval`'s Bareiss elimination — a square matrix is
             // singular iff its rank is deficient) so server traffic
             // exercises, and is counted by, the exact-linalg fast path.
+            // Verdicts are memoized by content fingerprint — a warm
+            // (possibly disk-seeded) hit answers with zero elimination
+            // work, observable as the CRT certification counters
+            // standing still.
             let m = f.enc.decode(input);
-            Response::Singularity {
-                singular: ccmx_linalg::crt::rank_int(&m) < *dim,
+            let backend = ccmx_linalg::crt::active_backend().id();
+            let fp = ccmx_linalg::crt::matrix_fingerprint(&m);
+            let mut fresh = None;
+            let singular =
+                state
+                    .sing_cache
+                    .lock()
+                    .get_or_insert_with((*dim, *k, fp, backend), || {
+                        let s = ccmx_linalg::crt::rank_int(&m) < *dim;
+                        fresh = Some(s);
+                        s
+                    });
+            if let Some(s) = fresh {
+                state.persist(
+                    ccmx_store::Keyspace::CRT,
+                    &persist::sing_key(*dim, *k, fp, backend),
+                    &[u8::from(s)],
+                );
             }
+            Response::Singularity { singular }
         }
         Request::Batch(reqs) => batch_response(state, reqs, deadline),
         Request::Metrics => Response::Metrics(ccmx_obs::registry().render()),
@@ -673,13 +810,14 @@ fn cc_search_response(
         ));
     }
     let key = (rows, cols, bits.as_slice().to_vec(), depth_limit);
-    state.cc_cache.lock().get_or_insert_with(key, || {
+    let mut fresh = None;
+    let response = state.cc_cache.lock().get_or_insert_with(key, || {
         let t = ccmx_comm::truth::TruthMatrix::from_fn(rows, cols, |x, y| bits.get(x * cols + y));
         let cfg = ccmx_search::SearchConfig {
             depth_limit,
             ..ccmx_search::SearchConfig::default()
         };
-        match ccmx_search::solve(&t, &cfg) {
+        let resp = match ccmx_search::solve(&t, &cfg) {
             Ok(r) => Response::CcSearch {
                 cc: r.cc,
                 exact: r.exact,
@@ -687,8 +825,23 @@ fn cc_search_response(
                 certificate: r.certificate.map(|c| c.to_bytes()).unwrap_or_default(),
             },
             Err(e) => Response::Error(format!("cc-search failed: {e}")),
+        };
+        fresh = Some(resp.clone());
+        resp
+    });
+    // Only search *answers* are certified results worth keeping; error
+    // responses stay in RAM (they are still memoized so a hostile
+    // client cannot re-trigger the failing search for free).
+    if let Some(resp) = &fresh {
+        if matches!(resp, Response::CcSearch { .. }) {
+            state.persist(
+                ccmx_store::Keyspace::CC,
+                &persist::cc_key(rows, cols, bits.as_slice(), depth_limit),
+                &resp.to_wire_bytes(),
+            );
         }
-    })
+    }
+    response
 }
 
 fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Response {
@@ -698,10 +851,12 @@ fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Resp
         ));
     }
     let backend = ccmx_linalg::crt::active_backend().id();
+    let mut fresh = false;
     let report = state
         .bounds_cache
         .lock()
         .get_or_insert_with((n, k, security, backend), || {
+            fresh = true;
             let p = Params::new(n, k);
             BoundsReport {
                 n,
@@ -712,6 +867,13 @@ fn bounds_response(state: &ServerState, n: usize, k: u32, security: u32) -> Resp
                 randomized_upper_bits: counting::probabilistic_upper_bound_bits(p, security),
             }
         });
+    if fresh {
+        state.persist(
+            ccmx_store::Keyspace::BOUNDS,
+            &persist::bounds_key(n, k, security, backend),
+            &report.to_wire_bytes(),
+        );
+    }
     Response::Bounds(report)
 }
 
@@ -1442,5 +1604,72 @@ mod tests {
         assert!(saw_shed, "the second request should have been shed");
         assert!(server.stats().requests_shed >= 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn warm_restart_answers_from_disk_without_recompute() {
+        let dir = std::env::temp_dir().join(format!("ccmx-server-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServerConfig {
+            workers: 2,
+            store_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let bounds_req = Request::Bounds {
+            n: 7,
+            k: 3,
+            security: 24,
+        };
+        let f = ccmx_comm::functions::Singularity::new(2, 2);
+        let m = ccmx_linalg::Matrix::from_fn(2, 2, |i, j| {
+            ccmx_bigint::Integer::from(if i == j { 3i64 } else { 1 })
+        });
+        let sing_req = Request::Singularity {
+            dim: 2,
+            k: 2,
+            input: f.enc.encode(&m),
+        };
+        let cc_bits = BitString::from_bits((0..16).map(|i| i / 4 == i % 4).collect());
+        let cc_req = Request::CcSearch {
+            rows: 4,
+            cols: 4,
+            bits: cc_bits,
+            depth_limit: 32,
+        };
+
+        // Cold lifetime: compute and persist three kinds of verdict.
+        let (cold_bounds, cold_sing, cold_cc) = {
+            let server = serve("127.0.0.1:0", config.clone()).unwrap();
+            let mut t = connect(&server);
+            let out = (
+                roundtrip(&mut t, &bounds_req),
+                roundtrip(&mut t, &sing_req),
+                roundtrip(&mut t, &cc_req),
+            );
+            let stat = server.store_stat().expect("server must have a store");
+            assert_eq!(stat.live_records, 3, "three verdicts persisted");
+            server.shutdown();
+            out
+        };
+        assert!(matches!(
+            cold_sing,
+            Response::Singularity { singular: false }
+        ));
+
+        // Warm lifetime: a fresh server answers all three from the
+        // disk-seeded caches — every request is a cache *hit*, so none
+        // of the compute closures (theorem counting, elimination,
+        // branch-and-bound) ran again.
+        let server = serve("127.0.0.1:0", config).unwrap();
+        let mut t = connect(&server);
+        assert_eq!(roundtrip(&mut t, &bounds_req), cold_bounds);
+        assert_eq!(roundtrip(&mut t, &sing_req), cold_sing);
+        assert_eq!(roundtrip(&mut t, &cc_req), cold_cc);
+        let bounds = server.cache_stats();
+        assert_eq!((bounds.hits, bounds.misses), (1, 0), "bounds warm hit");
+        let sing = server.sing_cache_stats();
+        assert_eq!((sing.hits, sing.misses), (1, 0), "singularity warm hit");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

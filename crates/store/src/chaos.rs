@@ -1,0 +1,266 @@
+//! The disk persona of the PR-5 fault scheduler.
+//!
+//! [`crate::segment`] and [`crate::Store`] promise that recovery yields
+//! exactly a prefix of committed records no matter how a crash mangles
+//! the tail. [`DiskFaultPlan`] makes that promise testable the same way
+//! `ccmx_net::fault::FaultPlan` does for the wire: a **seeded,
+//! deterministic** schedule of disk faults — torn tails, arbitrary
+//! truncations, single-bit flips anywhere in a file — applied directly
+//! to segment files between a writer's death and the next open.
+//!
+//! Each strike consumes exactly three generator draws (kind, target
+//! segment, position), so the schedule is a pure function of
+//! `(seed, strike index)` regardless of directory contents: soaks are
+//! replayable from their seed alone. The generator is splitmix64, the
+//! same mixer the lab's other seeded schedules use, so no `rand`
+//! dependency enters the store's build graph.
+
+use std::fs;
+use std::path::Path;
+
+use crate::segment::{parse_segment_file_name, segment_file_name, SEGMENT_HEADER_BYTES};
+use crate::StoreError;
+
+/// splitmix64: the canonical 64-bit mixer (Steele–Lea–Flood).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What a strike did to the directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// A few bytes sheared off the end of the last segment — the
+    /// signature of a write torn by process death.
+    TornTail,
+    /// The last segment truncated to an arbitrary prefix (still at
+    /// least its header) — a lost page-cache range.
+    TruncatedTail,
+    /// One bit flipped somewhere in one segment file, header included —
+    /// media corruption.
+    BitFlip,
+}
+
+impl std::fmt::Display for DiskFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DiskFaultKind::TornTail => "torn-tail",
+            DiskFaultKind::TruncatedTail => "truncated-tail",
+            DiskFaultKind::BitFlip => "bit-flip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One applied fault, for soak logs and assertions.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskFault {
+    /// Which fault fired.
+    pub kind: DiskFaultKind,
+    /// Segment id it hit.
+    pub segment: u64,
+    /// For truncations: the new file length. For bit flips: the byte
+    /// offset whose bit was flipped.
+    pub offset: u64,
+}
+
+/// A seeded, deterministic schedule of disk faults.
+pub struct DiskFaultPlan {
+    state: u64,
+    strikes: u64,
+}
+
+impl DiskFaultPlan {
+    /// Build the schedule for a seed.
+    pub fn new(seed: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            state: seed,
+            strikes: 0,
+        }
+    }
+
+    /// Strikes applied so far.
+    pub fn strikes(&self) -> u64 {
+        self.strikes
+    }
+
+    /// Apply the next scheduled fault to the store directory. Returns
+    /// `None` (still consuming the strike's three draws, to keep the
+    /// schedule index-stable) when the directory holds no segment
+    /// large enough to damage.
+    pub fn strike(&mut self, dir: &Path) -> Result<Option<DiskFault>, StoreError> {
+        let kind_draw = splitmix64(&mut self.state);
+        let seg_draw = splitmix64(&mut self.state);
+        let pos_draw = splitmix64(&mut self.state);
+        self.strikes += 1;
+
+        let mut ids: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_file_name(&e.file_name().to_string_lossy()))
+            .collect();
+        ids.sort_unstable();
+        let Some(&last) = ids.last() else {
+            return Ok(None);
+        };
+
+        let kind = match kind_draw % 3 {
+            0 => DiskFaultKind::TornTail,
+            1 => DiskFaultKind::TruncatedTail,
+            _ => DiskFaultKind::BitFlip,
+        };
+        let fault = match kind {
+            DiskFaultKind::TornTail => {
+                let path = dir.join(segment_file_name(last));
+                let len = fs::metadata(&path)?.len();
+                if len <= SEGMENT_HEADER_BYTES as u64 {
+                    return Ok(None);
+                }
+                let max_shear = (len - SEGMENT_HEADER_BYTES as u64).min(32);
+                let shear = 1 + pos_draw % max_shear;
+                let new_len = len - shear;
+                let f = fs::OpenOptions::new().write(true).open(&path)?;
+                f.set_len(new_len)?;
+                DiskFault {
+                    kind,
+                    segment: last,
+                    offset: new_len,
+                }
+            }
+            DiskFaultKind::TruncatedTail => {
+                let path = dir.join(segment_file_name(last));
+                let len = fs::metadata(&path)?.len();
+                if len <= SEGMENT_HEADER_BYTES as u64 {
+                    return Ok(None);
+                }
+                let span = len - SEGMENT_HEADER_BYTES as u64;
+                let new_len = SEGMENT_HEADER_BYTES as u64 + pos_draw % span;
+                let f = fs::OpenOptions::new().write(true).open(&path)?;
+                f.set_len(new_len)?;
+                DiskFault {
+                    kind,
+                    segment: last,
+                    offset: new_len,
+                }
+            }
+            DiskFaultKind::BitFlip => {
+                let target = ids[(seg_draw % ids.len() as u64) as usize];
+                let path = dir.join(segment_file_name(target));
+                let mut bytes = fs::read(&path)?;
+                if bytes.is_empty() {
+                    return Ok(None);
+                }
+                let at = (pos_draw % bytes.len() as u64) as usize;
+                let bit = (pos_draw >> 32) % 8;
+                bytes[at] ^= 1 << bit;
+                fs::write(&path, &bytes)?;
+                DiskFault {
+                    kind,
+                    segment: target,
+                    offset: at as u64,
+                }
+            }
+        };
+        Ok(Some(fault))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Keyspace;
+    use crate::store::{Store, StoreConfig};
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ccmx-store-chaos-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The core soak: write a known history, strike, reopen, and check
+    /// the survivors are an exact prefix of commit order with intact
+    /// values. Runs many seeds; each is fully deterministic.
+    #[test]
+    fn strikes_never_corrupt_answers() {
+        for seed in 0..40u64 {
+            let dir = tmp(&format!("soak-{seed}"));
+            let committed: BTreeMap<u32, Vec<u8>> = {
+                let mut s = Store::open(StoreConfig::new(&dir).label("chaos-soak").roll_bytes(512))
+                    .unwrap();
+                let mut m = BTreeMap::new();
+                for i in 0..60u32 {
+                    let v = format!("value-{seed}-{i}").into_bytes();
+                    s.put(Keyspace::CC, &i.to_le_bytes(), &v).unwrap();
+                    m.insert(i, v);
+                }
+                s.sync().unwrap();
+                m
+            };
+            let mut plan = DiskFaultPlan::new(seed);
+            for _ in 0..3 {
+                plan.strike(&dir).unwrap();
+            }
+            let s =
+                Store::open(StoreConfig::new(&dir).label("chaos-soak").roll_bytes(512)).unwrap();
+            // Survivors form an exact prefix of insertion order...
+            let mut keys = Vec::new();
+            s.for_each(Keyspace::CC, |k, v| {
+                let key = u32::from_le_bytes([k[0], k[1], k[2], k[3]]);
+                // ...and every surviving value is byte-identical.
+                assert_eq!(v, committed[&key], "seed {seed}: corrupted answer");
+                keys.push(key);
+            });
+            assert_eq!(
+                keys,
+                (0..keys.len() as u32).collect::<Vec<_>>(),
+                "seed {seed}: recovered set is not a prefix"
+            );
+            // And the repaired store reopens clean.
+            drop(s);
+            let s =
+                Store::open(StoreConfig::new(&dir).label("chaos-soak").roll_bytes(512)).unwrap();
+            assert!(s.recovery().clean(), "seed {seed}: repair did not settle");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_seed() {
+        let a = tmp("det-a");
+        let b = tmp("det-b");
+        for dir in [&a, &b] {
+            let mut s = Store::open(StoreConfig::new(dir).label("chaos-det")).unwrap();
+            for i in 0..20u32 {
+                s.put(Keyspace::RUN, &i.to_le_bytes(), &[i as u8; 16])
+                    .unwrap();
+            }
+            s.sync().unwrap();
+        }
+        let mut pa = DiskFaultPlan::new(99);
+        let mut pb = DiskFaultPlan::new(99);
+        for _ in 0..4 {
+            let fa = pa.strike(&a).unwrap();
+            let fb = pb.strike(&b).unwrap();
+            match (fa, fb) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.kind, y.kind);
+                    assert_eq!(x.segment, y.segment);
+                    assert_eq!(x.offset, y.offset);
+                }
+                (None, None) => {}
+                other => panic!("schedules diverged: {other:?}"),
+            }
+        }
+        assert_eq!(
+            fs::read_dir(&a).unwrap().count(),
+            fs::read_dir(&b).unwrap().count()
+        );
+        fs::remove_dir_all(&a).unwrap();
+        fs::remove_dir_all(&b).unwrap();
+    }
+}

@@ -17,18 +17,57 @@
 # scalar path by >= 1.3x) and the E20 CC(f) search rows (branch-and-
 # bound with the canonical-rectangle memo on/off, serial vs the root
 # worker pool, gated: memoized parallel search must beat the serial
-# un-memoized baseline by >= 1.5x at the largest benched dimension),
-# writing BENCH_e14.json ... BENCH_e20.json at the repo root. Commit
-# all seven so the perf trajectory is tracked in-tree.
+# un-memoized baseline by >= 1.5x at the largest benched dimension)
+# and the E21 persistent-store rows (one deterministic request storm
+# driven cold then warm against the same data directory across a server
+# lifetime boundary, gated: store_ok, recovered_records > 0, and warm
+# speedup >= 1.5x), writing BENCH_e14.json ... BENCH_e21.json at the
+# repo root. Commit all eight so the perf trajectory is tracked in-tree.
 #
-# Usage: scripts/bench_snapshot.sh [--quick]
+# Usage: scripts/bench_snapshot.sh [--quick] [--e21]
 #   --quick   single rep per measurement (CI sanity; noisier numbers)
+#   --e21     regenerate only BENCH_e21.json (the store tier)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ARGS=()
-[[ "${1:-}" == "--quick" ]] && ARGS+=(--quick)
+ONLY=""
+for a in "$@"; do
+    case "$a" in
+        --quick) ARGS+=(--quick) ;;
+        --e21) ONLY=e21 ;;
+        *) echo "unknown flag: $a" >&2; exit 2 ;;
+    esac
+done
+
+run_e21() {
+    local OUT21=BENCH_e21.json
+    echo "==> cargo run --release --bin bench_snapshot -- --e21 ${ARGS[*]:-}"
+    cargo run --release -p ccmx-bench --bin bench_snapshot -- --e21 ${ARGS[@]+"${ARGS[@]}"} > "$OUT21.tmp"
+    mv "$OUT21.tmp" "$OUT21"
+    echo "==> wrote $OUT21"
+    grep -E "warm_speedup|recovered_records|store_ok" "$OUT21"
+    if ! grep -q '"store_ok": true' "$OUT21"; then
+        echo "FAIL: warm restart recomputed, diverged, or dropped certified results" >&2
+        exit 1
+    fi
+    RECOVERED=$(grep -o '"recovered_records": [0-9]*' "$OUT21" | awk '{print $2}')
+    if [[ -z "$RECOVERED" || "$RECOVERED" -eq 0 ]]; then
+        echo "FAIL: recovery accepted zero records from the cold lifetime's log" >&2
+        exit 1
+    fi
+    SPEEDUP21=$(grep -o '"warm_speedup": [0-9.]*' "$OUT21" | awk '{print $2}')
+    if ! awk -v s="$SPEEDUP21" 'BEGIN { exit !(s >= 1.5) }'; then
+        echo "FAIL: warm-restart storm speedup $SPEEDUP21 below the 1.5x gate" >&2
+        exit 1
+    fi
+}
+
+if [[ "$ONLY" == "e21" ]]; then
+    run_e21
+    exit 0
+fi
 
 OUT=BENCH_e14.json
 echo "==> cargo run --release --bin bench_snapshot ${ARGS[*]:-}"
@@ -111,3 +150,5 @@ if ! awk -v s="$SPEEDUP20" 'BEGIN { exit !(s >= 1.5) }'; then
     echo "FAIL: memoized parallel CC search speedup $SPEEDUP20 at the largest dim below the 1.5x gate" >&2
     exit 1
 fi
+
+run_e21

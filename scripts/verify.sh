@@ -14,7 +14,11 @@
 #                  exact and config-independent, the canonical-rectangle
 #                  memo actually hitting) and replay the committed
 #                  protocol-tree certificate through the independent
-#                  `ccmx cc --verify` checker; then
+#                  `ccmx cc --verify` checker; check the E21 store
+#                  verdict (populate a data directory cold, restart the
+#                  server on it, fail if recovery accepted zero records,
+#                  if any warm answer recomputed or diverged, or if the
+#                  warm storm ran below the 1.5x speedup floor); then
 #                  boot a real `ccmx serve`, warm it up over the wire,
 #                  and fail unless its metrics scrape shows live request,
 #                  pool and CRT counters; then run a seeded chaos soak
@@ -95,6 +99,28 @@ if [[ "$BENCH_SMOKE" -eq 1 ]]; then
         exit 1
     fi
     grep -E "ccmx_search_memo_hits_total" <<< "$E20_OUT"
+
+    echo "==> bench_snapshot --e21 --quick (warm-restart store gate)"
+    E21_OUT=$(cargo run --release -p ccmx-bench --bin bench_snapshot -- --e21 --quick)
+    if ! grep -q '"store_ok": true' <<< "$E21_OUT"; then
+        echo "FAIL: warm restart recomputed a certified result, diverged from the" >&2
+        echo "      cold answers, or dropped idempotent runs under the E21 workload" >&2
+        grep -E "store_ok|warm_|recovered" <<< "$E21_OUT" >&2
+        exit 1
+    fi
+    grep '"store_ok"' <<< "$E21_OUT"
+    if ! grep -Eq 'ccmx_store_recovered_records_total\{store=..server..\} [0-9]*[1-9][0-9]*' <<< "$E21_OUT"; then
+        echo "FAIL: E21 metrics show zero ccmx_store_recovered_records_total for the server store" >&2
+        grep -E "ccmx_store_recovered" <<< "$E21_OUT" >&2 || true
+        exit 1
+    fi
+    grep -E "ccmx_store_recovered_records_total" <<< "$E21_OUT"
+    SPEEDUP21=$(grep -o '"warm_speedup": [0-9.]*' <<< "$E21_OUT" | awk '{print $2}')
+    if ! awk -v s="$SPEEDUP21" 'BEGIN { exit !(s >= 1.5) }'; then
+        echo "FAIL: warm-restart storm speedup $SPEEDUP21 below the 1.5x floor" >&2
+        exit 1
+    fi
+    echo "warm_speedup: $SPEEDUP21"
 
     echo "==> certificate replay gate (committed protocol tree, independent checker)"
     cargo build --release --bin ccmx

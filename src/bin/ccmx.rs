@@ -10,9 +10,17 @@
 //!                                 exact CC(f) by branch-and-bound, with an optional
 //!                                 serialized optimal-protocol certificate
 //! ccmx cc --verify FILE           re-verify a saved certificate, trust-free
-//! ccmx serve <addr> [workers]     run the protocol-lab server (e.g. 127.0.0.1:7878)
+//! ccmx serve <addr> [workers] [--store DIR]
+//!                                 run the protocol-lab server (e.g. 127.0.0.1:7878);
+//!                                 --store (or CCMX_STORE_DIR) persists certified
+//!                                 results and warm-starts the caches on boot
 //! ccmx shard <addr> [--name N] [--cache-cap C] [--workers W] [--idle-secs S]
-//!                                 run one cluster shard (a named lab server)
+//!                   [--store-root DIR]
+//!                                 run one cluster shard (a named lab server); each
+//!                                 shard logs under <root>/<name>
+//! ccmx store stat|compact|verify <dir>
+//!                                 inspect, compact, or (read-only) check a store
+//!                                 directory — see docs/STORAGE.md for the format
 //! ccmx coordinator <addr> --shard name=addr [--shard ...] [--replicas R] [--vnodes V]
 //!                         [--idle-secs S]   run the shard router fronting a fleet
 //! ccmx client <addr> <cmd> ...    talk to a server: ping | bounds <n> <k> | run <2n> <k> [--rand]
@@ -38,9 +46,20 @@ fn net_fail(what: &str, err: ccmx::net::NetError) -> ! {
     std::process::exit(1)
 }
 
+fn store_fail(dir: &std::path::Path, err: ccmx::store::StoreError) -> ! {
+    eprintln!("ccmx: store at {}: {err}", dir.display());
+    std::process::exit(1)
+}
+
+/// Default store directory: the `CCMX_STORE_DIR` environment variable,
+/// overridable per command with `--store` / `--store-root`.
+fn store_dir_from_env() -> Option<std::path::PathBuf> {
+    std::env::var_os("CCMX_STORE_DIR").map(std::path::PathBuf::from)
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx cc <matrix: 0110;1001> [--threads T] [--no-memo] [--depth D] [--cert FILE]\n  ccmx cc --verify FILE\n  ccmx serve <addr> [workers]\n  ccmx shard <addr> [--name N] [--cache-cap C] [--workers W]\n  ccmx coordinator <addr> --shard name=addr [--shard ...] [--replicas R] [--vnodes V]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> cc <matrix: 0110;1001> [--depth D]\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats\n  ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]"
+        "usage:\n  ccmx singular <rows: a,b;c,d>\n  ccmx protocol <2n> <k> [--rand]\n  ccmx bounds <n> <k>\n  ccmx construct <n> <k> [--complete]\n  ccmx truth <2n> <k>\n  ccmx cc <matrix: 0110;1001> [--threads T] [--no-memo] [--depth D] [--cert FILE]\n  ccmx cc --verify FILE\n  ccmx serve <addr> [workers] [--store DIR]\n  ccmx shard <addr> [--name N] [--cache-cap C] [--workers W] [--store-root DIR]\n  ccmx store stat <dir>\n  ccmx store compact <dir>\n  ccmx store verify <dir>\n  ccmx coordinator <addr> --shard name=addr [--shard ...] [--replicas R] [--vnodes V]\n  ccmx client <addr> ping\n  ccmx client <addr> bounds <n> <k>\n  ccmx client <addr> run <2n> <k> [--rand]\n  ccmx client <addr> singular <rows: a,b;c,d>\n  ccmx client <addr> cc <matrix: 0110;1001> [--depth D]\n  ccmx client <addr> batch <2n> <k> <count>\n  ccmx client <addr> stats\n  ccmx chaos [--trials N] [--seed S] [--level quiet|moderate|aggressive] [--server]"
     );
     std::process::exit(2)
 }
@@ -312,12 +331,24 @@ fn main() {
         }
         Some("serve") => {
             let addr = args.get(1).unwrap_or_else(|| usage());
-            let workers: usize = args
-                .get(2)
-                .map(|w| w.parse().expect("workers"))
-                .unwrap_or(4);
+            let mut workers: usize = 4;
+            let mut store_dir = store_dir_from_env();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--store" => {
+                        i += 1;
+                        store_dir = Some(std::path::PathBuf::from(
+                            args.get(i).unwrap_or_else(|| usage()),
+                        ));
+                    }
+                    w => workers = w.parse().expect("workers"),
+                }
+                i += 1;
+            }
             let config = ServerConfig {
                 workers,
+                store_dir: store_dir.clone(),
                 ..ServerConfig::default()
             };
             let handle = ccmx::net::serve(addr, config)
@@ -327,6 +358,18 @@ fn main() {
                 handle.addr(),
                 workers
             );
+            match handle.store_stat() {
+                Some(stat) => println!(
+                    "persistent store at {} (warm: {} records over {} segments)",
+                    stat.dir.display(),
+                    stat.live_records,
+                    stat.segments
+                ),
+                None if store_dir.is_some() => {
+                    println!("persistent store unavailable; serving cold")
+                }
+                None => {}
+            }
             println!("press Ctrl-C to stop");
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(60));
@@ -343,6 +386,7 @@ fn main() {
         Some("shard") => {
             let addr = args.get(1).unwrap_or_else(|| usage());
             let mut config = ccmx::cluster::ShardConfig::named("shard-0");
+            config.store_root = store_dir_from_env();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -363,6 +407,12 @@ fn main() {
                         i += 1;
                         let secs: u64 = args.get(i).unwrap_or_else(|| usage()).parse().expect("S");
                         config.server.read_timeout = std::time::Duration::from_secs(secs.max(1));
+                    }
+                    "--store-root" => {
+                        i += 1;
+                        config.store_root = Some(std::path::PathBuf::from(
+                            args.get(i).unwrap_or_else(|| usage()),
+                        ));
                     }
                     _ => usage(),
                 }
@@ -750,6 +800,73 @@ fn main() {
             } else {
                 eprintln!("chaos verdict: FAIL");
                 std::process::exit(1);
+            }
+        }
+        Some("store") => {
+            let verb = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let dir = std::path::PathBuf::from(args.get(2).unwrap_or_else(|| usage()));
+            match verb {
+                "stat" => {
+                    let store = ccmx::store::Store::open(ccmx::store::StoreConfig::new(&dir))
+                        .unwrap_or_else(|e| store_fail(&dir, e));
+                    let rec = store.recovery();
+                    if !rec.clean() {
+                        println!(
+                            "recovery: {} issue(s), {} byte(s) truncated, {} segment(s) quarantined",
+                            rec.issues.len(),
+                            rec.truncated_bytes,
+                            rec.quarantined_segments
+                        );
+                        for issue in &rec.issues {
+                            println!("  seg {} @{}: {}", issue.segment, issue.offset, issue.kind);
+                        }
+                    }
+                    let stat = store.stat();
+                    println!(
+                        "{}: {} live record(s) in {} segment(s), {} live / {} dead byte(s), next seqno {}",
+                        stat.dir.display(),
+                        stat.live_records,
+                        stat.segments,
+                        stat.live_bytes,
+                        stat.dead_bytes,
+                        stat.next_seqno
+                    );
+                    for (keyspace, count) in &stat.per_keyspace {
+                        println!("  {keyspace}: {count} record(s)");
+                    }
+                }
+                "compact" => {
+                    let mut store = ccmx::store::Store::open(ccmx::store::StoreConfig::new(&dir))
+                        .unwrap_or_else(|e| store_fail(&dir, e));
+                    let report = store.compact().unwrap_or_else(|e| store_fail(&dir, e));
+                    println!(
+                        "compacted {} -> {} segment(s): {} live record(s) kept, {} byte(s) reclaimed, {} v1 record(s) migrated",
+                        report.segments_before,
+                        report.segments_after,
+                        report.live_records,
+                        report.reclaimed_bytes,
+                        report.migrated_v1
+                    );
+                }
+                "verify" => {
+                    // Read-only: inspects the files without opening (and
+                    // therefore without repairing) the store.
+                    let report = ccmx::store::Store::verify_dir(&dir)
+                        .unwrap_or_else(|e| store_fail(&dir, e));
+                    for (id, records, bytes, status) in &report.segments {
+                        println!("seg {id:012}: {records} record(s), {bytes} byte(s), {status}");
+                    }
+                    if report.quarantined > 0 {
+                        println!("{} quarantined segment file(s)", report.quarantined);
+                    }
+                    if report.ok {
+                        println!("verify: OK ({} record(s))", report.records);
+                    } else {
+                        eprintln!("verify: FAIL — a reopen would repair (truncate/quarantine)");
+                        std::process::exit(1);
+                    }
+                }
+                _ => usage(),
             }
         }
         _ => usage(),

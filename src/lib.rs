@@ -27,6 +27,11 @@
 //!   over protocol trees with a canonicalized rectangle memo,
 //!   certificate-seeded pruning and verifiable optimal-protocol
 //!   certificates (`ccmx cc`),
+//! * [`store`] — the persistent certified-result tier: an append-only,
+//!   checksummed, crash-recovering log under the server caches, so a
+//!   restarted lab warm-starts from every verdict it ever certified
+//!   (`ccmx serve --store`, `ccmx store stat|compact|verify`; format
+//!   spec in `docs/STORAGE.md`),
 //! * [`vlsi`] — Thompson-model AT² bounds and the systolic simulator.
 //!
 //! ## Quickstart
@@ -62,6 +67,7 @@ pub use ccmx_linalg as linalg;
 pub use ccmx_net as net;
 pub use ccmx_obs as obs;
 pub use ccmx_search as search;
+pub use ccmx_store as store;
 pub use ccmx_vlsi as vlsi;
 
 /// The most commonly used items, in one import.

@@ -1,0 +1,258 @@
+//! SIGKILL chaos soak for the persistent certified-result tier.
+//!
+//! The parent test re-executes this test binary as a *writer child*
+//! (`chaos_child_writer`, gated on `CCMX_CHAOS_DIR`): a real server
+//! with a store, plus a retry client with its own run store, both
+//! appending verdicts in a deterministic schedule. The parent kills
+//! the child with SIGKILL mid-batch — no destructors, no flushes —
+//! then recovers both stores and asserts the survival contract:
+//!
+//! * recovery yields a clean store (whatever survived is served),
+//! * every warm-started answer is bit-identical to direct computation
+//!   (`run_sequential` for protocol runs, exact linalg for verdicts) —
+//!   zero corrupted answers, zero metered-bit divergence.
+
+use std::process::{Child, Command};
+use std::time::Duration;
+
+use ccmx::comm::functions::Singularity;
+use ccmx::comm::protocol::run_sequential;
+use ccmx::comm::BitString;
+use ccmx::core::{counting, Params};
+use ccmx::net::wire::{KIND_REQUEST, KIND_RESPONSE};
+use ccmx::net::{
+    BoundsReport, BreakerConfig, ProtoSpec, Request, Response, RetryClient, RetryPolicy,
+    ServerConfig, TcpTransport, TransportConfig, WireCodec,
+};
+use ccmx::store::{Store, StoreConfig};
+
+/// How many schedule items the parent re-verifies after recovery.
+const VERIFY_ITEMS: usize = 12;
+
+/// Deterministic bounds parameters for schedule slot `i`.
+fn bounds_params(i: usize) -> (usize, u32, u32) {
+    let n = [5usize, 7, 9, 11][i % 4];
+    let k = [3u32, 4, 5][i % 3];
+    (n, k, 16 + (i as u32 % 4) * 8)
+}
+
+/// Deterministic 2x2 integer matrix (3-bit entries) for slot `i`.
+fn sing_matrix(i: usize) -> ccmx::linalg::Matrix<ccmx::bigint::Integer> {
+    let mut x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    ccmx::linalg::Matrix::from_fn(2, 2, |_, _| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ccmx::bigint::Integer::from((x >> 33) as i64 % 8)
+    })
+}
+
+fn run_spec() -> ProtoSpec {
+    ProtoSpec::FingerprintEquality {
+        half_bits: 16,
+        security: 16,
+    }
+}
+
+/// Deterministic protocol input for slot `i`.
+fn run_input(i: usize) -> BitString {
+    BitString::from_u64(0x5eed_0000 + i as u64, 32)
+}
+
+fn roundtrip(t: &mut TcpTransport, req: &Request) -> Response {
+    t.send_frame(KIND_REQUEST, &req.to_wire_bytes()).unwrap();
+    let (kind, payload) = t.recv_frame().unwrap();
+    assert_eq!(kind, KIND_RESPONSE);
+    Response::from_wire_bytes(&payload).unwrap()
+}
+
+fn retry_client(addr: &str) -> RetryClient {
+    RetryClient::new(
+        addr,
+        TransportConfig::default(),
+        RetryPolicy::default(),
+        BreakerConfig::default(),
+    )
+}
+
+/// The writer child: loops over the schedule until SIGKILLed. Runs (and
+/// trivially passes) as an ordinary test when the env gate is absent.
+#[test]
+fn chaos_child_writer() {
+    let Some(dir) = std::env::var_os("CCMX_CHAOS_DIR").map(std::path::PathBuf::from) else {
+        return;
+    };
+    let server = ccmx::net::serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            store_dir: Some(dir.join("server")),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut t = TcpTransport::connect(server.addr(), TransportConfig::default()).unwrap();
+    let mut rc = retry_client(&addr);
+    rc.attach_store(&dir.join("client")).unwrap();
+    let f = Singularity::new(2, 3);
+    for i in 0.. {
+        let (n, k, security) = bounds_params(i);
+        roundtrip(&mut t, &Request::Bounds { n, k, security });
+        roundtrip(
+            &mut t,
+            &Request::Singularity {
+                dim: 2,
+                k: 3,
+                input: f.enc.encode(&sing_matrix(i)),
+            },
+        );
+        rc.run_idempotent(run_spec(), &run_input(i), i as u64)
+            .unwrap();
+    }
+}
+
+/// Kills the child on drop so a failing assertion never leaks a
+/// busy-looping writer process.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn sigkill_mid_batch_recovers_with_zero_corrupted_answers() {
+    let exe = std::env::current_exe().unwrap();
+    for trial in 0..2u64 {
+        let dir =
+            std::env::temp_dir().join(format!("ccmx-chaos-soak-{}-{trial}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let child = Command::new(&exe)
+            .args([
+                "chaos_child_writer",
+                "--exact",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env("CCMX_CHAOS_DIR", &dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        let mut child = ChildGuard(child);
+
+        // Let the writer make real progress (both stores non-trivial),
+        // then a trial-dependent extra beat so the kill lands at
+        // different points in the append stream.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let grown = |sub: &str| {
+                std::fs::read_dir(dir.join(sub)).ok().is_some_and(|rd| {
+                    rd.flatten()
+                        .any(|e| e.metadata().map(|m| m.len() > 200).unwrap_or(false))
+                })
+            };
+            if grown("server") && grown("client") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "writer child made no progress"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::thread::sleep(Duration::from_millis(40 + 130 * trial));
+        child.0.kill().unwrap(); // SIGKILL: no flush, no Drop, no mercy
+        child.0.wait().unwrap();
+
+        // Recover the server store once to inspect, then boot warm.
+        {
+            let s = Store::open(StoreConfig::new(dir.join("server"))).unwrap();
+            assert!(
+                s.recovery().quarantined_segments == 0,
+                "a tail-only crash must never quarantine whole segments: {:?}",
+                s.recovery().issues
+            );
+        }
+        let server = ccmx::net::serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                store_dir: Some(dir.join("server")),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut t = TcpTransport::connect(server.addr(), TransportConfig::default()).unwrap();
+
+        // Every schedule item — whether it survived to disk (warm hit)
+        // or not (fresh compute) — must match direct computation.
+        let f = Singularity::new(2, 3);
+        for i in 0..VERIFY_ITEMS {
+            let (n, k, security) = bounds_params(i);
+            let p = Params::new(n, k);
+            let expected = BoundsReport {
+                n,
+                k,
+                security,
+                lower_bound_bits: counting::theorem_bound(p).lower_bound_bits,
+                deterministic_upper_bits: counting::deterministic_upper_bound_bits(p),
+                randomized_upper_bits: counting::probabilistic_upper_bound_bits(p, security),
+            };
+            assert_eq!(
+                roundtrip(&mut t, &Request::Bounds { n, k, security }),
+                Response::Bounds(expected),
+                "bounds answer corrupted after recovery (trial {trial}, item {i})"
+            );
+
+            let m = sing_matrix(i);
+            let singular = ccmx::linalg::crt::rank_int(&m) < 2;
+            assert_eq!(
+                roundtrip(
+                    &mut t,
+                    &Request::Singularity {
+                        dim: 2,
+                        k: 3,
+                        input: f.enc.encode(&m),
+                    }
+                ),
+                Response::Singularity { singular },
+                "singularity verdict corrupted after recovery (trial {trial}, item {i})"
+            );
+        }
+
+        // Client-side: recovered idempotent runs replay bit-identical
+        // to `run_sequential`, with the committed wire stats intact.
+        let mut rc = retry_client(&server.addr().to_string());
+        let loaded = rc.attach_store(&dir.join("client")).unwrap();
+        // The progress poll guaranteed at least one fully-committed run
+        // frame before the kill, so the soak is never vacuous.
+        assert!(loaded >= 1, "no runs survived — the kill landed too early");
+        let lab = run_spec().build();
+        let mut replays = 0usize;
+        for i in 0..VERIFY_ITEMS {
+            let run = rc
+                .run_idempotent(run_spec(), &run_input(i), i as u64)
+                .unwrap();
+            let expected =
+                run_sequential(lab.proto.as_ref(), &lab.partition, &run_input(i), i as u64);
+            assert_eq!(run.result_a, expected, "replayed run diverged (item {i})");
+            assert_eq!(
+                run.stats.bits_total(),
+                expected.transcript.total_bits(),
+                "metered-bit divergence on a recovered run (item {i})"
+            );
+            replays += usize::from(run.replayed);
+        }
+        assert!(
+            replays >= loaded.min(VERIFY_ITEMS).saturating_sub(1),
+            "persisted runs should replay from disk ({replays} replays, {loaded} loaded)"
+        );
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
